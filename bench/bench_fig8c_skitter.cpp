@@ -1,0 +1,13 @@
+// Regenerates Figure 8c of the paper: total runtime of c3List vs ArbCount vs
+// kcList for clique sizes k = 6..10 on a Tech-As-Skitter (internet topology) stand-in.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  const c3::CommandLine cli(argc, argv);
+  const c3::bench::Dataset ds = c3::bench::skitter_like(cli.get_double("scale", 1.0));
+  c3::bench::FigureConfig cfg;
+  cfg.figure = "Figure 8c";
+  cfg.paper_ref = "72T: c3List fastest for k>=8 (k=10: 921.66s vs 1068.98/1479.43); largest relative gains of all graphs";
+  c3::bench::run_figure(cfg, ds, cli);
+  return 0;
+}

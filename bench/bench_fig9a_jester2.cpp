@@ -1,0 +1,13 @@
+// Regenerates Figure 9a of the paper: total runtime of c3List vs ArbCount vs
+// kcList for clique sizes k = 6..10 on a Jester2 (rating projection) stand-in.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  const c3::CommandLine cli(argc, argv);
+  const c3::bench::Dataset ds = c3::bench::jester_like(cli.get_double("scale", 1.0));
+  c3::bench::FigureConfig cfg;
+  cfg.figure = "Figure 9a";
+  cfg.paper_ref = "72T: c3List fastest for k>=9 (k=10: 3643.4s vs 3835.7/5414.9)";
+  c3::bench::run_figure(cfg, ds, cli);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Strong scaling over the worker count (the paper evaluates at 72 threads;
+// this container may expose as little as one hardware thread, in which case
+// the sweep documents that the parallel code paths run and the speedup
+// column simply saturates at ~1x).
+#include <cstdio>
+
+#include "c3list.hpp"
+#include "datasets.hpp"
+#include "parallel/parallel.hpp"
+#include "util/cli.hpp"
+#include "util/run_stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  const c3::CommandLine cli(argc, argv);
+  const double scale = cli.get_double("scale", 1.0);
+  const int k = static_cast<int>(cli.get_int("k", 8));
+  const int reps = static_cast<int>(c3::env_int("C3_BENCH_REPS", 3));
+
+  const c3::bench::Dataset ds = c3::bench::bio_sc_ht_like(scale);
+  std::printf("# Strong scaling — c3List on the %s stand-in, k = %d (%d reps)\n",
+              ds.name.c_str(), k, reps);
+  std::printf("# hardware workers available: %d\n\n", c3::num_workers());
+
+  const int original = c3::num_workers();
+  double base = 0.0;
+  c3::Table table({"workers", "time[s]", "speedup", "#cliques"});
+  for (const int workers : {1, 2, 4, 8}) {
+    c3::set_num_workers(workers);
+    c3::RunStats stats;
+    c3::count_t count = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      c3::WallTimer timer;
+      count = c3::count_cliques(ds.graph, k).count;
+      stats.add(timer.seconds());
+    }
+    if (workers == 1) base = stats.mean();
+    table.add_row({std::to_string(workers), c3::strfmt("%.3f", stats.mean()),
+                   c3::strfmt("%.2fx", base / stats.mean()), c3::with_commas(count)});
+  }
+  c3::set_num_workers(original);
+  table.print();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Degeneracy vs community degeneracy — when does Algorithm 3 pay off?
+//
+// Section 1.1 of the paper: the community degeneracy sigma is strictly below
+// the degeneracy s and can be *arbitrarily* smaller (hypercube: s = d,
+// sigma = 0; complete-bipartite-plus-path: s = Theta(n), sigma <= 2).
+// Buchanan et al. observed 27%-80% gaps on real graphs. This example
+// measures the gap on several families and shows how the candidate sets of
+// the sigma-parameterized Algorithm 3 shrink accordingly.
+//
+//   ./community_structure [--seed 1]
+#include <cstdio>
+
+#include "c3list.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+void profile(const char* name, const c3::Graph& g, int k, c3::Table& table) {
+  const c3::node_t s = c3::degeneracy_order(g).degeneracy;
+  const c3::node_t sigma = c3::community_degeneracy(g);
+
+  // gamma under the two parameterizations: largest community (degeneracy
+  // orientation) vs largest candidate set (community-degeneracy edge order).
+  c3::CliqueOptions cd;
+  cd.algorithm = c3::Algorithm::C3ListCD;
+
+  c3::WallTimer t1;
+  const auto r1 = c3::count_cliques(g, k);
+  const double time_s = t1.seconds();
+  c3::WallTimer t2;
+  const auto r2 = c3::count_cliques(g, k, cd);
+  const double time_cd = t2.seconds();
+
+  table.add_row({name, std::to_string(g.num_nodes()), std::to_string(s), std::to_string(sigma),
+                 c3::strfmt("%.0f%%", s == 0 ? 0.0 : 100.0 * (1.0 - double(sigma) / double(s))),
+                 std::to_string(r1.stats.gamma), std::to_string(r2.stats.gamma),
+                 c3::with_commas(r1.count), c3::strfmt("%.3f", time_s),
+                 c3::strfmt("%.3f", time_cd)});
+  if (r1.count != r2.count) std::printf("!! count mismatch on %s\n", name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const c3::CommandLine cli(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const int k = 4;
+
+  std::printf("== community_structure: sigma vs s (k = %d) ==\n\n", k);
+  c3::Table table({"graph", "n", "s", "sigma", "gap", "gamma(deg)", "gamma(cd)", "#cliques",
+                   "c3List[s]", "c3List-CD[s]"});
+
+  // The paper's analytic separation examples.
+  profile("hypercube d=10", c3::hypercube(10), k, table);
+  profile("bipartite+line", c3::bipartite_plus_line(64), k, table);
+  // Real-world-like families (Buchanan et al.'s 27-80% regime).
+  profile("social-like", c3::social_like(8000, 60'000, 0.4, seed), k, table);
+  profile("collaboration", c3::collaboration_like(8000, 6000, 16, seed + 1), k, table);
+  profile("bio modules", c3::bio_like(3000, 20'000, 60, 24, 0.5, seed + 2), k, table);
+  profile("mesh kNN", c3::mesh_like(6000, 12, seed + 3), k, table);
+
+  table.print();
+  std::printf(
+      "\nReading: 'gap' is how far sigma sits below s; gamma(cd) <= sigma bounds the\n"
+      "candidate sets Algorithm 3 recurses on, vs gamma(deg) <= s-1 for Algorithm 1.\n");
+  return 0;
+}

@@ -1,0 +1,165 @@
+#include "clique/arbcount.hpp"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "clique/local_graph.hpp"
+#include "graph/digraph.hpp"
+#include "clique/order_util.hpp"
+#include "parallel/padded.hpp"
+#include "parallel/parallel.hpp"
+#include "util/bitwords.hpp"
+#include "util/timer.hpp"
+
+namespace c3 {
+namespace {
+
+struct Worker {
+  LocalGraph lg;
+  std::vector<std::uint64_t> mask_pool;  // one mask per recursion level
+  std::vector<node_t> member_orig;
+  std::vector<node_t> clique_stack;
+  LocalCounters ctr;
+  count_t count = 0;
+  bool stopped = false;
+};
+
+struct Env {
+  const CliqueCallback* callback;
+};
+
+/// Vertex-at-a-time recursion over the induced bitset subgraph: pick the
+/// next clique vertex x from the candidate mask (ascending = respecting the
+/// orientation), descend into row(x) ∩ mask ∩ {> x}.
+count_t arb_rec(const Env& env, Worker& w, const std::uint64_t* mask, int level, int l) {
+  ++w.ctr.recursive_calls;
+  const LocalGraph& lg = w.lg;
+  const auto words = static_cast<std::size_t>(lg.words());
+
+  if (l == 1) {
+    const count_t found = bits::popcount(mask, words);
+    w.ctr.leaf_work += found;
+    if (env.callback == nullptr) return found;
+    bits::for_each_bit(mask, words, [&](std::size_t x) {
+      if (w.stopped) return;
+      w.clique_stack.push_back(w.member_orig[x]);
+      if (!(*env.callback)(std::span<const node_t>(w.clique_stack))) w.stopped = true;
+      w.clique_stack.pop_back();
+    });
+    return found;
+  }
+
+  std::uint64_t* next =
+      w.mask_pool.data() + static_cast<std::size_t>(level) * words;
+  count_t total = 0;
+  bits::for_each_bit(mask, words, [&](std::size_t x) {
+    if (w.stopped) return;
+    // next = candidates after x that are adjacent to x.
+    const std::uint64_t* row = lg.row(static_cast<int>(x));
+    const std::size_t wx = bits::word_index(x);
+    for (std::size_t ww = 0; ww < wx; ++ww) next[ww] = 0;
+    for (std::size_t ww = wx; ww < words; ++ww) next[ww] = row[ww] & mask[ww];
+    next[wx] &= ~((x % 64 == 63) ? ~std::uint64_t{0} : ((std::uint64_t{1} << ((x % 64) + 1)) - 1));
+    w.ctr.intersection_words += words - wx;
+    w.ctr.pairs_probed += 1;
+
+    if (l == 2) {
+      const count_t found = bits::popcount(next, words);
+      w.ctr.leaf_work += found;
+      total += found;
+      if (env.callback != nullptr) {
+        bits::for_each_bit(next, words, [&](std::size_t y) {
+          if (w.stopped) return;
+          w.clique_stack.push_back(w.member_orig[x]);
+          w.clique_stack.push_back(w.member_orig[y]);
+          if (!(*env.callback)(std::span<const node_t>(w.clique_stack))) w.stopped = true;
+          w.clique_stack.pop_back();
+          w.clique_stack.pop_back();
+        });
+      }
+      return;
+    }
+    if (bits::popcount(next, words) >= static_cast<std::uint64_t>(l - 1)) {
+      ++w.ctr.edges_matched;
+      if (env.callback != nullptr) w.clique_stack.push_back(w.member_orig[x]);
+      total += arb_rec(env, w, next, level + 1, l - 1);
+      if (env.callback != nullptr) w.clique_stack.pop_back();
+    }
+  });
+  return total;
+}
+
+CliqueResult run(const Graph& g, int k, const CliqueCallback* callback,
+                 const CliqueOptions& opts) {
+  CliqueResult result;
+  if (k <= 2) {
+    return callback != nullptr ? c3list_list(g, k, *callback, opts) : c3list_count(g, k, opts);
+  }
+
+  WallTimer prep_timer;
+  const std::vector<node_t> order =
+      make_vertex_order(g, opts.vertex_order, opts.eps, VertexOrderKind::ApproxDegeneracy, opts.order_seed);
+  const Digraph dag = Digraph::orient(g, order);
+  result.stats.order_quality = dag.max_out_degree();
+  result.stats.gamma = dag.max_out_degree();
+  result.stats.preprocess_seconds = prep_timer.seconds();
+
+  WallTimer search_timer;
+  const node_t n = dag.num_nodes();
+  result.stats.top_level_tasks = n;
+  PerWorker<Worker> workers;
+  std::atomic<bool> stop{false};
+  Env env{callback};
+
+  parallel_for_dynamic(
+      0, n,
+      [&](std::size_t u) {
+        if (stop.load(std::memory_order_relaxed)) return;
+        const auto members = dag.out_neighbors(static_cast<node_t>(u));
+        if (static_cast<int>(members.size()) < k - 1) return;
+        Worker& w = workers.local();
+
+        // Induce and rename G[N+(u)] (the per-vertex re-representation).
+        build_local_graph(dag, members, w.lg);
+        const auto words = static_cast<std::size_t>(w.lg.words());
+        const auto depth = static_cast<std::size_t>(k);
+        if (w.mask_pool.size() < (depth + 1) * words) w.mask_pool.assign((depth + 1) * words, 0);
+
+        std::uint64_t* universe = w.mask_pool.data() + depth * words;
+        bits::fill_prefix(universe, members.size(), words);
+
+        if (callback != nullptr) {
+          w.member_orig.resize(members.size());
+          for (std::size_t i = 0; i < members.size(); ++i)
+            w.member_orig[i] = dag.original_id(members[i]);
+          w.clique_stack.clear();
+          w.clique_stack.push_back(dag.original_id(static_cast<node_t>(u)));
+        }
+
+        w.count += arb_rec(env, w, universe, 0, k - 1);
+        if (w.stopped) stop.store(true, std::memory_order_relaxed);
+      },
+      1);
+
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    result.count += workers.slot(i).count;
+    workers.slot(i).ctr.merge_into(result.stats);
+  }
+  result.stats.cliques = result.count;
+  result.stats.search_seconds = search_timer.seconds();
+  return result;
+}
+
+}  // namespace
+
+CliqueResult arbcount_count(const Graph& g, int k, const CliqueOptions& opts) {
+  return run(g, k, nullptr, opts);
+}
+
+CliqueResult arbcount_list(const Graph& g, int k, const CliqueCallback& callback,
+                           const CliqueOptions& opts) {
+  return run(g, k, &callback, opts);
+}
+
+}  // namespace c3

@@ -1,0 +1,145 @@
+#include "clique/bron_kerbosch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "order/degeneracy.hpp"
+#include "parallel/padded.hpp"
+#include "parallel/parallel.hpp"
+
+namespace c3 {
+namespace {
+
+struct BkState {
+  const Graph* g;
+  const CliqueCallback* callback;
+  std::vector<node_t> r;  // current clique
+  count_t found = 0;
+  node_t largest = 0;
+  bool stopped = false;
+};
+
+/// Sorted intersection helper: out = a ∩ N(v).
+void intersect_neighbors(const Graph& g, const std::vector<node_t>& a, node_t v,
+                         std::vector<node_t>& out) {
+  out.clear();
+  const auto nbrs = g.neighbors(v);
+  std::set_intersection(a.begin(), a.end(), nbrs.begin(), nbrs.end(), std::back_inserter(out));
+}
+
+/// Classic Bron-Kerbosch with Tomita pivoting: choose the pivot p from
+/// P ∪ X maximizing |P ∩ N(p)| and only branch on P \ N(p).
+void bk(BkState& st, std::vector<node_t>& p, std::vector<node_t>& x) {
+  if (st.stopped) return;
+  if (p.empty() && x.empty()) {
+    ++st.found;
+    st.largest = std::max(st.largest, static_cast<node_t>(st.r.size()));
+    if (st.callback != nullptr && !(*st.callback)(std::span<const node_t>(st.r)))
+      st.stopped = true;
+    return;
+  }
+  if (p.empty()) return;
+
+  const Graph& g = *st.g;
+  // Pivot selection over P ∪ X.
+  node_t pivot = kInvalidNode;
+  std::size_t best = 0;
+  for (const auto* side : {&p, &x}) {
+    for (const node_t cand : *side) {
+      const auto nbrs = g.neighbors(cand);
+      std::size_t inter = 0;
+      std::size_t i = 0, j = 0;
+      while (i < p.size() && j < nbrs.size()) {
+        if (p[i] < nbrs[j]) {
+          ++i;
+        } else if (p[i] > nbrs[j]) {
+          ++j;
+        } else {
+          ++inter;
+          ++i;
+          ++j;
+        }
+      }
+      if (pivot == kInvalidNode || inter > best) {
+        pivot = cand;
+        best = inter;
+      }
+    }
+  }
+
+  // Branch vertices: P minus the pivot's neighborhood.
+  std::vector<node_t> branch;
+  {
+    const auto nbrs = g.neighbors(pivot);
+    std::set_difference(p.begin(), p.end(), nbrs.begin(), nbrs.end(),
+                        std::back_inserter(branch));
+  }
+
+  std::vector<node_t> p2, x2;
+  for (const node_t v : branch) {
+    if (st.stopped) return;
+    intersect_neighbors(g, p, v, p2);
+    intersect_neighbors(g, x, v, x2);
+    st.r.push_back(v);
+    bk(st, p2, x2);
+    st.r.pop_back();
+    // Move v from P to X (both stay sorted).
+    p.erase(std::lower_bound(p.begin(), p.end(), v));
+    x.insert(std::lower_bound(x.begin(), x.end(), v), v);
+  }
+}
+
+struct BkResult {
+  count_t count = 0;
+  node_t largest = 0;
+};
+
+BkResult run(const Graph& g, const CliqueCallback* callback) {
+  const node_t n = g.num_nodes();
+  if (n == 0) return {};
+  // Eppstein et al.: one BK call per vertex v, restricted to the later part
+  // of the degeneracy order — P starts as N(v) after v, X as N(v) before v,
+  // so every maximal clique is rooted at its order-minimal vertex.
+  const DegeneracyResult deg = degeneracy_order(g);
+  std::vector<node_t> rank(n);
+  for (node_t i = 0; i < n; ++i) rank[deg.order[i]] = i;
+
+  PerWorker<BkResult> partial;
+  std::atomic<bool> stop{false};
+  parallel_for_dynamic(
+      0, n,
+      [&](std::size_t i) {
+        if (stop.load(std::memory_order_relaxed)) return;
+        const node_t v = deg.order[i];
+        BkState st;
+        st.g = &g;
+        st.callback = callback;
+        std::vector<node_t> p, x;
+        for (const node_t w : g.neighbors(v)) {
+          (rank[w] > rank[v] ? p : x).push_back(w);
+        }
+        // Neighbor lists are id-sorted; keep P/X id-sorted for merges.
+        st.r.push_back(v);
+        bk(st, p, x);
+        partial.local().count += st.found;
+        partial.local().largest = std::max(partial.local().largest, st.largest);
+        if (st.stopped) stop.store(true, std::memory_order_relaxed);
+      },
+      1);
+  return partial.reduce(BkResult{}, [](BkResult a, BkResult b) {
+    return BkResult{a.count + b.count, std::max(a.largest, b.largest)};
+  });
+}
+
+}  // namespace
+
+count_t count_maximal_cliques(const Graph& g) { return run(g, nullptr).count; }
+
+count_t list_maximal_cliques(const Graph& g, const CliqueCallback& callback) {
+  return run(g, &callback).count;
+}
+
+node_t max_clique_size_bk(const Graph& g) { return run(g, nullptr).largest; }
+
+}  // namespace c3

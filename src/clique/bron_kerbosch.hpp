@@ -1,0 +1,24 @@
+// Maximal clique enumeration: Bron-Kerbosch with pivoting, driven by a
+// degeneracy-order outer loop (Eppstein, Loeffler, Strash — discussed in the
+// paper's related work, Section 1.2). Runs in O(s n 3^(s/3)) time, near the
+// worst-case output bound for s-degenerate graphs.
+#pragma once
+
+#include "clique/common.hpp"
+#include "graph/graph.hpp"
+
+namespace c3 {
+
+/// Counts all maximal cliques of g.
+[[nodiscard]] count_t count_maximal_cliques(const Graph& g);
+
+/// Lists all maximal cliques. The callback receives each maximal clique
+/// (unspecified order); returning false stops the enumeration. Returns the
+/// number reported.
+count_t list_maximal_cliques(const Graph& g, const CliqueCallback& callback);
+
+/// Size of the largest clique, computed as a byproduct of maximal clique
+/// enumeration. (See max_clique.hpp for the k-clique-search route.)
+[[nodiscard]] node_t max_clique_size_bk(const Graph& g);
+
+}  // namespace c3

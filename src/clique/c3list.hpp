@@ -1,0 +1,31 @@
+// c3List — the paper's community-centric k-clique listing algorithm
+// (Algorithm 1 driving Algorithm 2).
+//
+// Pipeline: orient the graph by a total vertex order (Section 4), build and
+// sort all edge communities (Section 2.2), then — in parallel over the edges
+// supporting at least k-2 triangles — rename each community to a local
+// universe, build its indicator-table adjacency, and run the recursive
+// search for (k-2)-cliques inside it. Work/depth bounds: Theorem 2.1,
+// instantiated by the chosen order per Table 1.
+#pragma once
+
+#include "clique/common.hpp"
+#include "graph/graph.hpp"
+
+namespace c3 {
+
+struct CliqueResult {
+  count_t count = 0;
+  CliqueStats stats;
+};
+
+/// Counts all k-cliques of g. Options select the orientation (exact
+/// degeneracy, (2+eps)-approximate, or by id) and the pruning ablation.
+[[nodiscard]] CliqueResult c3list_count(const Graph& g, int k, const CliqueOptions& opts = {});
+
+/// Lists all k-cliques of g through `callback` (see CliqueCallback for the
+/// early-exit contract). Returns the number of cliques reported.
+[[nodiscard]] CliqueResult c3list_list(const Graph& g, int k, const CliqueCallback& callback,
+                                       const CliqueOptions& opts = {});
+
+}  // namespace c3

@@ -1,0 +1,103 @@
+// Shared types of the clique-listing algorithms: options, result statistics,
+// and the listing callback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "graph/types.hpp"
+
+namespace c3 {
+
+/// Which k-clique algorithm to run (see DESIGN.md system inventory).
+enum class Algorithm {
+  C3List,      ///< the paper's community-centric algorithm (Algorithms 1+2)
+  C3ListCD,    ///< Algorithm 3, parameterized by community degeneracy
+  Hybrid,      ///< Section 4.2: approximate outer order, exact inner orders
+  KCList,      ///< baseline: Danisch et al. (WWW'18)
+  ArbCount,    ///< baseline: Shi et al. (parallel clique counting)
+  BruteForce,  ///< reference enumerator for testing
+};
+
+/// Vertex total order used to orient the graph (Section 4; the ordering
+/// heuristics beyond the degeneracy orders follow Li et al. [36], cited in
+/// the paper's related work).
+enum class VertexOrderKind {
+  Default,           ///< what the algorithm's paper uses: exact degeneracy for
+                     ///< c3List/kcList, (2+eps)-approximate for ArbCount
+  ExactDegeneracy,   ///< Lemma 4.1 — best work, O(n) depth
+  ApproxDegeneracy,  ///< Lemma 4.2 — (2+eps)-approximate, polylog depth
+  Degree,            ///< non-decreasing degree (a popular cheap heuristic)
+  Random,            ///< uniform random (hash of id + order_seed)
+  ById,              ///< identity order (for testing / Algorithm 3's inner order)
+};
+
+/// Edge total order for the community-degeneracy variant (Section 4.3).
+enum class EdgeOrderKind {
+  ExactCommunityDegeneracy,   ///< greedy — best work, linear depth
+  ApproxCommunityDegeneracy,  ///< Algorithm 4 — (3+eps)-approximate, polylog depth
+};
+
+struct CliqueOptions {
+  Algorithm algorithm = Algorithm::C3List;
+  VertexOrderKind vertex_order = VertexOrderKind::Default;
+  EdgeOrderKind edge_order = EdgeOrderKind::ExactCommunityDegeneracy;
+  /// Approximation slack for the approximate orders.
+  double eps = 0.5;
+  /// Seed for VertexOrderKind::Random.
+  std::uint64_t order_seed = 1;
+  /// The paper's relevant-pair criterion (delta_I(u,v) >= c-2). Disabling it
+  /// reverts to probing all candidate pairs — the ablation of Figure 2's
+  /// pruning rule.
+  bool distance_pruning = true;
+  /// Grow the clique by triangles (3 vertices per level) instead of edges —
+  /// the generalization the paper's conclusion raises as future work.
+  /// Supported by C3List, C3ListCD, and Hybrid.
+  bool triangle_growth = false;
+};
+
+/// Instrumentation counters, aggregated over all workers. These are the
+/// empirical counterparts of the quantities in the paper's work analysis:
+/// pairs_probed ~ |R^P|, edges_matched ~ |R^E|, intersection_words ~ the
+/// intersection work, leaf_work ~ the listing cost L(c, I).
+struct CliqueStats {
+  count_t cliques = 0;
+  count_t top_level_tasks = 0;     ///< edges (or vertices) spawning a search
+  count_t recursive_calls = 0;
+  count_t pairs_probed = 0;        ///< candidate pairs examined
+  count_t edges_matched = 0;       ///< probed pairs that were edges (recursed)
+  count_t intersection_words = 0;  ///< 64-bit words touched by intersections
+  count_t leaf_work = 0;           ///< work at recursion leaves (c <= 2)
+  node_t gamma = 0;                ///< largest community / candidate set
+  node_t order_quality = 0;        ///< max out-degree (or max |V'|) induced by the order
+  double preprocess_seconds = 0.0;
+  double search_seconds = 0.0;
+};
+
+/// Per-worker counter block merged into CliqueStats at the end of a run.
+struct LocalCounters {
+  count_t cliques = 0;
+  count_t recursive_calls = 0;
+  count_t pairs_probed = 0;
+  count_t edges_matched = 0;
+  count_t intersection_words = 0;
+  count_t leaf_work = 0;
+
+  void merge_into(CliqueStats& s) const noexcept {
+    s.cliques += cliques;
+    s.recursive_calls += recursive_calls;
+    s.pairs_probed += pairs_probed;
+    s.edges_matched += edges_matched;
+    s.intersection_words += intersection_words;
+    s.leaf_work += leaf_work;
+  }
+};
+
+/// Listing callback: receives the k vertices of each clique (original vertex
+/// ids, unspecified order). Return true to continue the enumeration, false
+/// to stop early (used by the decision/witness queries). May be invoked
+/// concurrently from multiple workers.
+using CliqueCallback = std::function<bool(std::span<const node_t>)>;
+
+}  // namespace c3

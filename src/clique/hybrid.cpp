@@ -1,0 +1,190 @@
+#include "clique/hybrid.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "clique/local_graph.hpp"
+#include "clique/recursive.hpp"
+#include "graph/digraph.hpp"
+#include "order/approx_degeneracy.hpp"
+#include "parallel/padded.hpp"
+#include "parallel/parallel.hpp"
+#include "util/bitwords.hpp"
+#include "util/timer.hpp"
+
+namespace c3 {
+namespace {
+
+/// Scratch arrays for the per-neighborhood exact degeneracy order, reused
+/// across vertices by each worker.
+struct LocalDegScratch {
+  std::vector<int> adj_offsets, adj, degree, bin, verts, pos;
+};
+
+/// Small-universe exact degeneracy order over a LocalGraph: the same
+/// Batagelj-Zaversnik sweep as order/degeneracy.cpp, but on a universe of
+/// O(s) vertices — so the greedy's linear depth only touches gamma, not n.
+/// That is the whole point of the hybrid (Section 4.2).
+void local_degeneracy_order(const LocalGraph& lg, std::vector<int>& order, LocalDegScratch& s) {
+  const int n = lg.size();
+  order.clear();
+  if (n == 0) return;
+
+  // Materialize adjacency lists from the bitset rows.
+  s.adj_offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  s.degree.assign(static_cast<std::size_t>(n), 0);
+  int max_deg = 0;
+  for (int v = 0; v < n; ++v) {
+    const int d = lg.degree(v);
+    s.degree[static_cast<std::size_t>(v)] = d;
+    s.adj_offsets[static_cast<std::size_t>(v) + 1] = s.adj_offsets[static_cast<std::size_t>(v)] + d;
+    max_deg = std::max(max_deg, d);
+  }
+  s.adj.resize(static_cast<std::size_t>(s.adj_offsets[static_cast<std::size_t>(n)]));
+  for (int v = 0; v < n; ++v) {
+    int cursor = s.adj_offsets[static_cast<std::size_t>(v)];
+    bits::for_each_bit(lg.row(v), static_cast<std::size_t>(lg.words()),
+                       [&](std::size_t w) { s.adj[static_cast<std::size_t>(cursor++)] = static_cast<int>(w); });
+  }
+
+  // Batagelj-Zaversnik bin sweep (see order/degeneracy.cpp for the argument).
+  s.bin.assign(static_cast<std::size_t>(max_deg) + 2, 0);
+  for (int v = 0; v < n; ++v) s.bin[static_cast<std::size_t>(s.degree[static_cast<std::size_t>(v)]) + 1]++;
+  for (int d = 0; d <= max_deg; ++d) s.bin[static_cast<std::size_t>(d) + 1] += s.bin[static_cast<std::size_t>(d)];
+  s.verts.assign(static_cast<std::size_t>(n), 0);
+  s.pos.assign(static_cast<std::size_t>(n), 0);
+  {
+    std::vector<int> cursor(s.bin.begin(), s.bin.end() - 1);
+    for (int v = 0; v < n; ++v) {
+      const int p = cursor[static_cast<std::size_t>(s.degree[static_cast<std::size_t>(v)])]++;
+      s.verts[static_cast<std::size_t>(p)] = v;
+      s.pos[static_cast<std::size_t>(v)] = p;
+    }
+  }
+  order.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int v = s.verts[static_cast<std::size_t>(i)];
+    order[static_cast<std::size_t>(i)] = v;
+    for (int e = s.adj_offsets[static_cast<std::size_t>(v)];
+         e < s.adj_offsets[static_cast<std::size_t>(v) + 1]; ++e) {
+      const int w = s.adj[static_cast<std::size_t>(e)];
+      if (s.degree[static_cast<std::size_t>(w)] > s.degree[static_cast<std::size_t>(v)]) {
+        const int dw = s.degree[static_cast<std::size_t>(w)];
+        const int pw = s.pos[static_cast<std::size_t>(w)];
+        const int pt = s.bin[static_cast<std::size_t>(dw)];
+        const int t = s.verts[static_cast<std::size_t>(pt)];
+        if (w != t) {
+          std::swap(s.verts[static_cast<std::size_t>(pw)], s.verts[static_cast<std::size_t>(pt)]);
+          s.pos[static_cast<std::size_t>(w)] = pt;
+          s.pos[static_cast<std::size_t>(t)] = pw;
+        }
+        ++s.bin[static_cast<std::size_t>(dw)];
+        --s.degree[static_cast<std::size_t>(w)];
+      }
+    }
+  }
+}
+
+struct Worker {
+  LocalGraph lg_raw;  // N+(v) subgraph in approximate-order rank space
+  LocalGraph lg;      // same subgraph renamed by the inner exact order
+  SearchContext ctx;
+  LocalCounters ctr;
+  std::vector<int> inner_order, inner_rank;
+  LocalDegScratch deg_scratch;
+  std::vector<node_t> member_orig;
+  count_t count = 0;
+};
+
+CliqueResult run(const Graph& g, int k, const CliqueCallback* callback,
+                 const CliqueOptions& opts) {
+  CliqueResult result;
+  if (k <= 2) {
+    return callback != nullptr ? c3list_list(g, k, *callback, opts) : c3list_count(g, k, opts);
+  }
+
+  WallTimer prep_timer;
+  // Outer order: (2+eps)-approximate degeneracy, computed in low depth.
+  const ApproxDegeneracyResult approx = approx_degeneracy_order(g, opts.eps);
+  const Digraph dag = Digraph::orient(g, approx.order);
+  result.stats.order_quality = dag.max_out_degree();
+  result.stats.gamma = dag.max_out_degree();
+  result.stats.preprocess_seconds = prep_timer.seconds();
+
+  WallTimer search_timer;
+  const node_t n = dag.num_nodes();
+  result.stats.top_level_tasks = n;
+  PerWorker<Worker> workers;
+  std::atomic<bool> stop{false};
+
+  parallel_for_dynamic(
+      0, n,
+      [&](std::size_t v) {
+        if (stop.load(std::memory_order_relaxed)) return;
+        const auto members = dag.out_neighbors(static_cast<node_t>(v));
+        if (static_cast<int>(members.size()) < k - 1) return;
+        Worker& w = workers.local();
+
+        // Induce G[N+(v)] in approximate-rank space...
+        build_local_graph(dag, members, w.lg_raw);
+        // ...compute its exact degeneracy order...
+        local_degeneracy_order(w.lg_raw, w.inner_order, w.deg_scratch);
+        const int sz = w.lg_raw.size();
+        w.inner_rank.assign(static_cast<std::size_t>(sz), 0);
+        for (int r = 0; r < sz; ++r)
+          w.inner_rank[static_cast<std::size_t>(w.inner_order[static_cast<std::size_t>(r)])] = r;
+        // ...and rename the subgraph into inner-rank space.
+        w.lg.reset(sz);
+        for (int a = 0; a < sz; ++a) {
+          bits::for_each_bit(w.lg_raw.row(a), static_cast<std::size_t>(w.lg_raw.words()),
+                             [&](std::size_t b) {
+                               if (static_cast<int>(b) > a)
+                                 w.lg.add_edge(w.inner_rank[static_cast<std::size_t>(a)],
+                                               w.inner_rank[b]);
+                             });
+        }
+
+        w.ctx.lg = &w.lg;
+        w.ctx.prune = opts.distance_pruning;
+        w.ctx.ctr = &w.ctr;
+        w.ctx.callback = callback;
+        if (callback != nullptr) {
+          w.member_orig.resize(members.size());
+          for (int r = 0; r < sz; ++r) {
+            const int approx_local = w.inner_order[static_cast<std::size_t>(r)];
+            w.member_orig[static_cast<std::size_t>(r)] =
+                dag.original_id(members[static_cast<std::size_t>(approx_local)]);
+          }
+          w.ctx.member_to_orig = w.member_orig.data();
+          w.ctx.clique_stack.clear();
+          w.ctx.clique_stack.push_back(dag.original_id(static_cast<node_t>(v)));
+        }
+
+        // Search (k-1)-cliques in G[N+(v)]; each completes with v.
+        w.count += search_cliques_all(w.ctx, k - 1, opts.triangle_growth);
+        if (w.ctx.stopped) stop.store(true, std::memory_order_relaxed);
+      },
+      1);
+
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    result.count += workers.slot(i).count;
+    workers.slot(i).ctr.merge_into(result.stats);
+  }
+  result.stats.cliques = result.count;
+  result.stats.search_seconds = search_timer.seconds();
+  return result;
+}
+
+}  // namespace
+
+CliqueResult hybrid_count(const Graph& g, int k, const CliqueOptions& opts) {
+  return run(g, k, nullptr, opts);
+}
+
+CliqueResult hybrid_list(const Graph& g, int k, const CliqueCallback& callback,
+                         const CliqueOptions& opts) {
+  return run(g, k, &callback, opts);
+}
+
+}  // namespace c3

@@ -1,0 +1,38 @@
+#include "clique/local_graph.hpp"
+
+#include <algorithm>
+
+namespace c3 {
+
+void LocalGraph::reset(int n) {
+  n_ = n;
+  words_ = static_cast<int>(bits::words_for(static_cast<std::size_t>(n)));
+  const std::size_t needed = static_cast<std::size_t>(n) * static_cast<std::size_t>(words_);
+  if (rows_.size() < needed) rows_.resize(needed);
+  std::fill(rows_.begin(), rows_.begin() + static_cast<std::ptrdiff_t>(needed), 0);
+}
+
+void build_local_graph(const Digraph& dag, std::span<const node_t> members, LocalGraph& lg) {
+  const int n = static_cast<int>(members.size());
+  lg.reset(n);
+  for (int a = 0; a < n; ++a) {
+    const auto out = dag.out_neighbors(members[static_cast<std::size_t>(a)]);
+    // Two-pointer walk: members are sorted ascending and out-neighbors of
+    // members[a] all rank above it, so matches have local id > a.
+    std::size_t i = 0;
+    std::size_t j = static_cast<std::size_t>(a) + 1;
+    while (i < out.size() && j < members.size()) {
+      if (out[i] < members[j]) {
+        ++i;
+      } else if (out[i] > members[j]) {
+        ++j;
+      } else {
+        lg.add_edge(a, static_cast<int>(j));
+        ++i;
+        ++j;
+      }
+    }
+  }
+}
+
+}  // namespace c3

@@ -1,0 +1,74 @@
+// Local subgraph representation for the recursive search.
+//
+// Algorithm 1 preprocesses each qualifying edge e by renaming its community
+// C(e) to consecutive integers and building "an adjacency matrix of G[C(e)]"
+// with "a boolean indicator table" per edge (Section 2.2). We realize both
+// as bitset rows over the local universe: row(a) holds the local neighbors
+// of a, so edge probes are single bit tests and community intersections are
+// word-parallel ANDs.
+//
+// Local ids are assigned in ascending rank order, so the total order of the
+// orientation is the natural `<` on local ids and the paper's distance
+// function delta_I is an index difference in the sorted candidate array.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "clique/common.hpp"
+#include "graph/digraph.hpp"
+#include "util/bitwords.hpp"
+
+namespace c3 {
+
+/// Reusable per-worker storage for one local subgraph and the recursion
+/// stacks on top of it. Sized for the largest community met so far; reused
+/// across top-level edges to avoid allocation in the hot loop.
+class LocalGraph {
+ public:
+  /// Prepares an empty local graph over `n` vertices (clears rows).
+  void reset(int n);
+
+  /// Number of local vertices.
+  [[nodiscard]] int size() const noexcept { return n_; }
+
+  /// Words per bitset row.
+  [[nodiscard]] int words() const noexcept { return words_; }
+
+  /// Adds the undirected edge {a, b} (sets both direction bits).
+  void add_edge(int a, int b) noexcept {
+    bits::set_bit(row_mut(a), static_cast<std::size_t>(b));
+    bits::set_bit(row_mut(b), static_cast<std::size_t>(a));
+  }
+
+  [[nodiscard]] bool has_edge(int a, int b) const noexcept {
+    return bits::test_bit(row(a), static_cast<std::size_t>(b));
+  }
+
+  [[nodiscard]] const std::uint64_t* row(int a) const noexcept {
+    return rows_.data() + static_cast<std::size_t>(a) * static_cast<std::size_t>(words_);
+  }
+
+  [[nodiscard]] std::uint64_t* row_mut(int a) noexcept {
+    return rows_.data() + static_cast<std::size_t>(a) * static_cast<std::size_t>(words_);
+  }
+
+  /// Local degree of a (popcount of its row).
+  [[nodiscard]] int degree(int a) const noexcept {
+    return static_cast<int>(bits::popcount(row(a), static_cast<std::size_t>(words_)));
+  }
+
+ private:
+  int n_ = 0;
+  int words_ = 0;
+  std::vector<std::uint64_t> rows_;
+};
+
+/// Populates `lg` with the subgraph of `dag` induced by `members` (global
+/// ranks, sorted ascending). Every arc between members is found in the
+/// out-list of its lower endpoint via a sorted two-pointer intersection:
+/// O(sum over members of (out-degree + |members|)).
+void build_local_graph(const Digraph& dag, std::span<const node_t> members, LocalGraph& lg);
+
+}  // namespace c3

@@ -1,0 +1,30 @@
+// Maximum clique queries built on the k-clique machinery.
+//
+// An s-degenerate graph has clique number at most s + 1, so the clique
+// number is found by binary-searching k in [2, s+1] with an early-exit
+// k-clique decision (the listing callback stops at the first witness).
+// "Finding large cliques" is the paper's title application.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "clique/common.hpp"
+#include "graph/graph.hpp"
+
+namespace c3 {
+
+/// True iff g contains a k-clique (early-exit search).
+[[nodiscard]] bool has_clique(const Graph& g, int k, const CliqueOptions& opts = {});
+
+/// Some k-clique of g, or nullopt if none exists.
+[[nodiscard]] std::optional<std::vector<node_t>> find_clique(const Graph& g, int k,
+                                                             const CliqueOptions& opts = {});
+
+/// The clique number omega(g).
+[[nodiscard]] node_t max_clique_size(const Graph& g, const CliqueOptions& opts = {});
+
+/// A maximum clique of g (empty for the empty graph).
+[[nodiscard]] std::vector<node_t> find_max_clique(const Graph& g, const CliqueOptions& opts = {});
+
+}  // namespace c3

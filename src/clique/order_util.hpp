@@ -1,0 +1,60 @@
+// Internal helper shared by the clique algorithms: resolve a
+// VertexOrderKind (including Default) into a concrete total order.
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "clique/common.hpp"
+#include "graph/graph.hpp"
+#include "order/approx_degeneracy.hpp"
+#include "order/degeneracy.hpp"
+#include "util/rng.hpp"
+
+namespace c3 {
+
+/// Returns the total vertex order for `opts.vertex_order`, substituting
+/// `fallback` (the algorithm's paper-native order) for Default.
+[[nodiscard]] inline std::vector<node_t> make_vertex_order(const Graph& g, VertexOrderKind kind,
+                                                           double eps, VertexOrderKind fallback,
+                                                           std::uint64_t seed = 1) {
+  if (kind == VertexOrderKind::Default) kind = fallback;
+  switch (kind) {
+    case VertexOrderKind::ApproxDegeneracy:
+      return approx_degeneracy_order(g, eps).order;
+    case VertexOrderKind::Degree: {
+      // Non-decreasing degree, ties by id — the cheap heuristic studied by
+      // Li et al.; like the degeneracy order it keeps out-degrees low on
+      // skewed graphs, but with no worst-case guarantee.
+      std::vector<node_t> order(g.num_nodes());
+      std::iota(order.begin(), order.end(), node_t{0});
+      std::stable_sort(order.begin(), order.end(),
+                       [&](node_t a, node_t b) { return g.degree(a) < g.degree(b); });
+      return order;
+    }
+    case VertexOrderKind::Random: {
+      // Uniform random permutation keyed by hashed (id, seed): deterministic
+      // and thread-count independent.
+      std::vector<node_t> order(g.num_nodes());
+      std::iota(order.begin(), order.end(), node_t{0});
+      std::sort(order.begin(), order.end(), [&](node_t a, node_t b) {
+        const std::uint64_t ha = hash64(a ^ (seed << 32));
+        const std::uint64_t hb = hash64(b ^ (seed << 32));
+        return ha != hb ? ha < hb : a < b;
+      });
+      return order;
+    }
+    case VertexOrderKind::ById: {
+      std::vector<node_t> order(g.num_nodes());
+      std::iota(order.begin(), order.end(), node_t{0});
+      return order;
+    }
+    case VertexOrderKind::Default:
+    case VertexOrderKind::ExactDegeneracy:
+    default:
+      return degeneracy_order(g).order;
+  }
+}
+
+}  // namespace c3

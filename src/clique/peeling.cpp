@@ -1,0 +1,61 @@
+#include "clique/peeling.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "clique/api.hpp"
+#include "clique/vertex_counts.hpp"
+#include "graph/subgraph.hpp"
+
+namespace c3 {
+
+DensestResult kclique_densest_peeling(const Graph& g, int k, double eps,
+                                      const CliqueOptions& opts) {
+  if (k < 2) throw std::invalid_argument("kclique_densest_peeling: k must be >= 2");
+  if (eps <= 0.0) throw std::invalid_argument("kclique_densest_peeling: eps must be positive");
+
+  DensestResult best;
+  // `current` maps the working subgraph's local ids to original ids.
+  std::vector<node_t> current(g.num_nodes());
+  for (node_t v = 0; v < g.num_nodes(); ++v) current[v] = v;
+
+  InducedSubgraph sub;
+  sub.graph = g;
+  sub.to_parent = current;
+
+  while (!current.empty()) {
+    ++best.rounds;
+    const std::vector<count_t> counts = per_vertex_clique_counts(sub.graph, k, opts);
+    count_t total_times_k = 0;
+    for (const count_t c : counts) total_times_k += c;
+    const count_t cliques = total_times_k / static_cast<count_t>(k);
+    if (cliques == 0) break;
+
+    const double density = static_cast<double>(cliques) / static_cast<double>(current.size());
+    if (density > best.density) {
+      best.density = density;
+      best.cliques = cliques;
+      best.vertices = current;
+    }
+
+    // Peel everything with count <= (1+eps) * k * rho_k. At least one vertex
+    // always qualifies (min <= average = k * rho_k), so the loop terminates.
+    const double threshold = (1.0 + eps) * static_cast<double>(k) * density;
+    std::vector<node_t> survivors_local;
+    for (node_t v = 0; v < sub.graph.num_nodes(); ++v) {
+      if (static_cast<double>(counts[v]) > threshold) survivors_local.push_back(v);
+    }
+    if (survivors_local.size() == current.size()) break;  // defensive: no progress
+
+    std::vector<node_t> next(survivors_local.size());
+    for (std::size_t i = 0; i < survivors_local.size(); ++i)
+      next[i] = sub.to_parent[survivors_local[i]];
+    sub = induced_subgraph(sub.graph, survivors_local);
+    // Rebase to original ids.
+    for (std::size_t i = 0; i < sub.to_parent.size(); ++i) sub.to_parent[i] = next[i];
+    current = std::move(next);
+  }
+  return best;
+}
+
+}  // namespace c3

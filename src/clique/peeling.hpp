@@ -1,0 +1,34 @@
+// k-clique densest subgraph via parallel peeling.
+//
+// The k-clique densest subgraph problem (Tsourakakis; Mitzenmacher et al.;
+// Shi et al.'s "peeling") asks for the vertex set S maximizing
+// rho_k(S) = (#k-cliques in G[S]) / |S|. Peeling rounds — repeatedly remove
+// all vertices whose k-clique count is at most (1+eps) * k * rho_k of the
+// remaining graph, remembering the densest prefix — give a
+// 1/(k (1+eps))-approximation in O(log n) rounds.
+#pragma once
+
+#include <vector>
+
+#include "clique/common.hpp"
+#include "graph/graph.hpp"
+
+namespace c3 {
+
+struct DensestResult {
+  /// Vertices of the best subgraph found (original ids).
+  std::vector<node_t> vertices;
+  /// Its k-clique density rho_k = cliques / |vertices|.
+  double density = 0.0;
+  /// k-cliques inside the reported subgraph.
+  count_t cliques = 0;
+  /// Number of peeling rounds executed.
+  node_t rounds = 0;
+};
+
+/// Approximates the k-clique densest subgraph by peeling. `eps` > 0 trades
+/// approximation for rounds.
+[[nodiscard]] DensestResult kclique_densest_peeling(const Graph& g, int k, double eps = 1.0,
+                                                    const CliqueOptions& opts = {});
+
+}  // namespace c3

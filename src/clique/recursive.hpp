@@ -1,0 +1,91 @@
+// The recursive clique search — Algorithm 2 of the paper.
+//
+// Searches for c-cliques inside a local subgraph (LocalGraph) restricted to
+// a candidate set I, growing the partial clique by an *edge* (2 vertices)
+// per level:
+//
+//   * base case c == 1: every candidate completes a clique (line 2);
+//   * base case c == 2: every edge inside I completes a clique (line 4);
+//   * otherwise: iterate the pairs (u, v) in I x I whose distance
+//     delta_I(u, v) — the number of candidates ordered between them — is at
+//     least c - 2 (line 6: the relevant-pair pruning of Figure 2), probe the
+//     edge (line 7, a bit test), intersect I with the edge's community
+//     (line 8, word-parallel AND restricted to the open interval (u, v)),
+//     and recurse with c - 2 (line 9).
+//
+// Correctness hinges on Observation 1: within a clique oriented by a total
+// order, the pair (first, last) — the supporting edge — is the unique edge
+// whose community contains the rest of the clique, so every clique is
+// produced exactly once. The interval restriction in the intersection is
+// what enforces "community" (= vertices ordered strictly between the
+// endpoints) rather than "common neighborhood".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "clique/common.hpp"
+#include "clique/local_graph.hpp"
+#include "graph/types.hpp"
+
+namespace c3 {
+
+/// Per-worker state for one sequence of recursive searches: the local graph
+/// being searched, instrumentation counters, optional listing support, and
+/// the per-level scratch (candidate arrays + community masks).
+struct SearchContext {
+  const LocalGraph* lg = nullptr;
+  bool prune = true;  ///< the relevant-pair criterion (ablation switch)
+  LocalCounters* ctr = nullptr;
+
+  /// Listing mode when non-null: cliques are materialized through
+  /// member_to_orig into clique_stack and reported via callback.
+  const CliqueCallback* callback = nullptr;
+  std::vector<node_t> clique_stack;
+  const node_t* member_to_orig = nullptr;
+  bool stopped = false;  ///< callback requested early termination
+
+  /// Grows the per-level scratch to cover candidate sets of size `gamma`
+  /// and recursion depth `depth` with `words` words per mask.
+  void ensure_capacity(int gamma, int depth, int words);
+
+  [[nodiscard]] int* cand_at(int level) noexcept {
+    return cand_pool_.data() + static_cast<std::size_t>(level) * cand_stride_;
+  }
+  [[nodiscard]] std::uint64_t* mask_at(int level) noexcept {
+    return mask_pool_.data() + static_cast<std::size_t>(level) * mask_stride_;
+  }
+
+ private:
+  std::vector<int> cand_pool_;
+  std::vector<std::uint64_t> mask_pool_;
+  std::size_t cand_stride_ = 0;
+  std::size_t mask_stride_ = 0;
+  std::size_t depth_ = 0;
+};
+
+/// Runs Algorithm 2: counts (and in listing mode reports) the c-cliques of
+/// ctx.lg restricted to candidates `I` (sorted ascending local ids) with
+/// membership mask `I_mask`. `level` indexes the scratch arrays and must
+/// leave room for ceil(c/2) further levels.
+[[nodiscard]] count_t search_cliques(SearchContext& ctx, std::span<const int> I,
+                                     const std::uint64_t* I_mask, int c, int level);
+
+/// Runs the *triangle-growth* generalization the paper's conclusion poses as
+/// future work ("extend the cliques by larger motifs such as triangles"):
+/// each level adds a triangle (a, x, b) — a/b the extremes and x the minimal
+/// internal vertex of the remaining clique — and recurses with c - 3 on
+/// B(a,b) ∩ N(x) ∩ {> x}. Uniqueness: (min, second-min, max) of every clique
+/// is a canonical triple, so each clique is still produced exactly once.
+/// Depth shrinks from ~c/2 to ~c/3 levels.
+[[nodiscard]] count_t search_cliques_tri(SearchContext& ctx, std::span<const int> I,
+                                         const std::uint64_t* I_mask, int c, int level);
+
+/// Convenience wrapper: search over *all* vertices of the local graph
+/// (candidate set = the full universe). Used by the top level of Algorithm 1
+/// (I = C(e)), Algorithm 3 (I = V'(e)), and the hybrid's per-vertex
+/// subproblems (I = N+(v)).
+[[nodiscard]] count_t search_cliques_all(SearchContext& ctx, int c, bool triangle_growth = false);
+
+}  // namespace c3

@@ -1,0 +1,34 @@
+// Clique spectrum: counts of k-cliques for every k at once.
+//
+// "Finding large cliques" in practice means sweeping k — the paper's own
+// evaluation runs k = 6..10 — and the expensive preprocessing (degeneracy
+// order, orientation, communities) is identical for every k. This API
+// computes it once and reruns only the search per k, stopping at the clique
+// number.
+#pragma once
+
+#include <vector>
+
+#include "clique/common.hpp"
+#include "graph/graph.hpp"
+
+namespace c3 {
+
+struct CliqueSpectrum {
+  /// counts[k] = number of k-cliques, for k = 0..omega (counts[0] = 0).
+  std::vector<count_t> counts;
+  /// The clique number (largest k with counts[k] > 0; 0 for empty graphs).
+  node_t omega = 0;
+  /// Total time spent in shared preprocessing vs the per-k searches.
+  double preprocess_seconds = 0.0;
+  double search_seconds = 0.0;
+};
+
+/// Counts k-cliques for all k = 1..min(kmax, omega) with shared
+/// preprocessing (c3List engine). `kmax` = 0 means "up to the clique
+/// number". Options honored: vertex_order, eps, order_seed,
+/// distance_pruning, triangle_growth.
+[[nodiscard]] CliqueSpectrum clique_spectrum(const Graph& g, int kmax = 0,
+                                             const CliqueOptions& opts = {});
+
+}  // namespace c3

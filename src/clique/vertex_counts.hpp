@@ -1,0 +1,22 @@
+// Per-vertex and per-edge k-clique counts (the "local counting" used by
+// k-clique peeling and densest-subgraph algorithms, cf. Shi et al.).
+#pragma once
+
+#include <vector>
+
+#include "clique/common.hpp"
+#include "graph/graph.hpp"
+
+namespace c3 {
+
+/// counts[v] = number of k-cliques containing v. The sum over all vertices
+/// equals k times the global k-clique count.
+[[nodiscard]] std::vector<count_t> per_vertex_clique_counts(const Graph& g, int k,
+                                                            const CliqueOptions& opts = {});
+
+/// counts[e] = number of k-cliques containing undirected edge e (indexed by
+/// the graph's edge ids). The sum equals C(k,2) times the global count.
+[[nodiscard]] std::vector<count_t> per_edge_clique_counts(const Graph& g, int k,
+                                                          const CliqueOptions& opts = {});
+
+}  // namespace c3

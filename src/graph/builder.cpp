@@ -1,0 +1,125 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/parallel.hpp"
+#include "parallel/reduce.hpp"
+#include "parallel/scan.hpp"
+
+namespace c3 {
+
+Graph build_graph(std::span<const Edge> edges, node_t num_nodes) {
+  // Infer the vertex count when not provided.
+  node_t n = num_nodes;
+  if (n == 0 && !edges.empty()) {
+    const node_t max_id = parallel_reduce(
+        0, edges.size(), node_t{0},
+        [&](std::size_t i) { return std::max(edges[i].u, edges[i].v); },
+        [](node_t a, node_t b) { return std::max(a, b); });
+    n = max_id + 1;
+  }
+  for (const Edge& e : edges) {
+    if (e.u >= n || e.v >= n) throw std::invalid_argument("build_graph: vertex id out of range");
+  }
+
+  // Pass 1: symmetrized degree histogram (self-loops dropped).
+  std::vector<std::atomic<edge_t>> counts(n);
+  parallel_for(0, edges.size(), [&](std::size_t i) {
+    const Edge e = edges[i];
+    if (e.u == e.v) return;
+    counts[e.u].fetch_add(1, std::memory_order_relaxed);
+    counts[e.v].fetch_add(1, std::memory_order_relaxed);
+  });
+
+  std::vector<edge_t> offsets(n + 1);
+  {
+    std::vector<edge_t> degree(n);
+    parallel_for(0, n, [&](std::size_t u) { degree[u] = counts[u].load(std::memory_order_relaxed); });
+    offsets[n] = exclusive_scan<edge_t>(degree, std::span<edge_t>(offsets.data(), n));
+  }
+
+  // Pass 2: scatter both directions (unsorted, possibly duplicated).
+  std::vector<node_t> adj(offsets[n]);
+  std::vector<std::atomic<edge_t>> cursor(n);
+  parallel_for(0, n, [&](std::size_t u) { cursor[u].store(offsets[u], std::memory_order_relaxed); });
+  parallel_for(0, edges.size(), [&](std::size_t i) {
+    const Edge e = edges[i];
+    if (e.u == e.v) return;
+    adj[cursor[e.u].fetch_add(1, std::memory_order_relaxed)] = e.v;
+    adj[cursor[e.v].fetch_add(1, std::memory_order_relaxed)] = e.u;
+  });
+
+  // Pass 3: per-vertex sort + dedup; record the deduplicated degree.
+  std::vector<edge_t> dedup_degree(n);
+  parallel_for(
+      0, n,
+      [&](std::size_t u) {
+        node_t* lo = adj.data() + offsets[u];
+        node_t* hi = adj.data() + offsets[u + 1];
+        std::sort(lo, hi);
+        dedup_degree[u] = static_cast<edge_t>(std::unique(lo, hi) - lo);
+      },
+      64);
+
+  // Pass 4: compact into the final CSR.
+  std::vector<edge_t> final_offsets(n + 1);
+  final_offsets[n] =
+      exclusive_scan<edge_t>(dedup_degree, std::span<edge_t>(final_offsets.data(), n));
+  std::vector<node_t> final_adj(final_offsets[n]);
+  parallel_for(
+      0, n,
+      [&](std::size_t u) {
+        std::copy(adj.data() + offsets[u], adj.data() + offsets[u] + dedup_degree[u],
+                  final_adj.data() + final_offsets[u]);
+      },
+      64);
+
+  // Pass 5: assign undirected edge ids. The slot at the lower endpoint of
+  // each edge gets a fresh id (ids are dense in [0, m), ordered by
+  // (min endpoint, max endpoint)); the mirrored slot looks it up.
+  std::vector<edge_t> lower_count(n);
+  parallel_for(0, n, [&](std::size_t u) {
+    const node_t* lo = final_adj.data() + final_offsets[u];
+    const node_t* hi = final_adj.data() + final_offsets[u + 1];
+    lower_count[u] =
+        static_cast<edge_t>(hi - std::lower_bound(lo, hi, static_cast<node_t>(u + 1)));
+  });
+  std::vector<edge_t> id_base(n + 1);
+  const edge_t m = exclusive_scan<edge_t>(lower_count, std::span<edge_t>(id_base.data(), n));
+  id_base[n] = m;
+  assert(m * 2 == final_adj.size());
+
+  std::vector<edge_t> edge_ids(final_adj.size());
+  // First the canonical (u < v) slots...
+  parallel_for(0, n, [&](std::size_t u) {
+    const node_t* lo = final_adj.data() + final_offsets[u];
+    const node_t* hi = final_adj.data() + final_offsets[u + 1];
+    const node_t* first_upper = std::lower_bound(lo, hi, static_cast<node_t>(u + 1));
+    edge_t id = id_base[u];
+    for (const node_t* p = first_upper; p < hi; ++p) {
+      edge_ids[static_cast<std::size_t>(p - final_adj.data())] = id++;
+    }
+  });
+  // ...then the mirrored (u > v) slots via binary search at the lower side.
+  parallel_for(0, n, [&](std::size_t u) {
+    const node_t* lo = final_adj.data() + final_offsets[u];
+    const node_t* hi = final_adj.data() + final_offsets[u + 1];
+    for (const node_t* p = lo; p < hi && *p < static_cast<node_t>(u); ++p) {
+      const node_t v = *p;  // v < u: the id lives at v's slice
+      const node_t* vlo = final_adj.data() + final_offsets[v];
+      const node_t* vhi = final_adj.data() + final_offsets[v + 1];
+      const node_t* pos = std::lower_bound(vlo, vhi, static_cast<node_t>(u));
+      assert(pos != vhi && *pos == static_cast<node_t>(u));
+      edge_ids[static_cast<std::size_t>(p - final_adj.data())] =
+          edge_ids[static_cast<std::size_t>(pos - final_adj.data())];
+    }
+  });
+
+  return Graph(std::move(final_offsets), std::move(final_adj), std::move(edge_ids));
+}
+
+}  // namespace c3

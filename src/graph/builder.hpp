@@ -1,0 +1,28 @@
+// Parallel construction of CSR graphs from edge lists.
+#pragma once
+
+#include <span>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace c3 {
+
+/// Builds a simple undirected Graph from an arbitrary edge list.
+///
+/// The input may contain self-loops, duplicate edges, and both orientations
+/// of the same edge; all are normalized away (self-loops dropped, duplicates
+/// merged). Vertex ids must be < `num_nodes`; if `num_nodes` is 0 it is
+/// inferred as max id + 1.
+///
+/// Parallel pipeline: per-vertex degree counting (atomic histogram), offset
+/// scan, scatter, per-vertex sort + dedup, compaction — O(m log d) work,
+/// polylog depth given the scan/pack substrate.
+[[nodiscard]] Graph build_graph(std::span<const Edge> edges, node_t num_nodes = 0);
+
+/// Convenience overload.
+[[nodiscard]] inline Graph build_graph(const EdgeList& edges, node_t num_nodes = 0) {
+  return build_graph(std::span<const Edge>(edges.data(), edges.size()), num_nodes);
+}
+
+}  // namespace c3

@@ -1,0 +1,90 @@
+// Directed acyclic graph obtained by orienting an undirected graph with a
+// total vertex order (Section 1.1: "To orient a graph by a total order,
+// direct its edges from the endpoint lower in the total order to the
+// endpoint higher"). Acyclic by construction.
+//
+// Vertices are *renamed into rank space*: vertex r of the Digraph is the
+// (r+1)-th vertex of the total order. This makes the order the natural `<`
+// on ids, so "vertices ordered between u and v" (the paper's pruning
+// criterion) is computable from ids/array indices alone, and both adjacency
+// directions can be kept sorted ascending for merge intersections.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace c3 {
+
+class Digraph {
+ public:
+  Digraph() = default;
+
+  [[nodiscard]] node_t num_nodes() const noexcept {
+    return out_offsets_.empty() ? 0 : static_cast<node_t>(out_offsets_.size() - 1);
+  }
+
+  /// Number of arcs = number of undirected edges m.
+  [[nodiscard]] edge_t num_arcs() const noexcept { return out_adj_.size(); }
+
+  /// Out-neighbors of u (all have rank > u), sorted ascending. The arc ids
+  /// are the positions in this global array: arc e spans
+  /// [out_offsets_[u], out_offsets_[u+1]) for its source u.
+  [[nodiscard]] std::span<const node_t> out_neighbors(node_t u) const noexcept {
+    return {out_adj_.data() + out_offsets_[u], out_adj_.data() + out_offsets_[u + 1]};
+  }
+
+  /// In-neighbors of v (all have rank < v), sorted ascending.
+  [[nodiscard]] std::span<const node_t> in_neighbors(node_t v) const noexcept {
+    return {in_adj_.data() + in_offsets_[v], in_adj_.data() + in_offsets_[v + 1]};
+  }
+
+  [[nodiscard]] node_t out_degree(node_t u) const noexcept {
+    return static_cast<node_t>(out_offsets_[u + 1] - out_offsets_[u]);
+  }
+
+  [[nodiscard]] node_t in_degree(node_t v) const noexcept {
+    return static_cast<node_t>(in_offsets_[v + 1] - in_offsets_[v]);
+  }
+
+  /// Largest out-degree (the paper's s-tilde); bounds every community size
+  /// by s-tilde - 1.
+  [[nodiscard]] node_t max_out_degree() const noexcept;
+
+  /// O(log d) arc membership test, u -> v.
+  [[nodiscard]] bool has_arc(node_t u, node_t v) const noexcept;
+
+  /// Global arc id of u -> v (index into the out-adjacency array), or
+  /// static_cast<edge_t>(-1) if absent.
+  [[nodiscard]] edge_t arc_id(node_t u, node_t v) const noexcept;
+
+  /// Source vertex of arc `e` — O(1) via the arc source table.
+  [[nodiscard]] node_t arc_source(edge_t e) const noexcept { return arc_src_[e]; }
+
+  /// Target vertex of arc `e`.
+  [[nodiscard]] node_t arc_target(edge_t e) const noexcept { return out_adj_[e]; }
+
+  /// Original (pre-renaming) vertex id of rank r.
+  [[nodiscard]] node_t original_id(node_t r) const noexcept { return rank_to_orig_[r]; }
+
+  [[nodiscard]] std::span<const node_t> rank_to_original() const noexcept { return rank_to_orig_; }
+
+  [[nodiscard]] std::span<const edge_t> raw_out_offsets() const noexcept { return out_offsets_; }
+  [[nodiscard]] std::span<const node_t> raw_out_adjacency() const noexcept { return out_adj_; }
+
+  /// Orients `g` by a total order. `order[i]` is the vertex placed at rank i;
+  /// it must be a permutation of all vertices.
+  [[nodiscard]] static Digraph orient(const Graph& g, std::span<const node_t> order);
+
+ private:
+  std::vector<edge_t> out_offsets_;  // n+1
+  std::vector<node_t> out_adj_;      // m, per-vertex sorted, targets > source
+  std::vector<edge_t> in_offsets_;   // n+1
+  std::vector<node_t> in_adj_;       // m, per-vertex sorted, sources < target
+  std::vector<node_t> arc_src_;      // m, source of each arc id
+  std::vector<node_t> rank_to_orig_; // n, rank -> original vertex id
+};
+
+}  // namespace c3

@@ -1,0 +1,68 @@
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/gen/generators.hpp"
+#include "util/rng.hpp"
+
+namespace c3 {
+
+// Preferential attachment via the repeated-endpoints trick: sampling a
+// uniform position of the endpoint log picks vertices proportionally to
+// their current degree. Sequential by nature (each vertex depends on the
+// graph so far) but linear-time.
+Graph barabasi_albert(node_t n, node_t attach, std::uint64_t seed) {
+  if (n < 2) return build_graph(EdgeList{}, n);
+  if (attach == 0) attach = 1;
+  if (attach >= n) attach = n - 1;
+
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n) * attach);
+  std::vector<node_t> endpoint_log;
+  endpoint_log.reserve(2 * static_cast<std::size_t>(n) * attach);
+
+  // Seed core: a small clique over the first attach+1 vertices.
+  for (node_t u = 0; u <= attach; ++u) {
+    for (node_t v = u + 1; v <= attach; ++v) {
+      edges.push_back(Edge{u, v});
+      endpoint_log.push_back(u);
+      endpoint_log.push_back(v);
+    }
+  }
+
+  for (node_t v = attach + 1; v < n; ++v) {
+    for (node_t j = 0; j < attach; ++j) {
+      const node_t target =
+          endpoint_log[static_cast<std::size_t>(rng.next_below(endpoint_log.size()))];
+      // Parallel edges are merged by the builder; that mildly biases toward
+      // distinct high-degree targets, which is fine for a topology stand-in.
+      edges.push_back(Edge{v, target});
+      endpoint_log.push_back(v);
+      endpoint_log.push_back(target);
+    }
+  }
+  return build_graph(edges, n);
+}
+
+// Internet-topology stand-in (Tech-As-Skitter): preferential-attachment
+// backbone (hubs, tree-like periphery) plus a small triadic-closure pass,
+// matching the low-triangle profile of AS-level topology (Table 2:
+// Skitter, T/E 2.6, s 111).
+Graph topology_like(node_t n, node_t attach, double closure_fraction, std::uint64_t seed) {
+  const Graph backbone = barabasi_albert(n, attach, seed);
+  EdgeList edges(backbone.endpoints().begin(), backbone.endpoints().end());
+  Xoshiro256 rng = Xoshiro256(seed).fork(0x70B0);
+  const auto closure_edges =
+      static_cast<edge_t>(static_cast<double>(backbone.num_edges()) * closure_fraction);
+  for (edge_t i = 0; i < closure_edges; ++i) {
+    const auto v = static_cast<node_t>(rng.next_below(n));
+    const auto nbrs = backbone.neighbors(v);
+    if (nbrs.size() < 2) continue;
+    const node_t a = nbrs[static_cast<std::size_t>(rng.next_below(nbrs.size()))];
+    const node_t b = nbrs[static_cast<std::size_t>(rng.next_below(nbrs.size()))];
+    if (a != b) edges.push_back(Edge{a, b});
+  }
+  return build_graph(edges, n);
+}
+
+}  // namespace c3

@@ -1,0 +1,100 @@
+#include <cmath>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/gen/generators.hpp"
+#include "parallel/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace c3 {
+
+// Chung-Lu: each endpoint of each edge is drawn proportionally to a weight
+// w_v ~ v^(-exponent) (Zipf). Sampling uses the inverse-CDF over the weight
+// prefix sums, so expected degrees follow the weights and the expected edge
+// count is exactly m.
+Graph chung_lu(node_t n, edge_t m, double exponent, std::uint64_t seed) {
+  if (n < 2) return build_graph(EdgeList{}, n);
+
+  std::vector<double> cdf(n);
+  double total = 0.0;
+  for (node_t v = 0; v < n; ++v) {
+    total += std::pow(static_cast<double>(v + 1), -exponent);
+    cdf[v] = total;
+  }
+  for (node_t v = 0; v < n; ++v) cdf[v] /= total;
+
+  auto sample = [&](Xoshiro256& rng) -> node_t {
+    const double r = rng.next_double();
+    // Binary search the inverse CDF.
+    node_t lo = 0, hi = n - 1;
+    while (lo < hi) {
+      const node_t mid = lo + (hi - lo) / 2;
+      if (cdf[mid] < r) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  };
+
+  EdgeList edges(m);
+  parallel_for(0, m, [&](std::size_t i) {
+    Xoshiro256 rng = Xoshiro256(seed).fork(i);
+    node_t u, v;
+    do {
+      u = sample(rng);
+      v = sample(rng);
+    } while (u == v);
+    edges[i] = Edge{u, v};
+  });
+  return build_graph(edges, n);
+}
+
+// Social-network stand-in (Orkut): Chung-Lu skeleton for the heavy-tailed
+// degrees, plus triadic-closure edges (connect two random neighbors of a
+// random vertex) for the high triangle density and degeneracy of social
+// graphs (Table 2: Orkut, T/E 5.4, s 253).
+Graph social_like(node_t n, edge_t m, double closure_fraction, std::uint64_t seed) {
+  const auto closure_edges = static_cast<edge_t>(static_cast<double>(m) * closure_fraction);
+  const edge_t skeleton_edges = m > closure_edges ? m - closure_edges : m;
+  const Graph skeleton = chung_lu(n, skeleton_edges, 0.55, seed);
+
+  EdgeList edges(skeleton.endpoints().begin(), skeleton.endpoints().end());
+  Xoshiro256 rng = Xoshiro256(seed).fork(0x50C1A1);
+  for (edge_t i = 0; i < closure_edges; ++i) {
+    const auto v = static_cast<node_t>(rng.next_below(n));
+    const auto nbrs = skeleton.neighbors(v);
+    if (nbrs.size() < 2) continue;
+    const node_t a = nbrs[static_cast<std::size_t>(rng.next_below(nbrs.size()))];
+    const node_t b = nbrs[static_cast<std::size_t>(rng.next_below(nbrs.size()))];
+    if (a != b) edges.push_back(Edge{a, b});
+  }
+  return build_graph(edges, n);
+}
+
+// Gene-association stand-in (Bio-SC-HT): sparse Chung-Lu background plus
+// dense random modules (protein complexes / functional groups), giving very
+// high T/E at moderate size (Table 2: Bio-SC-HT, T/E 22.2, s 100).
+Graph bio_like(node_t n, edge_t m, node_t modules, node_t module_size, double module_density,
+               std::uint64_t seed) {
+  const Graph background = chung_lu(n, m, 0.8, seed);
+  EdgeList edges(background.endpoints().begin(), background.endpoints().end());
+  Xoshiro256 rng = Xoshiro256(seed).fork(0xB10);
+  for (node_t mod = 0; mod < modules; ++mod) {
+    // Random members (possibly overlapping across modules, like real
+    // pathway annotations).
+    std::vector<node_t> members(module_size);
+    for (auto& v : members) v = static_cast<node_t>(rng.next_below(n));
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        if (members[i] != members[j] && rng.next_double() < module_density) {
+          edges.push_back(Edge{members[i], members[j]});
+        }
+      }
+    }
+  }
+  return build_graph(edges, n);
+}
+
+}  // namespace c3

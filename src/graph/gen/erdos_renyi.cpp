@@ -1,0 +1,34 @@
+#include <unordered_set>
+
+#include "graph/builder.hpp"
+#include "graph/gen/generators.hpp"
+#include "parallel/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace c3 {
+
+Graph erdos_renyi(node_t n, edge_t m, std::uint64_t seed) {
+  if (n < 2) return build_graph(EdgeList{}, n);
+  const count_t max_edges = static_cast<count_t>(n) * (n - 1) / 2;
+  if (m > max_edges) m = max_edges;
+
+  // Draw edges in independent per-block streams (thread-count invariant);
+  // duplicates are merged by the builder, so keep drawing until the *distinct*
+  // target is met.
+  EdgeList edges;
+  edges.reserve(m + m / 8);
+  Xoshiro256 rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  while (seen.size() < m) {
+    node_t u = static_cast<node_t>(rng.next_below(n));
+    node_t v = static_cast<node_t>(rng.next_below(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+    if (seen.insert(key).second) edges.push_back(Edge{u, v});
+  }
+  return build_graph(edges, n);
+}
+
+}  // namespace c3

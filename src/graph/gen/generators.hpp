@@ -1,0 +1,111 @@
+// Synthetic graph generators.
+//
+// All generators are deterministic in their seed and thread-count invariant.
+// Two groups:
+//
+//  * Classic random / structured families (Erdős–Rényi, R-MAT, Chung–Lu,
+//    Barabási–Albert, hypercube, complete, Turán, grid, star, path, cycle,
+//    planted clique) — used by the test suite for closed-form and
+//    property-based validation, and as building blocks.
+//
+//  * Dataset stand-ins (DESIGN.md Section 3): one generator per benchmark
+//    graph of the paper's Table 2, matched on the structural axes the paper
+//    reports (|E|/|V|, |T|/|V|, |T|/|E|, degeneracy). See datasets.hpp in
+//    bench/ for the calibrated parameters.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace c3 {
+
+// ---------------------------------------------------------------- classic
+
+/// G(n, m) Erdős–Rényi: m distinct uniform edges (self-loops rejected).
+[[nodiscard]] Graph erdos_renyi(node_t n, edge_t m, std::uint64_t seed);
+
+/// R-MAT (Chakrabarti et al.): recursive quadrant sampling with parameters
+/// (a, b, c); heavy-tailed, community-free. n is rounded up to a power of 2
+/// internally but the returned graph has exactly n vertices.
+[[nodiscard]] Graph rmat(node_t n, edge_t m, double a, double b, double c, std::uint64_t seed);
+
+/// Chung–Lu with a Zipf(exponent) expected-degree sequence scaled to ~m
+/// edges. Skewed degrees without R-MAT's locality artifacts.
+[[nodiscard]] Graph chung_lu(node_t n, edge_t m, double exponent, std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `attach` existing vertices. Hub-dominated, low triangle density.
+[[nodiscard]] Graph barabasi_albert(node_t n, node_t attach, std::uint64_t seed);
+
+/// The d-dimensional hypercube Q_d (2^d vertices): degeneracy d, community
+/// degeneracy 0, no triangles — the paper's flagship sigma << s example.
+[[nodiscard]] Graph hypercube(node_t dimension);
+
+/// Complete graph K_n.
+[[nodiscard]] Graph complete_graph(node_t n);
+
+/// Turán graph T(n, r): complete r-partite with balanced parts.
+[[nodiscard]] Graph turan_graph(node_t n, node_t r);
+
+/// 2D grid (rows x cols), 4-neighborhood. Degeneracy 2, no triangles.
+[[nodiscard]] Graph grid_graph(node_t rows, node_t cols);
+
+/// Star K_{1,n-1}: 1-degenerate with unbounded max degree (Section 1.1).
+[[nodiscard]] Graph star_graph(node_t n);
+
+/// Simple path on n vertices.
+[[nodiscard]] Graph path_graph(node_t n);
+
+/// Simple cycle on n vertices.
+[[nodiscard]] Graph cycle_graph(node_t n);
+
+/// Erdős–Rényi background plus a planted clique on `clique_size` random
+/// vertices; the planted member ids are returned via out parameter if given.
+[[nodiscard]] Graph planted_clique(node_t n, edge_t m, node_t clique_size, std::uint64_t seed,
+                                   std::vector<node_t>* planted = nullptr);
+
+/// The paper's Section 1.1 example of community degeneracy 1 with degeneracy
+/// Theta(n): complete bipartite K_{half,half} plus a path (line) on one side.
+[[nodiscard]] Graph bipartite_plus_line(node_t half);
+
+// ----------------------------------------------------------- dataset-like
+
+/// Social-network stand-in (Orkut): Chung–Lu skeleton + random-walk closure
+/// edges for high triangle density and large degeneracy.
+[[nodiscard]] Graph social_like(node_t n, edge_t m, double closure_fraction, std::uint64_t seed);
+
+/// Collaboration-network stand-in (Ca-DBLP): a union of overlapping cliques
+/// ("papers") with power-law team sizes over a scale-free author base.
+[[nodiscard]] Graph collaboration_like(node_t authors, count_t papers, node_t max_team,
+                                       std::uint64_t seed);
+
+/// Internet-topology stand-in (Tech-As-Skitter): preferential attachment
+/// backbone + a little local closure (few triangles per edge, hubs).
+[[nodiscard]] Graph topology_like(node_t n, node_t attach, double closure_fraction,
+                                  std::uint64_t seed);
+
+/// FEM-mesh stand-in (Gearbox): k-nearest-neighbor graph of random points in
+/// the unit cube — quasi-regular, T/E around 1.
+[[nodiscard]] Graph mesh_like(node_t n, node_t neighbors, std::uint64_t seed);
+
+/// Numerical-scheme stand-in (Chebyshev4): banded matrix graph with
+/// overlapping dense windows along the diagonal.
+[[nodiscard]] Graph spectral_like(node_t n, node_t band, node_t window, node_t stride,
+                                  std::uint64_t seed);
+
+/// Rating-projection stand-in (Jester2): project a random bipartite
+/// user-item graph onto users (co-rating edges). Dense, high degeneracy.
+/// `projection_window` caps the per-item clique size (real projections
+/// threshold co-rating counts similarly); it directly controls the largest
+/// cliques of the projection.
+[[nodiscard]] Graph rating_projection(node_t users, node_t items, node_t ratings_per_user,
+                                      std::uint64_t seed, node_t projection_window = 32);
+
+/// Gene-association stand-in (Bio-SC-HT): Chung–Lu background + embedded
+/// dense modules (functional complexes).
+[[nodiscard]] Graph bio_like(node_t n, edge_t m, node_t modules, node_t module_size,
+                             double module_density, std::uint64_t seed);
+
+}  // namespace c3

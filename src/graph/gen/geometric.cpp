@@ -1,0 +1,119 @@
+// Spatial / numerical dataset stand-ins: the k-nearest-neighbor mesh
+// (Gearbox) and the banded + dense-window matrix graph (Chebyshev4).
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/gen/generators.hpp"
+#include "parallel/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace c3 {
+
+// k-nearest-neighbor graph of uniform points in the unit cube. To keep the
+// neighbor search near-linear, points are bucketed into a uniform grid and
+// candidates are drawn from the surrounding 3x3x3 cells — amply accurate for
+// a structural stand-in. Produces the quasi-regular, low-T/E profile of FEM
+// meshes (paper Table 2: Gearbox, T/E ~ 1).
+Graph mesh_like(node_t n, node_t neighbors, std::uint64_t seed) {
+  if (n < 2) return build_graph(EdgeList{}, n);
+  struct Point {
+    float x, y, z;
+  };
+  std::vector<Point> pts(n);
+  Xoshiro256 rng(seed);
+  for (node_t v = 0; v < n; ++v) {
+    pts[v] = {static_cast<float>(rng.next_double()), static_cast<float>(rng.next_double()),
+              static_cast<float>(rng.next_double())};
+  }
+
+  // Grid with ~1 expected point per cell.
+  const auto cells_per_side =
+      std::max<node_t>(1, static_cast<node_t>(std::cbrt(static_cast<double>(n))));
+  const auto cell_of = [&](const Point& p) {
+    const auto cx = std::min<node_t>(cells_per_side - 1,
+                                     static_cast<node_t>(p.x * static_cast<float>(cells_per_side)));
+    const auto cy = std::min<node_t>(cells_per_side - 1,
+                                     static_cast<node_t>(p.y * static_cast<float>(cells_per_side)));
+    const auto cz = std::min<node_t>(cells_per_side - 1,
+                                     static_cast<node_t>(p.z * static_cast<float>(cells_per_side)));
+    return (cx * cells_per_side + cy) * cells_per_side + cz;
+  };
+
+  const node_t num_cells = cells_per_side * cells_per_side * cells_per_side;
+  std::vector<std::vector<node_t>> bucket(num_cells);
+  for (node_t v = 0; v < n; ++v) bucket[cell_of(pts[v])].push_back(v);
+
+  std::vector<std::vector<Edge>> per_vertex(n);
+  parallel_for(
+      0, n,
+      [&](std::size_t v) {
+        const Point& p = pts[v];
+        const auto cx = std::min<node_t>(
+            cells_per_side - 1, static_cast<node_t>(p.x * static_cast<float>(cells_per_side)));
+        const auto cy = std::min<node_t>(
+            cells_per_side - 1, static_cast<node_t>(p.y * static_cast<float>(cells_per_side)));
+        const auto cz = std::min<node_t>(
+            cells_per_side - 1, static_cast<node_t>(p.z * static_cast<float>(cells_per_side)));
+        std::vector<std::pair<float, node_t>> cand;
+        for (int dx = -1; dx <= 1; ++dx) {
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dz = -1; dz <= 1; ++dz) {
+              const long long bx = static_cast<long long>(cx) + dx;
+              const long long by = static_cast<long long>(cy) + dy;
+              const long long bz = static_cast<long long>(cz) + dz;
+              if (bx < 0 || by < 0 || bz < 0 || bx >= cells_per_side || by >= cells_per_side ||
+                  bz >= cells_per_side)
+                continue;
+              const node_t cell = static_cast<node_t>((bx * cells_per_side + by) * cells_per_side + bz);
+              for (const node_t w : bucket[cell]) {
+                if (w == v) continue;
+                const float ddx = p.x - pts[w].x;
+                const float ddy = p.y - pts[w].y;
+                const float ddz = p.z - pts[w].z;
+                cand.emplace_back(ddx * ddx + ddy * ddy + ddz * ddz, w);
+              }
+            }
+          }
+        }
+        const std::size_t keep = std::min<std::size_t>(neighbors, cand.size());
+        std::partial_sort(cand.begin(), cand.begin() + static_cast<std::ptrdiff_t>(keep),
+                          cand.end());
+        for (std::size_t i = 0; i < keep; ++i)
+          per_vertex[v].push_back(Edge{static_cast<node_t>(v), cand[i].second});
+      },
+      64);
+
+  EdgeList edges;
+  for (auto& pv : per_vertex) edges.insert(edges.end(), pv.begin(), pv.end());
+  return build_graph(edges, n);
+}
+
+// Banded graph (bandwidth `band`) with dense windows of size `window` every
+// `stride` positions along the diagonal, mimicking the local coupling blocks
+// of spectral discretizations (paper Table 2: Chebyshev4, very high T/V).
+Graph spectral_like(node_t n, node_t band, node_t window, node_t stride, std::uint64_t seed) {
+  EdgeList edges;
+  Xoshiro256 rng(seed);
+  for (node_t u = 0; u < n; ++u) {
+    const node_t hi = std::min<node_t>(n, u + band + 1);
+    for (node_t v = u + 1; v < hi; ++v) edges.push_back(Edge{u, v});
+  }
+  if (window >= 2 && stride > 0) {
+    for (node_t start = 0; start + window <= n; start += stride) {
+      // Each window is a near-clique: drop ~10% of pairs at random so
+      // windows are dense but not identical cliques.
+      for (node_t i = 0; i < window; ++i) {
+        for (node_t j = i + 1; j < window; ++j) {
+          if (rng.next_double() < 0.9) {
+            edges.push_back(Edge{static_cast<node_t>(start + i), static_cast<node_t>(start + j)});
+          }
+        }
+      }
+    }
+  }
+  return build_graph(edges, n);
+}
+
+}  // namespace c3

@@ -1,0 +1,32 @@
+#include "graph/gen/paper_examples.hpp"
+
+#include "graph/builder.hpp"
+#include "graph/gen/generators.hpp"
+
+namespace c3 {
+namespace {
+
+/// K6 minus the given forbidden pairs (0-based ids).
+Graph k6_minus(const EdgeList& forbidden) {
+  EdgeList edges;
+  for (node_t u = 0; u < 6; ++u) {
+    for (node_t v = u + 1; v < 6; ++v) {
+      bool skip = false;
+      for (const Edge& f : forbidden) {
+        if ((f.u == u && f.v == v) || (f.u == v && f.v == u)) skip = true;
+      }
+      if (!skip) edges.push_back(Edge{u, v});
+    }
+  }
+  return build_graph(edges, 6);
+}
+
+}  // namespace
+
+Graph figure1_graph() { return complete_graph(6); }
+
+Graph figure2_graph() { return k6_minus({Edge{2, 3}}); }
+
+Graph figure4_graph() { return k6_minus({Edge{2, 3}, Edge{1, 5}}); }
+
+}  // namespace c3

@@ -1,0 +1,21 @@
+// The worked 6-vertex example graphs of the paper's Figures 1-6, used as
+// golden tests. Vertex i corresponds to the paper's v_{i+1}; the drawn total
+// order is the id order.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace c3 {
+
+/// Figure 1: K6 — the edge {v1, v2} supports a 6-clique.
+[[nodiscard]] Graph figure1_graph();
+
+/// Figures 2-3: K6 minus {v3, v4} — exactly two 5-cliques, no 6-clique;
+/// only (v1, v6) can support a 6-clique under the distance pruning rule.
+[[nodiscard]] Graph figure2_graph();
+
+/// Figures 4-6: K6 minus {v3, v4} and {v2, v6} — the relevant edges w.r.t. 3
+/// are R^E_3 = {(v1,v5), (v1,v6)} while R^P_3 additionally contains (v2,v6).
+[[nodiscard]] Graph figure4_graph();
+
+}  // namespace c3

@@ -1,0 +1,38 @@
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/builder.hpp"
+#include "graph/gen/generators.hpp"
+#include "util/rng.hpp"
+
+namespace c3 {
+
+Graph planted_clique(node_t n, edge_t m, node_t clique_size, std::uint64_t seed,
+                     std::vector<node_t>* planted) {
+  Xoshiro256 rng(seed);
+
+  // Sample distinct member vertices for the clique.
+  std::unordered_set<node_t> member_set;
+  while (member_set.size() < std::min<node_t>(clique_size, n)) {
+    member_set.insert(static_cast<node_t>(rng.next_below(n)));
+  }
+  std::vector<node_t> members(member_set.begin(), member_set.end());
+  std::sort(members.begin(), members.end());
+  if (planted != nullptr) *planted = members;
+
+  EdgeList edges;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      edges.push_back(Edge{members[i], members[j]});
+    }
+  }
+  // Background noise (duplicates with the clique are merged by the builder).
+  for (edge_t i = 0; i < m; ++i) {
+    node_t u = static_cast<node_t>(rng.next_below(n));
+    node_t v = static_cast<node_t>(rng.next_below(n));
+    if (u != v) edges.push_back(Edge{u, v});
+  }
+  return build_graph(edges, n);
+}
+
+}  // namespace c3

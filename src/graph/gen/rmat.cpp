@@ -1,0 +1,42 @@
+#include <bit>
+
+#include "graph/builder.hpp"
+#include "graph/gen/generators.hpp"
+#include "parallel/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace c3 {
+
+Graph rmat(node_t n, edge_t m, double a, double b, double c, std::uint64_t seed) {
+  if (n < 2) return build_graph(EdgeList{}, n);
+  const int levels = std::bit_width(static_cast<std::uint32_t>(n - 1));
+  EdgeList edges(m);
+  // Independent stream per edge: deterministic regardless of thread count.
+  parallel_for(0, m, [&](std::size_t i) {
+    Xoshiro256 rng = Xoshiro256(seed).fork(i);
+    while (true) {
+      node_t u = 0, v = 0;
+      for (int l = 0; l < levels; ++l) {
+        const double r = rng.next_double();
+        u <<= 1;
+        v <<= 1;
+        if (r < a) {
+          // top-left quadrant: nothing set
+        } else if (r < a + b) {
+          v |= 1;
+        } else if (r < a + b + c) {
+          u |= 1;
+        } else {
+          u |= 1;
+          v |= 1;
+        }
+      }
+      if (u == v || u >= n || v >= n) continue;  // resample out-of-range picks
+      edges[i] = Edge{u, v};
+      break;
+    }
+  });
+  return build_graph(edges, n);
+}
+
+}  // namespace c3

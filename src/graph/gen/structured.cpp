@@ -1,0 +1,87 @@
+// Deterministic structured families: hypercube, complete, Turán, grid, star,
+// path, cycle. These have known degeneracy / community degeneracy / clique
+// counts and anchor the closed-form tests.
+#include "graph/builder.hpp"
+#include "graph/gen/generators.hpp"
+
+namespace c3 {
+
+Graph hypercube(node_t dimension) {
+  const node_t n = node_t{1} << dimension;
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n) * dimension / 2);
+  for (node_t v = 0; v < n; ++v) {
+    for (node_t d = 0; d < dimension; ++d) {
+      const node_t w = v ^ (node_t{1} << d);
+      if (v < w) edges.push_back(Edge{v, w});
+    }
+  }
+  return build_graph(edges, n);
+}
+
+Graph complete_graph(node_t n) {
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (node_t u = 0; u < n; ++u) {
+    for (node_t v = u + 1; v < n; ++v) edges.push_back(Edge{u, v});
+  }
+  return build_graph(edges, n);
+}
+
+Graph turan_graph(node_t n, node_t r) {
+  // Vertex v belongs to part v % r; parts are automatically balanced.
+  EdgeList edges;
+  for (node_t u = 0; u < n; ++u) {
+    for (node_t v = u + 1; v < n; ++v) {
+      if (r != 0 && u % r != v % r) edges.push_back(Edge{u, v});
+    }
+  }
+  return build_graph(edges, n);
+}
+
+Graph grid_graph(node_t rows, node_t cols) {
+  EdgeList edges;
+  auto id = [cols](node_t r, node_t c) { return r * cols + c; };
+  for (node_t r = 0; r < rows; ++r) {
+    for (node_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back(Edge{id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) edges.push_back(Edge{id(r, c), id(r + 1, c)});
+    }
+  }
+  return build_graph(edges, rows * cols);
+}
+
+Graph star_graph(node_t n) {
+  EdgeList edges;
+  for (node_t v = 1; v < n; ++v) edges.push_back(Edge{0, v});
+  return build_graph(edges, n);
+}
+
+Graph path_graph(node_t n) {
+  EdgeList edges;
+  for (node_t v = 0; v + 1 < n; ++v) edges.push_back(Edge{v, static_cast<node_t>(v + 1)});
+  return build_graph(edges, n);
+}
+
+Graph cycle_graph(node_t n) {
+  EdgeList edges;
+  for (node_t v = 0; v + 1 < n; ++v) edges.push_back(Edge{v, static_cast<node_t>(v + 1)});
+  if (n >= 3) edges.push_back(Edge{static_cast<node_t>(n - 1), 0});
+  return build_graph(edges, n);
+}
+
+Graph bipartite_plus_line(node_t half) {
+  // Section 1.1: complete bipartite K_{half,half} (degeneracy half, no
+  // triangles) plus a path through one side, creating Theta(n) triangles
+  // while the community degeneracy stays 1.
+  EdgeList edges;
+  for (node_t u = 0; u < half; ++u) {
+    for (node_t v = 0; v < half; ++v) {
+      edges.push_back(Edge{u, static_cast<node_t>(half + v)});
+    }
+  }
+  for (node_t u = 0; u + 1 < half; ++u) edges.push_back(Edge{u, static_cast<node_t>(u + 1)});
+  return build_graph(edges, 2 * half);
+}
+
+}  // namespace c3

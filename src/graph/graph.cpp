@@ -1,0 +1,46 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "parallel/parallel.hpp"
+#include "parallel/reduce.hpp"
+
+namespace c3 {
+
+Graph::Graph(std::vector<edge_t> offsets, std::vector<node_t> adj, std::vector<edge_t> edge_ids)
+    : offsets_(std::move(offsets)), adj_(std::move(adj)), edge_ids_(std::move(edge_ids)) {
+  endpoints_.resize(num_edges());
+  const node_t n = num_nodes();
+  // Each undirected edge id appears in exactly two adjacency slots; the slot
+  // at the lower endpoint (u < v) fills the canonical orientation.
+  parallel_for(0, n, [&](std::size_t u) {
+    const auto nbrs = neighbors(static_cast<node_t>(u));
+    const auto ids = this->edge_ids(static_cast<node_t>(u));
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (static_cast<node_t>(u) < nbrs[i]) {
+        endpoints_[ids[i]] = Edge{static_cast<node_t>(u), nbrs[i]};
+      }
+    }
+  });
+}
+
+bool Graph::has_edge(node_t u, node_t v) const noexcept {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+edge_t Graph::edge_id(node_t u, node_t v) const noexcept {
+  const auto nbrs = neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return static_cast<edge_t>(-1);
+  return edge_ids(u)[static_cast<std::size_t>(it - nbrs.begin())];
+}
+
+node_t Graph::max_degree() const noexcept {
+  const node_t n = num_nodes();
+  if (n == 0) return 0;
+  return parallel_max(
+      0, n, node_t{0}, [&](std::size_t u) { return degree(static_cast<node_t>(u)); });
+}
+
+}  // namespace c3

@@ -1,0 +1,74 @@
+// Immutable undirected graph in compressed sparse row (CSR) form.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace c3 {
+
+/// An undirected simple graph: no self-loops, no multi-edges. Adjacency
+/// lists are sorted ascending by neighbor id, enabling O(log d) edge probes
+/// and linear-time sorted intersections.
+///
+/// Construction goes through GraphBuilder (graph/builder.hpp) or the
+/// generators (graph/gen/generators.hpp); this class only holds the final
+/// CSR arrays and read accessors.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Assembles a graph from prebuilt CSR arrays. `offsets` has n+1 entries;
+  /// `adj` has 2m entries, each vertex's slice sorted ascending;
+  /// `edge_ids` (parallel to `adj`) maps each directed slot to its
+  /// undirected edge id in [0, m). Invariants are the builder's
+  /// responsibility; use GraphBuilder unless you are a generator.
+  Graph(std::vector<edge_t> offsets, std::vector<node_t> adj, std::vector<edge_t> edge_ids);
+
+  [[nodiscard]] node_t num_nodes() const noexcept {
+    return offsets_.empty() ? 0 : static_cast<node_t>(offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges m (the adjacency arrays hold 2m slots).
+  [[nodiscard]] edge_t num_edges() const noexcept { return adj_.size() / 2; }
+
+  [[nodiscard]] node_t degree(node_t u) const noexcept {
+    return static_cast<node_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  /// Neighbors of u, sorted ascending.
+  [[nodiscard]] std::span<const node_t> neighbors(node_t u) const noexcept {
+    return {adj_.data() + offsets_[u], adj_.data() + offsets_[u + 1]};
+  }
+
+  /// Undirected edge ids of u's incident edges, parallel to neighbors(u).
+  [[nodiscard]] std::span<const edge_t> edge_ids(node_t u) const noexcept {
+    return {edge_ids_.data() + offsets_[u], edge_ids_.data() + offsets_[u + 1]};
+  }
+
+  /// O(log d) membership test.
+  [[nodiscard]] bool has_edge(node_t u, node_t v) const noexcept;
+
+  /// Undirected edge id of {u, v}, or static_cast<edge_t>(-1) if absent.
+  [[nodiscard]] edge_t edge_id(node_t u, node_t v) const noexcept;
+
+  /// Endpoint table: endpoints()[id] is the edge {u, v} with u < v. Built
+  /// eagerly at construction, O(1) lookups.
+  [[nodiscard]] std::span<const Edge> endpoints() const noexcept { return endpoints_; }
+
+  [[nodiscard]] node_t max_degree() const noexcept;
+
+  /// Raw CSR access for algorithms that stream the whole structure.
+  [[nodiscard]] std::span<const edge_t> raw_offsets() const noexcept { return offsets_; }
+  [[nodiscard]] std::span<const node_t> raw_adjacency() const noexcept { return adj_; }
+
+ private:
+  std::vector<edge_t> offsets_;   // n+1
+  std::vector<node_t> adj_;       // 2m, per-vertex sorted
+  std::vector<edge_t> edge_ids_;  // 2m, undirected edge id per slot
+  std::vector<Edge> endpoints_;   // m, {u, v} with u < v
+};
+
+}  // namespace c3

@@ -1,0 +1,228 @@
+#include "graph/io.hpp"
+
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "graph/builder.hpp"
+
+namespace c3 {
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'c', '3', 'g', 'r', 'a', 'p', 'h', '1'};
+
+[[noreturn]] void fail(const std::filesystem::path& path, const std::string& what) {
+  throw std::runtime_error("c3::io: " + what + ": " + path.string());
+}
+
+}  // namespace
+
+EdgeList read_edge_list(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) fail(path, "cannot open for reading");
+  EdgeList edges;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Skip blank lines and SNAP/NetworkRepository comment conventions.
+    std::size_t pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos || line[pos] == '#' || line[pos] == '%') continue;
+    char* cursor = line.data() + pos;
+    char* end = nullptr;
+    const unsigned long long u = std::strtoull(cursor, &end, 10);
+    if (end == cursor)
+      throw std::invalid_argument("c3::io: malformed edge at " + path.string() + ":" +
+                                  std::to_string(lineno));
+    cursor = end;
+    const unsigned long long v = std::strtoull(cursor, &end, 10);
+    if (end == cursor)
+      throw std::invalid_argument("c3::io: malformed edge at " + path.string() + ":" +
+                                  std::to_string(lineno));
+    if (u > kInvalidNode - 1 || v > kInvalidNode - 1)
+      throw std::invalid_argument("c3::io: vertex id too large at " + path.string() + ":" +
+                                  std::to_string(lineno));
+    edges.push_back(Edge{static_cast<node_t>(u), static_cast<node_t>(v)});
+  }
+  return edges;
+}
+
+void write_edge_list(const std::filesystem::path& path, const Graph& g) {
+  std::ofstream out(path);
+  if (!out) fail(path, "cannot open for writing");
+  out << "# c3list edge list: " << g.num_nodes() << " nodes, " << g.num_edges() << " edges\n";
+  for (const Edge& e : g.endpoints()) out << e.u << ' ' << e.v << '\n';
+  if (!out) fail(path, "write error");
+}
+
+Graph read_graph(const std::filesystem::path& path) { return build_graph(read_edge_list(path)); }
+
+void write_graph_binary(const std::filesystem::path& path, const Graph& g) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail(path, "cannot open for writing");
+  out.write(kMagic.data(), kMagic.size());
+  const std::uint64_t n = g.num_nodes();
+  const std::uint64_t m = g.num_edges();
+  out.write(reinterpret_cast<const char*>(&n), sizeof n);
+  out.write(reinterpret_cast<const char*>(&m), sizeof m);
+  for (const Edge& e : g.endpoints()) {
+    out.write(reinterpret_cast<const char*>(&e.u), sizeof e.u);
+    out.write(reinterpret_cast<const char*>(&e.v), sizeof e.v);
+  }
+  if (!out) fail(path, "write error");
+}
+
+Graph read_graph_binary(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(path, "cannot open for reading");
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) fail(path, "bad magic (not a c3list binary graph)");
+  std::uint64_t n = 0, m = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof n);
+  in.read(reinterpret_cast<char*>(&m), sizeof m);
+  if (!in || n > kInvalidNode) fail(path, "corrupt header");
+  EdgeList edges(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    in.read(reinterpret_cast<char*>(&edges[i].u), sizeof edges[i].u);
+    in.read(reinterpret_cast<char*>(&edges[i].v), sizeof edges[i].v);
+  }
+  if (!in) fail(path, "truncated edge data");
+  return build_graph(edges, static_cast<node_t>(n));
+}
+
+namespace {
+
+/// Splits a line into unsigned integers (whitespace separated).
+std::vector<unsigned long long> parse_numbers(const std::string& line) {
+  std::vector<unsigned long long> out;
+  const char* cursor = line.c_str();
+  char* end = nullptr;
+  while (true) {
+    const unsigned long long v = std::strtoull(cursor, &end, 10);
+    if (end == cursor) break;
+    out.push_back(v);
+    cursor = end;
+  }
+  return out;
+}
+
+}  // namespace
+
+Graph read_graph_metis(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) fail(path, "cannot open for reading");
+  std::string line;
+  // Header: n m [fmt [ncon]]; '%' lines are comments.
+  std::vector<unsigned long long> header;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos || line[pos] == '%') continue;
+    header = parse_numbers(line);
+    break;
+  }
+  if (header.size() < 2)
+    throw std::invalid_argument("c3::io: METIS header must have n and m: " + path.string());
+  const auto n = static_cast<node_t>(header[0]);
+  const unsigned long long fmt = header.size() >= 3 ? header[2] : 0;
+  const bool has_vertex_weights = (fmt / 10) % 10 == 1;
+  const bool has_edge_weights = fmt % 10 == 1;
+  const std::size_t vertex_weight_count = has_vertex_weights ? (header.size() >= 4 ? header[3] : 1) : 0;
+
+  EdgeList edges;
+  node_t u = 0;
+  while (u < n && std::getline(in, line)) {
+    ++lineno;
+    const std::size_t pos = line.find_first_not_of(" \t\r");
+    if (pos != std::string::npos && line[pos] == '%') continue;
+    const auto numbers = parse_numbers(line);
+    std::size_t i = vertex_weight_count;  // skip this vertex's weights
+    while (i < numbers.size()) {
+      const unsigned long long nbr = numbers[i++];
+      if (has_edge_weights) ++i;  // skip the weight
+      if (nbr == 0 || nbr > n)
+        throw std::invalid_argument("c3::io: METIS neighbor out of range at " + path.string() +
+                                    ":" + std::to_string(lineno));
+      const auto v = static_cast<node_t>(nbr - 1);  // 1-based
+      if (u < v) edges.push_back(Edge{u, v});       // each edge listed twice
+    }
+    ++u;
+  }
+  if (u != n) fail(path, "METIS file ended before all vertex lines were read");
+  return build_graph(edges, n);
+}
+
+void write_graph_metis(const std::filesystem::path& path, const Graph& g) {
+  std::ofstream out(path);
+  if (!out) fail(path, "cannot open for writing");
+  out << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (node_t v = 0; v < g.num_nodes(); ++v) {
+    bool first = true;
+    for (const node_t w : g.neighbors(v)) {
+      out << (first ? "" : " ") << (w + 1);
+      first = false;
+    }
+    out << '\n';
+  }
+  if (!out) fail(path, "write error");
+}
+
+Graph read_graph_matrix_market(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) fail(path, "cannot open for reading");
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("%%MatrixMarket", 0) != 0)
+    throw std::invalid_argument("c3::io: missing MatrixMarket banner: " + path.string());
+  if (line.find("coordinate") == std::string::npos)
+    throw std::invalid_argument("c3::io: only coordinate MatrixMarket supported: " +
+                                path.string());
+  // Size line after comments.
+  std::vector<unsigned long long> size_line;
+  while (std::getline(in, line)) {
+    const std::size_t pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos || line[pos] == '%') continue;
+    size_line = parse_numbers(line);
+    break;
+  }
+  if (size_line.size() < 3)
+    throw std::invalid_argument("c3::io: malformed MatrixMarket size line: " + path.string());
+  const auto n = static_cast<node_t>(std::max(size_line[0], size_line[1]));
+  const unsigned long long nnz = size_line[2];
+
+  EdgeList edges;
+  edges.reserve(nnz);
+  unsigned long long read_count = 0;
+  while (read_count < nnz && std::getline(in, line)) {
+    const std::size_t pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos || line[pos] == '%') continue;
+    const auto numbers = parse_numbers(line);
+    if (numbers.size() < 2)
+      throw std::invalid_argument("c3::io: malformed MatrixMarket entry: " + path.string());
+    ++read_count;
+    if (numbers[0] == 0 || numbers[1] == 0 || numbers[0] > n || numbers[1] > n)
+      throw std::invalid_argument("c3::io: MatrixMarket index out of range: " + path.string());
+    const auto u = static_cast<node_t>(numbers[0] - 1);
+    const auto v = static_cast<node_t>(numbers[1] - 1);
+    if (u != v) edges.push_back(Edge{u, v});  // pattern only; builder symmetrizes
+  }
+  if (read_count != nnz) fail(path, "MatrixMarket file ended before nnz entries");
+  return build_graph(edges, n);
+}
+
+Graph read_graph_any(const std::filesystem::path& path) {
+  const std::string ext = path.extension().string();
+  if (ext == ".mtx") return read_graph_matrix_market(path);
+  if (ext == ".metis" || ext == ".graph") return read_graph_metis(path);
+  if (ext == ".bin") return read_graph_binary(path);
+  return read_graph(path);
+}
+
+}  // namespace c3

@@ -1,0 +1,49 @@
+// Graph serialization: text edge lists and a compact binary format.
+//
+// The text reader accepts the common SNAP / Network-Repository edge-list
+// conventions used for the paper's datasets: one "u v" pair per line,
+// '#' or '%' comment lines, arbitrary whitespace, and an optional
+// "n m" header. Inputs are symmetrized exactly as the paper's pipeline does
+// ("All graphs ... have been symmetrized", Table 2).
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace c3 {
+
+/// Reads a whitespace-separated edge list. Throws std::runtime_error on I/O
+/// failure and std::invalid_argument on malformed content.
+[[nodiscard]] EdgeList read_edge_list(const std::filesystem::path& path);
+
+/// Writes one "u v" line per undirected edge.
+void write_edge_list(const std::filesystem::path& path, const Graph& g);
+
+/// Reads an edge list and builds the (symmetrized, deduplicated) graph.
+[[nodiscard]] Graph read_graph(const std::filesystem::path& path);
+
+/// Compact binary round-trip (magic + counts + CSR arrays), for caching
+/// generated benchmark graphs.
+void write_graph_binary(const std::filesystem::path& path, const Graph& g);
+[[nodiscard]] Graph read_graph_binary(const std::filesystem::path& path);
+
+/// METIS graph format: header "n m [fmt]", then one line per vertex listing
+/// its (1-based) neighbors. Vertex/edge weights in the input are skipped.
+[[nodiscard]] Graph read_graph_metis(const std::filesystem::path& path);
+void write_graph_metis(const std::filesystem::path& path, const Graph& g);
+
+/// MatrixMarket coordinate format (as used by the SuiteSparse collection the
+/// paper's Gearbox/Chebyshev4 graphs come from): "%%MatrixMarket matrix
+/// coordinate ..." header, a size line "rows cols nnz", then 1-based "i j
+/// [value]" entries. The matrix is treated as the adjacency of an undirected
+/// graph (pattern symmetrized, diagonal dropped).
+[[nodiscard]] Graph read_graph_matrix_market(const std::filesystem::path& path);
+
+/// Dispatches on the file extension: .mtx -> MatrixMarket, .metis/.graph ->
+/// METIS, .bin -> binary, anything else -> edge list.
+[[nodiscard]] Graph read_graph_any(const std::filesystem::path& path);
+
+}  // namespace c3

@@ -1,0 +1,31 @@
+#include "graph/stats.hpp"
+
+#include "graph/digraph.hpp"
+#include "order/degeneracy.hpp"
+#include "triangle/triangle_count.hpp"
+
+namespace c3 {
+
+GraphStats compute_stats(const Graph& g) {
+  GraphStats s;
+  s.nodes = g.num_nodes();
+  s.edges = g.num_edges();
+  s.max_degree = g.max_degree();
+
+  const DegeneracyResult deg = degeneracy_order(g);
+  s.degeneracy = deg.degeneracy;
+
+  const Digraph dag = Digraph::orient(g, deg.order);
+  s.triangles = count_triangles(dag);
+
+  if (s.nodes > 0) {
+    s.edges_per_node = static_cast<double>(s.edges) / static_cast<double>(s.nodes);
+    s.triangles_per_node = static_cast<double>(s.triangles) / static_cast<double>(s.nodes);
+  }
+  if (s.edges > 0) {
+    s.triangles_per_edge = static_cast<double>(s.triangles) / static_cast<double>(s.edges);
+  }
+  return s;
+}
+
+}  // namespace c3

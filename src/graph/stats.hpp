@@ -1,0 +1,25 @@
+// Structural graph statistics — the columns of the paper's Table 2.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace c3 {
+
+/// Summary statistics of a graph, as reported in Table 2 of the paper.
+struct GraphStats {
+  node_t nodes = 0;
+  edge_t edges = 0;
+  count_t triangles = 0;     // |T|
+  node_t degeneracy = 0;     // s (exact)
+  node_t max_degree = 0;
+  double edges_per_node = 0.0;      // |E| / |V|
+  double triangles_per_node = 0.0;  // |T| / |V|
+  double triangles_per_edge = 0.0;  // |T| / |E|
+};
+
+/// Computes all Table 2 columns. Cost: O(m) for the degeneracy plus
+/// O(m * s) for the triangle count.
+[[nodiscard]] GraphStats compute_stats(const Graph& g);
+
+}  // namespace c3

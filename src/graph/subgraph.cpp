@@ -1,0 +1,36 @@
+#include "graph/subgraph.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "graph/builder.hpp"
+
+namespace c3 {
+
+InducedSubgraph induced_subgraph(const Graph& g, std::span<const node_t> vertices) {
+  std::unordered_map<node_t, node_t> local;
+  local.reserve(vertices.size());
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    if (vertices[i] >= g.num_nodes())
+      throw std::invalid_argument("induced_subgraph: vertex out of range");
+    if (!local.emplace(vertices[i], static_cast<node_t>(i)).second)
+      throw std::invalid_argument("induced_subgraph: duplicate vertex");
+  }
+
+  EdgeList edges;
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (const node_t w : g.neighbors(vertices[i])) {
+      const auto it = local.find(w);
+      // Emit each edge once, from the lexicographically smaller local id.
+      if (it != local.end() && static_cast<node_t>(i) < it->second)
+        edges.push_back(Edge{static_cast<node_t>(i), it->second});
+    }
+  }
+
+  InducedSubgraph out;
+  out.graph = build_graph(edges, static_cast<node_t>(vertices.size()));
+  out.to_parent.assign(vertices.begin(), vertices.end());
+  return out;
+}
+
+}  // namespace c3

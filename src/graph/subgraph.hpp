@@ -1,0 +1,23 @@
+// Induced subgraph extraction.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace c3 {
+
+/// An induced subgraph G[S] with vertices renamed to 0..|S|-1 (in the order
+/// given by `vertices`), plus the mapping back to the parent graph.
+struct InducedSubgraph {
+  Graph graph;
+  std::vector<node_t> to_parent;  // local id -> parent vertex id
+};
+
+/// Extracts G[S]. `vertices` must contain distinct ids of g; the local
+/// numbering follows the order of `vertices`.
+[[nodiscard]] InducedSubgraph induced_subgraph(const Graph& g, std::span<const node_t> vertices);
+
+}  // namespace c3

@@ -1,0 +1,35 @@
+// Fundamental graph types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace c3 {
+
+/// Vertex identifier. 32 bits suffice for the graph scales this library
+/// targets (the paper's largest graph, Orkut, has 3.1M vertices).
+using node_t = std::uint32_t;
+
+/// Edge index / adjacency offset. 64 bits so offset arithmetic (2m entries)
+/// never overflows.
+using edge_t = std::uint64_t;
+
+/// Clique and triangle counts.
+using count_t = std::uint64_t;
+
+inline constexpr node_t kInvalidNode = static_cast<node_t>(-1);
+
+/// An undirected edge as an (unordered) vertex pair.
+struct Edge {
+  node_t u;
+  node_t v;
+
+  friend constexpr bool operator==(const Edge&, const Edge&) noexcept = default;
+};
+
+/// A flat edge list, the interchange format between generators, I/O, and the
+/// graph builder.
+using EdgeList = std::vector<Edge>;
+
+}  // namespace c3

@@ -1,0 +1,82 @@
+#include "order/approx_degeneracy.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/pack.hpp"
+#include "parallel/parallel.hpp"
+#include "parallel/reduce.hpp"
+
+namespace c3 {
+
+ApproxDegeneracyResult approx_degeneracy_order(const Graph& g, double eps) {
+  if (eps <= 0.0) throw std::invalid_argument("approx_degeneracy_order: eps must be positive");
+  const node_t n = g.num_nodes();
+  ApproxDegeneracyResult result;
+  result.order.reserve(n);
+  if (n == 0) return result;
+
+  std::vector<std::atomic<node_t>> degree(n);
+  parallel_for(0, n, [&](std::size_t v) {
+    degree[v].store(g.degree(static_cast<node_t>(v)), std::memory_order_relaxed);
+  });
+
+  // The shrinking set of remaining vertex ids. pack_if preserves order, so
+  // within every round vertices stay sorted by id — the tie-break the header
+  // documents, independent of thread count.
+  std::vector<node_t> alive(n);
+  std::iota(alive.begin(), alive.end(), node_t{0});
+
+  std::vector<node_t> position(n, kInvalidNode);
+  const double threshold_factor = 1.0 + eps / 2.0;
+
+  while (!alive.empty()) {
+    ++result.rounds;
+    const edge_t degree_sum = parallel_sum<edge_t>(0, alive.size(), [&](std::size_t i) {
+      return degree[alive[i]].load(std::memory_order_relaxed);
+    });
+    const double avg = static_cast<double>(degree_sum) / static_cast<double>(alive.size());
+    // Everything with degree <= (1 + eps/2) * average is peeled this round.
+    // At most a 1/(1 + eps/2) fraction can exceed the threshold, so a
+    // constant fraction is peeled and the loop finishes in O(log n) rounds.
+    const auto threshold = static_cast<node_t>(threshold_factor * avg);
+
+    std::vector<node_t> peeled = pack_if<node_t>(alive, [&](std::size_t i) {
+      return degree[alive[i]].load(std::memory_order_relaxed) <= threshold;
+    });
+    std::vector<node_t> survivors = pack_if<node_t>(alive, [&](std::size_t i) {
+      return degree[alive[i]].load(std::memory_order_relaxed) > threshold;
+    });
+    for (const node_t v : peeled) {
+      position[v] = static_cast<node_t>(result.order.size());
+      result.order.push_back(v);
+    }
+
+    // Decrement surviving neighbors of the peeled set (edges between two
+    // peeled vertices vanish with both endpoints).
+    parallel_for(
+        0, peeled.size(),
+        [&](std::size_t i) {
+          for (const node_t w : g.neighbors(peeled[i])) {
+            if (position[w] == kInvalidNode) degree[w].fetch_sub(1, std::memory_order_relaxed);
+          }
+        },
+        16);
+    alive = std::move(survivors);
+  }
+
+  // Orienting by `order` sends each edge from the earlier-peeled endpoint;
+  // report the induced max out-degree (the (2 + eps)s quality guarantee).
+  result.max_out_degree = parallel_max(0, n, node_t{0}, [&](std::size_t v) {
+    node_t od = 0;
+    for (const node_t w : g.neighbors(static_cast<node_t>(v)))
+      od += position[w] > position[v] ? 1 : 0;
+    return od;
+  });
+  return result;
+}
+
+}  // namespace c3

@@ -1,0 +1,34 @@
+// Low-depth approximate degeneracy ordering (Section 4.1, Lemma 4.2;
+// Besta et al., Shi et al.).
+//
+// Peels the graph in rounds: every round removes *all* vertices whose
+// current degree is at most (1 + eps/2) times the current average degree.
+// An s-degenerate graph has average degree at most 2s, so every removed
+// vertex has out-degree at most (2 + eps)s in the induced orientation —
+// a (2 + eps)-approximate degeneracy order. At least an eps-fraction of the
+// remaining vertices is removed per round, so there are O(log n) rounds and
+// the total work is O(n + m) with polylogarithmic depth.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace c3 {
+
+struct ApproxDegeneracyResult {
+  /// Concatenation of the rounds' removals; vertices removed in the same
+  /// round are ordered by id (deterministic, thread-count independent).
+  std::vector<node_t> order;
+  /// Number of peeling rounds (the depth-determining quantity).
+  node_t rounds = 0;
+  /// Maximum out-degree induced by orienting with `order` — at most
+  /// (2 + eps) * degeneracy.
+  node_t max_out_degree = 0;
+};
+
+/// Computes a (2 + eps)-approximate degeneracy order. `eps` must be > 0.
+[[nodiscard]] ApproxDegeneracyResult approx_degeneracy_order(const Graph& g, double eps = 0.5);
+
+}  // namespace c3

@@ -1,0 +1,150 @@
+#include "order/community_degeneracy.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "parallel/parallel.hpp"
+
+namespace c3 {
+namespace {
+
+/// Initial per-edge triangle counts |C_G(e)| by merging the (sorted)
+/// neighborhoods of the endpoints. O(sum over edges of d(u)+d(v)).
+std::vector<node_t> edge_triangle_counts(const Graph& g) {
+  const auto endpoints = g.endpoints();
+  std::vector<node_t> count(endpoints.size(), 0);
+  parallel_for(
+      0, endpoints.size(),
+      [&](std::size_t e) {
+        const auto nu = g.neighbors(endpoints[e].u);
+        const auto nv = g.neighbors(endpoints[e].v);
+        std::size_t i = 0, j = 0;
+        node_t c = 0;
+        while (i < nu.size() && j < nv.size()) {
+          if (nu[i] < nv[j]) {
+            ++i;
+          } else if (nu[i] > nv[j]) {
+            ++j;
+          } else {
+            ++c;
+            ++i;
+            ++j;
+          }
+        }
+        count[e] = c;
+      },
+      64);
+  return count;
+}
+
+}  // namespace
+
+// Edge analogue of the Batagelj-Zaversnik sweep: edges sit in bins by their
+// current triangle count; processing an edge enumerates its remaining
+// triangles and decrements the two partner edges (with the clamping guard
+// cnt[f] > cnt[e], which keeps processing counts non-decreasing — so the
+// maximum processing count is exactly the community degeneracy, the same
+// argument as for k-truss decomposition).
+EdgeOrderResult community_degeneracy_order(const Graph& g) {
+  const edge_t m = g.num_edges();
+  const auto endpoints = g.endpoints();
+  EdgeOrderResult result;
+  result.order.reserve(m);
+  result.pos.assign(m, static_cast<edge_t>(-1));
+  result.candidate_offsets.assign(m + 1, 0);
+  if (m == 0) {
+    result.rounds = 0;
+    return result;
+  }
+  result.rounds = static_cast<node_t>(m);  // one edge per "round": linear depth
+
+  std::vector<node_t> cnt = edge_triangle_counts(g);
+  const node_t max_cnt = *std::max_element(cnt.begin(), cnt.end());
+
+  // Counting sort of edges by triangle count.
+  std::vector<edge_t> bin(static_cast<std::size_t>(max_cnt) + 2, 0);
+  for (edge_t e = 0; e < m; ++e) bin[cnt[e] + 1]++;
+  for (std::size_t d = 0; d + 1 < bin.size(); ++d) bin[d + 1] += bin[d];
+  std::vector<edge_t> edges_sorted(m), epos(m);
+  {
+    std::vector<edge_t> cursor(bin.begin(), bin.end() - 1);
+    for (edge_t e = 0; e < m; ++e) {
+      const edge_t p = cursor[cnt[e]]++;
+      edges_sorted[p] = e;
+      epos[e] = p;
+    }
+  }
+
+  std::vector<bool> processed(m, false);
+  // Candidate sets are appended in sweep order, then re-indexed by edge id.
+  std::vector<std::pair<edge_t, node_t>> flat_candidates;  // (edge, member)
+  node_t sigma = 0;
+
+  for (edge_t i = 0; i < m; ++i) {
+    const edge_t e = edges_sorted[i];
+    result.order.push_back(e);
+    result.pos[e] = i;
+    processed[e] = true;
+    sigma = std::max(sigma, cnt[e]);
+
+    // Enumerate remaining triangles of e: common neighbors w with both
+    // partner edges unprocessed.
+    const node_t u = endpoints[e].u;
+    const node_t v = endpoints[e].v;
+    const auto nu = g.neighbors(u);
+    const auto nv = g.neighbors(v);
+    const auto idu = g.edge_ids(u);
+    const auto idv = g.edge_ids(v);
+    std::size_t a = 0, b = 0;
+    while (a < nu.size() && b < nv.size()) {
+      if (nu[a] < nv[b]) {
+        ++a;
+      } else if (nu[a] > nv[b]) {
+        ++b;
+      } else {
+        const edge_t f = idu[a];  // edge {u, w}
+        const edge_t h = idv[b];  // edge {v, w}
+        if (!processed[f] && !processed[h]) {
+          flat_candidates.emplace_back(e, nu[a]);
+          // Decrement with the clamping guard (see header comment).
+          for (const edge_t partner : {f, h}) {
+            if (cnt[partner] > cnt[e]) {
+              const node_t dp = cnt[partner];
+              const edge_t pp = epos[partner];
+              const edge_t pt = bin[dp];
+              const edge_t t = edges_sorted[pt];
+              if (partner != t) {
+                std::swap(edges_sorted[pp], edges_sorted[pt]);
+                epos[partner] = pt;
+                epos[t] = pp;
+              }
+              ++bin[dp];
+              --cnt[partner];
+            }
+          }
+        }
+        ++a;
+        ++b;
+      }
+    }
+  }
+  result.sigma = sigma;
+
+  // Re-index the flat (edge, member) pairs into a CSR keyed by edge id.
+  for (const auto& [e, w] : flat_candidates) result.candidate_offsets[e + 1]++;
+  for (edge_t e = 0; e < m; ++e) result.candidate_offsets[e + 1] += result.candidate_offsets[e];
+  result.candidate_members.resize(flat_candidates.size());
+  {
+    std::vector<edge_t> cursor(result.candidate_offsets.begin(),
+                               result.candidate_offsets.end() - 1);
+    for (const auto& [e, w] : flat_candidates) result.candidate_members[cursor[e]++] = w;
+  }
+  // Members arrive in merge order (ascending w) per edge already, but the
+  // sweep interleaves edges; the scatter above preserves per-edge order, and
+  // per-edge enumeration is ascending — so each set is already sorted.
+  return result;
+}
+
+node_t community_degeneracy(const Graph& g) { return community_degeneracy_order(g).sigma; }
+
+}  // namespace c3

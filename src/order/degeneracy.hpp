@@ -1,0 +1,32 @@
+// Exact degeneracy ordering (Section 4.1, Lemma 4.1).
+//
+// The degeneracy order repeatedly removes a vertex of minimum degree in the
+// remaining subgraph (Matula & Beck's smallest-last order). Orienting the
+// graph by this order bounds every out-degree by the degeneracy s, and
+// therefore every edge community by s - 1 — the quantity gamma that drives
+// the work bound of Theorem 2.1. O(n + m) work, O(n) depth (inherently
+// sequential peeling).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace c3 {
+
+struct DegeneracyResult {
+  /// order[i] = the vertex peeled i-th; orienting by this order gives
+  /// max out-degree == degeneracy.
+  std::vector<node_t> order;
+  /// The degeneracy s of the graph (max degree at removal time).
+  node_t degeneracy = 0;
+  /// core[v] = the core number of v (largest j such that v belongs to the
+  /// j-core); max over v equals the degeneracy.
+  std::vector<node_t> core;
+};
+
+/// Computes the exact degeneracy order with a bucket queue.
+[[nodiscard]] DegeneracyResult degeneracy_order(const Graph& g);
+
+}  // namespace c3

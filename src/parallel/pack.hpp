@@ -1,0 +1,93 @@
+// Parallel packing (filter / compaction).
+//
+// pack_if and pack_index compact the elements (or indices) satisfying a
+// predicate into a dense output array, preserving order. This is the standard
+// scan-based PRAM compaction: per-block counts, a scan over block counts,
+// then a parallel scatter. O(n) work, O(n/p + p) depth. The ordering
+// algorithms use these to peel vertex/edge sets in rounds (Lemma 4.2,
+// Algorithm 4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "parallel/parallel.hpp"
+
+namespace c3 {
+
+namespace detail {
+
+template <typename Emit, typename Pred>
+void pack_blocked(std::size_t n, Pred&& keep, Emit&& emit_block, std::size_t& out_size,
+                  std::vector<std::size_t>& block_offset, std::size_t& blocks,
+                  std::size_t& block_size) {
+  const int workers = num_workers();
+  const std::size_t min_block = 4096;
+  blocks = (workers <= 1 || n < 2 * min_block)
+               ? 1
+               : std::min<std::size_t>(static_cast<std::size_t>(workers) * 4,
+                                       (n + min_block - 1) / min_block);
+  block_size = (n + blocks - 1) / blocks;
+  block_offset.assign(blocks + 1, 0);
+  parallel_for(
+      0, blocks,
+      [&](std::size_t b) {
+        const std::size_t lo = b * block_size;
+        const std::size_t hi = std::min(n, lo + block_size);
+        std::size_t count = 0;
+        for (std::size_t i = lo; i < hi; ++i) count += keep(i) ? 1 : 0;
+        block_offset[b + 1] = count;
+      },
+      1);
+  for (std::size_t b = 0; b < blocks; ++b) block_offset[b + 1] += block_offset[b];
+  out_size = block_offset[blocks];
+  emit_block();
+}
+
+}  // namespace detail
+
+/// Returns the indices i in [0, n) with keep(i), in ascending order.
+template <typename Index = std::uint32_t, typename Pred>
+[[nodiscard]] std::vector<Index> pack_index(std::size_t n, Pred&& keep) {
+  std::vector<Index> out;
+  std::vector<std::size_t> block_offset;
+  std::size_t out_size = 0, blocks = 0, block_size = 0;
+  detail::pack_blocked(
+      n, keep, [&] { out.resize(out_size); }, out_size, block_offset, blocks, block_size);
+  parallel_for(
+      0, blocks,
+      [&](std::size_t b) {
+        const std::size_t lo = b * block_size;
+        const std::size_t hi = std::min(n, lo + block_size);
+        std::size_t pos = block_offset[b];
+        for (std::size_t i = lo; i < hi; ++i)
+          if (keep(i)) out[pos++] = static_cast<Index>(i);
+      },
+      1);
+  return out;
+}
+
+/// Returns the elements of `in` whose index satisfies keep(i), in order.
+template <typename T, typename Pred>
+[[nodiscard]] std::vector<T> pack_if(std::span<const T> in, Pred&& keep) {
+  std::vector<T> out;
+  std::vector<std::size_t> block_offset;
+  std::size_t out_size = 0, blocks = 0, block_size = 0;
+  detail::pack_blocked(
+      in.size(), keep, [&] { out.resize(out_size); }, out_size, block_offset, blocks, block_size);
+  parallel_for(
+      0, blocks,
+      [&](std::size_t b) {
+        const std::size_t lo = b * block_size;
+        const std::size_t hi = std::min(in.size(), lo + block_size);
+        std::size_t pos = block_offset[b];
+        for (std::size_t i = lo; i < hi; ++i)
+          if (keep(i)) out[pos++] = in[i];
+      },
+      1);
+  return out;
+}
+
+}  // namespace c3

@@ -1,0 +1,53 @@
+// Cache-line padded per-worker storage.
+//
+// Parallel counting algorithms accumulate into one cell per worker and reduce
+// at the end; padding each cell to a cache line avoids false sharing, which
+// would otherwise serialize the hot counting loops.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+#include "parallel/parallel.hpp"
+
+namespace c3 {
+
+// Fixed at the x86-64 / common-ARM value rather than
+// std::hardware_destructive_interference_size, whose value is not ABI-stable
+// across compiler flags (GCC warns about exactly this).
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// A value padded to occupy at least one cache line.
+template <typename T>
+struct alignas(kCacheLineSize) Padded {
+  T value{};
+};
+
+/// One padded slot per worker, with a combining reduction.
+template <typename T>
+class PerWorker {
+ public:
+  PerWorker() : slots_(static_cast<std::size_t>(num_workers())) {}
+  explicit PerWorker(const T& init) : slots_(static_cast<std::size_t>(num_workers()), Padded<T>{init}) {}
+
+  /// The calling worker's slot.
+  [[nodiscard]] T& local() noexcept { return slots_[static_cast<std::size_t>(worker_id())].value; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+  [[nodiscard]] T& slot(std::size_t i) noexcept { return slots_[i].value; }
+  [[nodiscard]] const T& slot(std::size_t i) const noexcept { return slots_[i].value; }
+
+  /// Folds all slots with `combine(acc, slot)`, starting from `init`.
+  template <typename Combine>
+  [[nodiscard]] T reduce(T init, Combine&& combine) const {
+    T acc = std::move(init);
+    for (const auto& s : slots_) acc = combine(std::move(acc), s.value);
+    return acc;
+  }
+
+ private:
+  std::vector<Padded<T>> slots_;
+};
+
+}  // namespace c3

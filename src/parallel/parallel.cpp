@@ -1,0 +1,60 @@
+#include "parallel/parallel.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <atomic>
+
+namespace c3 {
+namespace {
+
+// Worker cap shared by all parallel loops. Defaults to the OpenMP pool size
+// (respects OMP_NUM_THREADS). Atomic so tests can flip it concurrently.
+std::atomic<int> g_workers{0};
+
+int default_workers() noexcept { return std::max(1, omp_get_max_threads()); }
+
+}  // namespace
+
+int num_workers() noexcept {
+  const int w = g_workers.load(std::memory_order_relaxed);
+  return w > 0 ? w : default_workers();
+}
+
+int set_num_workers(int workers) noexcept {
+  const int clamped = std::max(1, workers);
+  const int old = num_workers();
+  g_workers.store(clamped, std::memory_order_relaxed);
+  return old;
+}
+
+int worker_id() noexcept { return omp_get_thread_num(); }
+
+bool in_parallel() noexcept { return omp_in_parallel() != 0; }
+
+namespace detail {
+
+void parallel_for_impl(std::int64_t begin, std::int64_t end, bool dynamic, std::int64_t grain,
+                       void (*body)(std::int64_t, void*), void* ctx) {
+  if (begin >= end) return;
+  const std::int64_t trip = end - begin;
+  const int workers = num_workers();
+  // Nested parallel regions are not used: a loop launched from inside a
+  // parallel region (e.g. from a recursive clique search) runs serially,
+  // which matches the intended "parallel outer loop only" execution.
+  if (workers <= 1 || trip <= grain || in_parallel()) {
+    for (std::int64_t i = begin; i < end; ++i) body(i, ctx);
+    return;
+  }
+  if (dynamic) {
+    const int chunk = static_cast<int>(std::max<std::int64_t>(1, grain));
+#pragma omp parallel for schedule(dynamic, chunk) num_threads(workers)
+    for (std::int64_t i = begin; i < end; ++i) body(i, ctx);
+  } else {
+#pragma omp parallel for schedule(static) num_threads(workers)
+    for (std::int64_t i = begin; i < end; ++i) body(i, ctx);
+  }
+}
+
+}  // namespace detail
+}  // namespace c3

@@ -1,0 +1,60 @@
+// Shared-memory parallel execution substrate.
+//
+// The paper's algorithms are stated in the work/depth (CREW PRAM) model and
+// implemented, as in the original evaluation, on top of OpenMP. This header
+// provides the loop primitives used across the library:
+//
+//   * num_workers / set_num_workers / worker_id — worker pool control,
+//   * parallel_for         — statically scheduled counted loop,
+//   * parallel_for_dynamic — dynamically scheduled loop for irregular work
+//                            (clique search per edge/vertex is highly skewed).
+//
+// Both loops degrade to plain serial loops when the range is below the grain
+// size or a single worker is configured, which keeps recursion-heavy callers
+// cheap and makes single-threaded runs exactly deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace c3 {
+
+/// Maximum number of workers parallel loops may use.
+[[nodiscard]] int num_workers() noexcept;
+
+/// Caps the worker pool; values < 1 are clamped to 1. Returns the old value.
+int set_num_workers(int workers) noexcept;
+
+/// Identifier of the calling worker in [0, num_workers()).
+[[nodiscard]] int worker_id() noexcept;
+
+/// True when called from inside a parallel region.
+[[nodiscard]] bool in_parallel() noexcept;
+
+namespace detail {
+void parallel_for_impl(std::int64_t begin, std::int64_t end, bool dynamic, std::int64_t grain,
+                       void (*body)(std::int64_t, void*), void* ctx);
+}  // namespace detail
+
+/// Applies `f(i)` for i in [begin, end), statically scheduled. Falls back to
+/// a serial loop when the trip count is below `grain` or only one worker is
+/// available.
+template <typename F>
+void parallel_for(std::size_t begin, std::size_t end, F&& f, std::size_t grain = 2048) {
+  auto thunk = [](std::int64_t i, void* ctx) { (*static_cast<F*>(ctx))(static_cast<std::size_t>(i)); };
+  detail::parallel_for_impl(static_cast<std::int64_t>(begin), static_cast<std::int64_t>(end),
+                            /*dynamic=*/false, static_cast<std::int64_t>(grain), thunk,
+                            const_cast<void*>(static_cast<const void*>(&f)));
+}
+
+/// Applies `f(i)` for i in [begin, end) with dynamic scheduling — use when
+/// per-iteration work is skewed (e.g. per-edge clique search).
+template <typename F>
+void parallel_for_dynamic(std::size_t begin, std::size_t end, F&& f, std::size_t grain = 16) {
+  auto thunk = [](std::int64_t i, void* ctx) { (*static_cast<F*>(ctx))(static_cast<std::size_t>(i)); };
+  detail::parallel_for_impl(static_cast<std::int64_t>(begin), static_cast<std::int64_t>(end),
+                            /*dynamic=*/true, static_cast<std::int64_t>(grain), thunk,
+                            const_cast<void*>(static_cast<const void*>(&f)));
+}
+
+}  // namespace c3

@@ -1,0 +1,45 @@
+// Parallel reductions (map-reduce over an index range).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "parallel/padded.hpp"
+#include "parallel/parallel.hpp"
+
+namespace c3 {
+
+/// Computes combine(identity, map(begin), map(begin+1), ..., map(end-1)) in
+/// parallel. `combine` must be associative and commutative; `identity` must
+/// be its neutral element. O(n) work, O(log n + n/p) depth.
+template <typename T, typename Map, typename Combine>
+[[nodiscard]] T parallel_reduce(std::size_t begin, std::size_t end, T identity, Map&& map,
+                                Combine&& combine, std::size_t grain = 4096) {
+  PerWorker<T> partial(identity);
+  parallel_for(
+      begin, end,
+      [&](std::size_t i) {
+        T& acc = partial.local();
+        acc = combine(std::move(acc), map(i));
+      },
+      grain);
+  return partial.reduce(std::move(identity), combine);
+}
+
+/// Sum of map(i) over [begin, end).
+template <typename T, typename Map>
+[[nodiscard]] T parallel_sum(std::size_t begin, std::size_t end, Map&& map,
+                             std::size_t grain = 4096) {
+  return parallel_reduce(
+      begin, end, T{}, std::forward<Map>(map), [](T a, T b) { return a + b; }, grain);
+}
+
+/// Maximum of map(i) over [begin, end); returns `lowest` for empty ranges.
+template <typename T, typename Map>
+[[nodiscard]] T parallel_max(std::size_t begin, std::size_t end, T lowest, Map&& map,
+                             std::size_t grain = 4096) {
+  return parallel_reduce(
+      begin, end, lowest, std::forward<Map>(map), [](T a, T b) { return a < b ? b : a; }, grain);
+}
+
+}  // namespace c3

@@ -1,0 +1,130 @@
+// Parallel prefix sums (scans).
+//
+// Scans are the backbone of the PRAM-style operations the paper relies on:
+// "Perform a parallel prefix sum to gather the elements in the intersection"
+// (Section 2.2), CSR offset construction, and parallel packing. Implemented
+// as the classic two-pass blocked scan: per-block sums, serial scan over the
+// (few) block sums, then per-block local scans. O(n) work, O(n/p + p) depth.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "parallel/parallel.hpp"
+
+namespace c3 {
+
+/// Exclusive prefix sum: out[i] = init + sum of in[0..i). Returns the grand
+/// total (init + sum of all elements). `in` and `out` may alias.
+template <typename T>
+T exclusive_scan(std::span<const T> in, std::span<T> out, T init = T{}) {
+  const std::size_t n = in.size();
+  if (n == 0) return init;
+  const int workers = num_workers();
+  const std::size_t min_block = 4096;
+  if (workers <= 1 || n < 2 * min_block) {
+    T carry = init;
+    for (std::size_t i = 0; i < n; ++i) {
+      const T value = in[i];  // copy first: allows in == out
+      out[i] = carry;
+      carry += value;
+    }
+    return carry;
+  }
+
+  const std::size_t blocks =
+      std::min<std::size_t>(static_cast<std::size_t>(workers) * 4, (n + min_block - 1) / min_block);
+  const std::size_t block_size = (n + blocks - 1) / blocks;
+  std::vector<T> block_total(blocks, T{});
+
+  parallel_for(
+      0, blocks,
+      [&](std::size_t b) {
+        const std::size_t lo = b * block_size;
+        const std::size_t hi = std::min(n, lo + block_size);
+        T sum = T{};
+        for (std::size_t i = lo; i < hi; ++i) sum += in[i];
+        block_total[b] = sum;
+      },
+      1);
+
+  T carry = init;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const T sum = block_total[b];
+    block_total[b] = carry;
+    carry += sum;
+  }
+
+  parallel_for(
+      0, blocks,
+      [&](std::size_t b) {
+        const std::size_t lo = b * block_size;
+        const std::size_t hi = std::min(n, lo + block_size);
+        T local = block_total[b];
+        for (std::size_t i = lo; i < hi; ++i) {
+          const T value = in[i];
+          out[i] = local;
+          local += value;
+        }
+      },
+      1);
+  return carry;
+}
+
+/// Inclusive prefix sum: out[i] = init + sum of in[0..i]. Returns the total.
+/// `in` and `out` may alias (same blocked structure as exclusive_scan).
+template <typename T>
+T inclusive_scan(std::span<const T> in, std::span<T> out, T init = T{}) {
+  const std::size_t n = in.size();
+  if (n == 0) return init;
+  const int workers = num_workers();
+  const std::size_t min_block = 4096;
+  if (workers <= 1 || n < 2 * min_block) {
+    T carry = init;
+    for (std::size_t i = 0; i < n; ++i) {
+      carry += in[i];
+      out[i] = carry;
+    }
+    return carry;
+  }
+
+  const std::size_t blocks =
+      std::min<std::size_t>(static_cast<std::size_t>(workers) * 4, (n + min_block - 1) / min_block);
+  const std::size_t block_size = (n + blocks - 1) / blocks;
+  std::vector<T> block_total(blocks, T{});
+
+  parallel_for(
+      0, blocks,
+      [&](std::size_t b) {
+        const std::size_t lo = b * block_size;
+        const std::size_t hi = std::min(n, lo + block_size);
+        T sum = T{};
+        for (std::size_t i = lo; i < hi; ++i) sum += in[i];
+        block_total[b] = sum;
+      },
+      1);
+
+  T carry = init;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const T sum = block_total[b];
+    block_total[b] = carry;
+    carry += sum;
+  }
+
+  parallel_for(
+      0, blocks,
+      [&](std::size_t b) {
+        const std::size_t lo = b * block_size;
+        const std::size_t hi = std::min(n, lo + block_size);
+        T local = block_total[b];
+        for (std::size_t i = lo; i < hi; ++i) {
+          local += in[i];
+          out[i] = local;
+        }
+      },
+      1);
+  return carry;
+}
+
+}  // namespace c3

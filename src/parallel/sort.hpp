@@ -1,0 +1,121 @@
+// Parallel comparison sort.
+//
+// A blocked merge sort: the input is cut into ~4p blocks, each sorted with
+// std::sort, then merged pairwise in parallel rounds. Each pairwise merge is
+// itself split across workers by binary-search partitioning (the classic
+// parallel merge), giving O(n log n) work and O((n/p) log n + log^2 n) depth
+// — the same primitive Cole's parallel merge sort provides in the paper's
+// preprocessing analysis ("Sorting the communities", Section 2.2).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <iterator>
+#include <vector>
+
+#include "parallel/parallel.hpp"
+
+namespace c3 {
+
+namespace detail {
+
+/// Merges [a_lo, a_hi) and [b_lo, b_hi) from `src` into `dst` starting at
+/// `out`, splitting the merge into `pieces` independent chunks.
+template <typename T, typename Cmp>
+void parallel_merge(const T* src, std::size_t a_lo, std::size_t a_hi, std::size_t b_lo,
+                    std::size_t b_hi, T* dst, std::size_t out, Cmp cmp, std::size_t pieces) {
+  const std::size_t total = (a_hi - a_lo) + (b_hi - b_lo);
+  if (pieces <= 1 || total < 8192) {
+    std::merge(src + a_lo, src + a_hi, src + b_lo, src + b_hi, dst + out, cmp);
+    return;
+  }
+  // Find, for each piece boundary, the (a, b) split positions such that the
+  // prefix of the merged output of length `target` is exactly the union of
+  // the two prefixes. Standard dual binary search on the rank.
+  std::vector<std::size_t> asplit(pieces + 1), bsplit(pieces + 1);
+  asplit[0] = a_lo;
+  bsplit[0] = b_lo;
+  asplit[pieces] = a_hi;
+  bsplit[pieces] = b_hi;
+  for (std::size_t p = 1; p < pieces; ++p) {
+    std::size_t target = total * p / pieces;
+    // Binary search the number of elements taken from A.
+    std::size_t lo = target > (b_hi - b_lo) ? target - (b_hi - b_lo) : 0;
+    std::size_t hi = std::min(target, a_hi - a_lo);
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      // Take mid from A and target-mid from B; valid if the boundary elements
+      // interleave correctly.
+      const std::size_t btake = target - mid;
+      if (mid < a_hi - a_lo && btake > 0 && cmp(src[a_lo + mid], src[b_lo + btake - 1])) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    asplit[p] = a_lo + lo;
+    bsplit[p] = b_lo + (target - lo);
+  }
+  parallel_for(
+      0, pieces,
+      [&](std::size_t p) {
+        const std::size_t off = out + (asplit[p] - a_lo) + (bsplit[p] - b_lo);
+        std::merge(src + asplit[p], src + asplit[p + 1], src + bsplit[p], src + bsplit[p + 1],
+                   dst + off, cmp);
+      },
+      1);
+}
+
+}  // namespace detail
+
+/// Sorts [first, last) in parallel. Not stable.
+template <typename It, typename Cmp = std::less<>>
+void parallel_sort(It first, It last, Cmp cmp = {}) {
+  using T = typename std::iterator_traits<It>::value_type;
+  const std::size_t n = static_cast<std::size_t>(std::distance(first, last));
+  const int workers = num_workers();
+  if (workers <= 1 || n < 1 << 14) {
+    std::sort(first, last, cmp);
+    return;
+  }
+
+  // Round block count up to a power of two so merge rounds pair up evenly.
+  std::size_t blocks = 1;
+  while (blocks < static_cast<std::size_t>(workers) * 4) blocks <<= 1;
+  const std::size_t block_size = (n + blocks - 1) / blocks;
+
+  T* data = &*first;
+  std::vector<T> buffer(n);
+  parallel_for(
+      0, blocks,
+      [&](std::size_t b) {
+        const std::size_t lo = std::min(n, b * block_size);
+        const std::size_t hi = std::min(n, lo + block_size);
+        std::sort(data + lo, data + hi, cmp);
+      },
+      1);
+
+  // log2(blocks) merge rounds, ping-ponging between data and buffer.
+  T* src = data;
+  T* dst = buffer.data();
+  for (std::size_t width = block_size; width < n; width *= 2) {
+    const std::size_t pairs = (n + 2 * width - 1) / (2 * width);
+    const std::size_t pieces = std::max<std::size_t>(1, static_cast<std::size_t>(workers) / pairs);
+    parallel_for(
+        0, pairs,
+        [&](std::size_t pr) {
+          const std::size_t lo = pr * 2 * width;
+          const std::size_t mid = std::min(n, lo + width);
+          const std::size_t hi = std::min(n, lo + 2 * width);
+          detail::parallel_merge(src, lo, mid, mid, hi, dst, lo, cmp, pieces);
+        },
+        1);
+    std::swap(src, dst);
+  }
+  if (src != data) {
+    parallel_for(0, n, [&](std::size_t i) { data[i] = src[i]; });
+  }
+}
+
+}  // namespace c3

@@ -1,0 +1,59 @@
+#include "triangle/communities.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "parallel/parallel.hpp"
+#include "parallel/reduce.hpp"
+#include "parallel/scan.hpp"
+#include "triangle/triangle_count.hpp"
+
+namespace c3 {
+
+EdgeCommunities EdgeCommunities::build(const Digraph& dag) {
+  const edge_t m = dag.num_arcs();
+  EdgeCommunities out;
+  out.offsets_.assign(m + 1, 0);
+  if (m == 0) return out;
+
+  // Pass 1: size each community. Triangle (a, b, c) contributes member b to
+  // the supporting arc (a, c).
+  std::vector<std::atomic<node_t>> size(m);
+  parallel_for(0, m, [&](std::size_t e) { size[e].store(0, std::memory_order_relaxed); });
+  for_each_triangle(dag, [&](node_t a, node_t, node_t c) {
+    const edge_t support = dag.arc_id(a, c);
+    size[support].fetch_add(1, std::memory_order_relaxed);
+  });
+
+  {
+    std::vector<edge_t> sz(m);
+    parallel_for(0, m, [&](std::size_t e) { sz[e] = size[e].load(std::memory_order_relaxed); });
+    out.offsets_[m] = exclusive_scan<edge_t>(sz, std::span<edge_t>(out.offsets_.data(), m));
+  }
+  out.members_.resize(out.offsets_[m]);
+
+  // Pass 2: scatter members, then sort each community ascending ("Build the
+  // communities and sort them", Algorithm 1 line 1).
+  std::vector<std::atomic<edge_t>> cursor(m);
+  parallel_for(0, m, [&](std::size_t e) {
+    cursor[e].store(out.offsets_[e], std::memory_order_relaxed);
+  });
+  for_each_triangle(dag, [&](node_t a, node_t b, node_t c) {
+    const edge_t support = dag.arc_id(a, c);
+    out.members_[cursor[support].fetch_add(1, std::memory_order_relaxed)] = b;
+  });
+  parallel_for_dynamic(0, m, [&](std::size_t e) {
+    std::sort(out.members_.begin() + static_cast<std::ptrdiff_t>(out.offsets_[e]),
+              out.members_.begin() + static_cast<std::ptrdiff_t>(out.offsets_[e + 1]));
+  });
+  return out;
+}
+
+node_t EdgeCommunities::max_size() const noexcept {
+  const edge_t m = num_edges();
+  if (m == 0) return 0;
+  return parallel_max(0, m, node_t{0},
+                      [&](std::size_t e) { return size(static_cast<edge_t>(e)); });
+}
+
+}  // namespace c3

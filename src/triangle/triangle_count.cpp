@@ -1,0 +1,13 @@
+#include "triangle/triangle_count.hpp"
+
+#include "parallel/padded.hpp"
+
+namespace c3 {
+
+count_t count_triangles(const Digraph& dag) {
+  PerWorker<count_t> partial;
+  for_each_triangle(dag, [&](node_t, node_t, node_t) { ++partial.local(); });
+  return partial.reduce(count_t{0}, [](count_t a, count_t b) { return a + b; });
+}
+
+}  // namespace c3

@@ -1,0 +1,68 @@
+// Minimal command-line argument parsing for examples and bench binaries.
+//
+// Supports `--key value`, `--key=value`, and boolean `--flag` forms plus
+// environment-variable fallbacks, which the bench harness uses so that
+// `for b in build/bench/*; do $b; done` runs with sensible defaults while
+// still allowing scale overrides (e.g. C3_BENCH_REPS=10).
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace c3 {
+
+/// Parsed argv with typed accessors. Unknown keys are simply ignored by the
+/// accessors, so binaries stay forward/backward compatible.
+class CommandLine {
+ public:
+  CommandLine(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  /// True if `--name` appears (with or without a value).
+  [[nodiscard]] bool has_flag(std::string_view name) const {
+    const std::string key = "--" + std::string(name);
+    for (const auto& a : args_)
+      if (a == key || a.rfind(key + "=", 0) == 0) return true;
+    return false;
+  }
+
+  /// String value of `--name value` or `--name=value`, if present.
+  [[nodiscard]] std::optional<std::string> get(std::string_view name) const {
+    const std::string key = "--" + std::string(name);
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i] == key && i + 1 < args_.size()) return args_[i + 1];
+      if (args_[i].rfind(key + "=", 0) == 0) return args_[i].substr(key.size() + 1);
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] long long get_int(std::string_view name, long long fallback) const {
+    if (auto v = get(name)) return std::atoll(v->c_str());
+    return fallback;
+  }
+
+  [[nodiscard]] double get_double(std::string_view name, double fallback) const {
+    if (auto v = get(name)) return std::atof(v->c_str());
+    return fallback;
+  }
+
+  [[nodiscard]] std::string get_string(std::string_view name, std::string fallback) const {
+    if (auto v = get(name)) return *v;
+    return fallback;
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+/// Integer environment variable with fallback (e.g. C3_BENCH_REPS).
+[[nodiscard]] inline long long env_int(const char* name, long long fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoll(v) : fallback;
+}
+
+}  // namespace c3

@@ -1,0 +1,54 @@
+// Streaming statistics over repeated measurements.
+//
+// The paper reports arithmetic averages over >= 10 repetitions and discusses
+// the empirical standard deviation of runtimes (Appendix B.2); this
+// accumulator provides exactly those summary statistics for the bench
+// harness, using Welford's numerically stable online update.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace c3 {
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm).
+class RunStats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  [[nodiscard]] double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+  /// Relative standard deviation (stddev / mean), as the paper quotes
+  /// ("standard deviation of the runtimes is less than 5.2%").
+  [[nodiscard]] double rel_stddev() const noexcept {
+    return mean_ != 0.0 ? stddev() / mean_ : 0.0;
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace c3

@@ -1,0 +1,88 @@
+// Fixed-width console table rendering for the bench harness.
+//
+// Each bench binary regenerates one of the paper's tables or figure series;
+// this printer produces aligned, machine-greppable rows (also valid CSV when
+// requested) so EXPERIMENTS.md can quote them directly.
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace c3 {
+
+/// A simple right-aligned text table. Columns are sized to their widest cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  /// Appends one row; the cell count should match the header.
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Renders with space padding and a rule under the header.
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size() && i < width.size(); ++i)
+        width[i] = std::max(width[i], cells[i].size());
+    };
+    widen(header_);
+    for (const auto& row : rows_) widen(row);
+
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < width.size(); ++i) {
+        const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+        os << (i == 0 ? "" : "  ") << std::setw(static_cast<int>(width[i])) << cell;
+      }
+      os << '\n';
+    };
+    emit(header_);
+    std::size_t rule = 0;
+    for (std::size_t i = 0; i < width.size(); ++i) rule += width[i] + (i ? 2 : 0);
+    os << std::string(rule, '-') << '\n';
+    for (const auto& row : rows_) emit(row);
+    os.flush();
+  }
+
+  /// Renders as CSV (for downstream plotting).
+  void print_csv(std::ostream& os) const {
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) os << (i ? "," : "") << cells[i];
+      os << '\n';
+    };
+    emit(header_);
+    for (const auto& row : rows_) emit(row);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style formatting into a std::string (for table cells).
+template <typename... Args>
+[[nodiscard]] std::string strfmt(const char* fmt, Args... args) {
+  const int n = std::snprintf(nullptr, 0, fmt, args...);
+  std::string out(n > 0 ? static_cast<std::size_t>(n) : 0, '\0');
+  if (n > 0) std::snprintf(out.data(), out.size() + 1, fmt, args...);
+  return out;
+}
+
+/// Human-readable count with thousands separators (e.g. 117,185,083).
+[[nodiscard]] inline std::string with_commas(unsigned long long v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int run = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (run != 0 && run % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++run;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+}  // namespace c3

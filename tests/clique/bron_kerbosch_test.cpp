@@ -1,0 +1,98 @@
+// Tests for maximal clique enumeration (Bron-Kerbosch with degeneracy
+// ordering).
+#include "clique/bron_kerbosch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+#include <set>
+
+#include "clique/bruteforce.hpp"
+#include "graph/builder.hpp"
+#include "graph/gen/generators.hpp"
+
+namespace c3 {
+namespace {
+
+/// Brute-force maximal clique count: enumerate all cliques of every size,
+/// keep those that cannot be extended.
+count_t brute_maximal(const Graph& g) {
+  count_t total = 0;
+  for (int k = 1; k <= static_cast<int>(g.num_nodes()); ++k) {
+    (void)brute_force_list(g, k, [&](std::span<const node_t> clique) {
+      for (node_t w = 0; w < g.num_nodes(); ++w) {
+        bool adjacent_to_all = true;
+        for (const node_t v : clique) {
+          if (w == v || !g.has_edge(v, w)) {
+            adjacent_to_all = false;
+            break;
+          }
+        }
+        if (adjacent_to_all) return true;  // extensible -> not maximal
+      }
+      ++total;
+      return true;
+    });
+  }
+  return total;
+}
+
+TEST(BronKerbosch, KnownFamilies) {
+  EXPECT_EQ(count_maximal_cliques(complete_graph(7)), 1u);
+  EXPECT_EQ(count_maximal_cliques(cycle_graph(5)), 5u);   // each edge
+  EXPECT_EQ(count_maximal_cliques(star_graph(6)), 5u);    // each spoke
+  EXPECT_EQ(count_maximal_cliques(path_graph(6)), 5u);    // each edge
+  EXPECT_EQ(count_maximal_cliques(turan_graph(9, 3)), 27u);  // one per transversal
+}
+
+TEST(BronKerbosch, MatchesBruteForceOnRandomGraphs) {
+  for (const std::uint64_t seed : {1, 2, 3, 4}) {
+    const Graph g = erdos_renyi(25, 90, seed);
+    EXPECT_EQ(count_maximal_cliques(g), brute_maximal(g)) << "seed " << seed;
+  }
+}
+
+TEST(BronKerbosch, ListedCliquesAreMaximalAndDistinct) {
+  const Graph g = erdos_renyi(30, 130, 9);
+  std::mutex mutex;
+  std::set<std::vector<node_t>> seen;
+  int non_maximal = 0;
+  (void)list_maximal_cliques(g, [&](std::span<const node_t> clique) {
+    std::vector<node_t> sorted(clique.begin(), clique.end());
+    std::sort(sorted.begin(), sorted.end());
+    // Check maximality.
+    for (node_t w = 0; w < g.num_nodes(); ++w) {
+      bool all = true;
+      for (const node_t v : sorted) {
+        if (w == v || !g.has_edge(v, w)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        ++non_maximal;
+      }
+    }
+    const std::lock_guard<std::mutex> lock(mutex);
+    seen.insert(sorted);
+    return true;
+  });
+  EXPECT_EQ(non_maximal, 0);
+  EXPECT_EQ(seen.size(), count_maximal_cliques(g));
+}
+
+TEST(BronKerbosch, MaxCliqueSizeByproduct) {
+  const Graph g = planted_clique(150, 300, 9, 3, nullptr);
+  EXPECT_EQ(max_clique_size_bk(g), 9u);
+  EXPECT_EQ(max_clique_size_bk(hypercube(4)), 2u);
+}
+
+TEST(BronKerbosch, EmptyAndSingleton) {
+  EXPECT_EQ(count_maximal_cliques(Graph{}), 0u);
+  EXPECT_EQ(count_maximal_cliques(build_graph(EdgeList{}, 3)), 3u);  // isolated vertices
+}
+
+}  // namespace
+}  // namespace c3

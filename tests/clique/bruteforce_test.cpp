@@ -1,0 +1,66 @@
+// Tests for the brute-force reference enumerator itself (validated against
+// hand-computed counts so it can anchor everything else).
+#include "clique/bruteforce.hpp"
+
+#include <gtest/gtest.h>
+
+#include "clique/combinatorics.hpp"
+#include "graph/builder.hpp"
+#include "graph/gen/generators.hpp"
+
+namespace c3 {
+namespace {
+
+TEST(BruteForce, HandComputedSmallCases) {
+  // Triangle with a tail: 0-1-2 triangle, 2-3.
+  const Graph g = build_graph(EdgeList{{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  EXPECT_EQ(brute_force_count(g, 1), 4u);
+  EXPECT_EQ(brute_force_count(g, 2), 4u);
+  EXPECT_EQ(brute_force_count(g, 3), 1u);
+  EXPECT_EQ(brute_force_count(g, 4), 0u);
+
+  // Two triangles sharing an edge.
+  const Graph h = build_graph(EdgeList{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {0, 3}});
+  EXPECT_EQ(brute_force_count(h, 3), 2u);
+}
+
+TEST(BruteForce, CompleteGraphBinomials) {
+  const Graph g = complete_graph(9);
+  for (int k = 0; k <= 10; ++k) {
+    EXPECT_EQ(brute_force_count(g, k), k == 0 ? 0u : binomial(9, static_cast<count_t>(k)))
+        << "k=" << k;
+  }
+}
+
+TEST(BruteForce, TuranClosedForm) {
+  for (const node_t r : {2, 3, 4}) {
+    const Graph g = turan_graph(12, r);
+    for (node_t k = 2; k <= r + 1; ++k) {
+      EXPECT_EQ(brute_force_count(g, static_cast<int>(k)), cliques_in_turan(12, r, k))
+          << "r=" << r << " k=" << k;
+    }
+  }
+}
+
+TEST(BruteForce, ListingEmitsSortedDistinctCliques) {
+  const Graph g = complete_graph(5);
+  std::vector<std::vector<node_t>> got;
+  (void)brute_force_list(g, 3, [&](std::span<const node_t> c) {
+    got.emplace_back(c.begin(), c.end());
+    return true;
+  });
+  EXPECT_EQ(got.size(), binomial(5, 3));
+  for (const auto& c : got) {
+    EXPECT_TRUE(std::is_sorted(c.begin(), c.end()));
+  }
+}
+
+TEST(BruteForce, EarlyExitStopsEnumeration) {
+  const Graph g = complete_graph(10);
+  int calls = 0;
+  (void)brute_force_list(g, 3, [&](std::span<const node_t>) { return ++calls < 2; });
+  EXPECT_EQ(calls, 2);
+}
+
+}  // namespace
+}  // namespace c3

@@ -1,0 +1,62 @@
+// Tests for the kcList baseline (Danisch et al.).
+#include "clique/kclist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "clique/bruteforce.hpp"
+#include "clique/combinatorics.hpp"
+#include "graph/gen/generators.hpp"
+#include "test_helpers.hpp"
+
+namespace c3 {
+namespace {
+
+TEST(KCList, CompleteGraphClosedForm) {
+  const Graph g = complete_graph(11);
+  for (int k = 3; k <= 11; ++k) {
+    EXPECT_EQ(kclist_count(g, k).count, binomial(11, k)) << "k=" << k;
+  }
+}
+
+TEST(KCList, MatchesBruteForce) {
+  for (const std::uint64_t seed : {1, 2, 3}) {
+    const Graph g = erdos_renyi(45, 330, seed);
+    for (int k = 3; k <= 7; ++k) {
+      EXPECT_EQ(kclist_count(g, k).count, brute_force_count(g, k))
+          << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+TEST(KCList, WorksWithApproximateOrderToo) {
+  const Graph g = erdos_renyi(60, 500, 4);
+  CliqueOptions approx;
+  approx.vertex_order = VertexOrderKind::ApproxDegeneracy;
+  for (int k = 4; k <= 6; ++k) {
+    EXPECT_EQ(kclist_count(g, k, approx).count, kclist_count(g, k).count) << "k=" << k;
+  }
+}
+
+TEST(KCList, ListingMatchesCountingAndIsValid) {
+  const Graph g = erdos_renyi(50, 380, 31);
+  for (int k = 3; k <= 6; ++k) {
+    const count_t expect = brute_force_count(g, k);
+    testing::CliqueCollector collector(g, k);
+    const CliqueResult r = kclist_list(g, k, collector.callback());
+    EXPECT_EQ(r.count, expect) << "k=" << k;
+    collector.expect_valid(expect);
+  }
+}
+
+TEST(KCList, TrivialSizesAndEmpty) {
+  const Graph g = erdos_renyi(40, 100, 37);
+  EXPECT_EQ(kclist_count(g, 1).count, 40u);
+  EXPECT_EQ(kclist_count(g, 2).count, 100u);
+  EXPECT_EQ(kclist_count(Graph{}, 5).count, 0u);
+  EXPECT_EQ(kclist_count(hypercube(5), 3).count, 0u);
+}
+
+TEST(KCList, RejectsAbsurdK) { EXPECT_THROW((void)kclist_count(complete_graph(4), 300), std::invalid_argument); }
+
+}  // namespace
+}  // namespace c3

@@ -1,0 +1,76 @@
+// Tests for the maximum-clique queries.
+#include "clique/max_clique.hpp"
+
+#include <gtest/gtest.h>
+
+#include "clique/api.hpp"
+#include "graph/builder.hpp"
+#include "graph/gen/generators.hpp"
+
+namespace c3 {
+namespace {
+
+TEST(MaxClique, KnownCliqueNumbers) {
+  EXPECT_EQ(max_clique_size(complete_graph(9)), 9u);
+  EXPECT_EQ(max_clique_size(turan_graph(20, 4)), 4u);
+  EXPECT_EQ(max_clique_size(hypercube(5)), 2u);
+  EXPECT_EQ(max_clique_size(cycle_graph(7)), 2u);
+  EXPECT_EQ(max_clique_size(cycle_graph(3)), 3u);
+  EXPECT_EQ(max_clique_size(star_graph(50)), 2u);
+  EXPECT_EQ(max_clique_size(grid_graph(5, 5)), 2u);
+}
+
+TEST(MaxClique, EmptyAndEdgeless) {
+  EXPECT_EQ(max_clique_size(Graph{}), 0u);
+  EXPECT_EQ(max_clique_size(build_graph(EdgeList{}, 5)), 1u);
+  EXPECT_TRUE(find_max_clique(Graph{}).empty());
+  EXPECT_EQ(find_max_clique(build_graph(EdgeList{}, 5)).size(), 1u);
+}
+
+TEST(MaxClique, FindsPlantedClique) {
+  std::vector<node_t> planted;
+  const Graph g = planted_clique(400, 700, 10, 5, &planted);
+  // Background is far too sparse for a 10-clique of its own.
+  EXPECT_EQ(max_clique_size(g), 10u);
+  const auto witness = find_max_clique(g);
+  ASSERT_EQ(witness.size(), 10u);
+  for (std::size_t i = 0; i < witness.size(); ++i) {
+    for (std::size_t j = i + 1; j < witness.size(); ++j) {
+      EXPECT_TRUE(g.has_edge(witness[i], witness[j]));
+    }
+  }
+}
+
+TEST(MaxClique, HasCliqueMonotone) {
+  const Graph g = turan_graph(24, 5);
+  for (int k = 1; k <= 5; ++k) EXPECT_TRUE(has_clique(g, k)) << k;
+  for (int k = 6; k <= 9; ++k) EXPECT_FALSE(has_clique(g, k)) << k;
+}
+
+TEST(MaxClique, FindCliqueWitnessValid) {
+  const Graph g = complete_graph(8);
+  const auto w = find_clique(g, 5);
+  ASSERT_TRUE(w.has_value());
+  ASSERT_EQ(w->size(), 5u);
+  for (std::size_t i = 0; i < w->size(); ++i) {
+    for (std::size_t j = i + 1; j < w->size(); ++j) {
+      EXPECT_TRUE(g.has_edge((*w)[i], (*w)[j]));
+    }
+  }
+  EXPECT_FALSE(find_clique(g, 9).has_value());
+  EXPECT_FALSE(find_clique(g, 0).has_value());
+}
+
+TEST(MaxClique, WorksWithAllAlgorithms) {
+  const Graph g = planted_clique(200, 400, 8, 7, nullptr);
+  for (const Algorithm alg :
+       {Algorithm::C3List, Algorithm::C3ListCD, Algorithm::Hybrid, Algorithm::KCList,
+        Algorithm::ArbCount}) {
+    CliqueOptions opts;
+    opts.algorithm = alg;
+    EXPECT_EQ(max_clique_size(g, opts), 8u) << algorithm_name(alg);
+  }
+}
+
+}  // namespace
+}  // namespace c3

@@ -1,0 +1,62 @@
+// Tests for the k-clique densest subgraph peeling extension.
+#include "clique/peeling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "clique/combinatorics.hpp"
+#include "graph/builder.hpp"
+#include "graph/gen/generators.hpp"
+
+namespace c3 {
+namespace {
+
+TEST(Peeling, CompleteGraphIsItsOwnDensest) {
+  const Graph g = complete_graph(10);
+  const DensestResult r = kclique_densest_peeling(g, 3);
+  EXPECT_EQ(r.vertices.size(), 10u);
+  EXPECT_EQ(r.cliques, binomial(10, 3));
+  EXPECT_DOUBLE_EQ(r.density, static_cast<double>(binomial(10, 3)) / 10.0);
+}
+
+TEST(Peeling, RecoversPlantedDenseCore) {
+  // A 12-clique planted in sparse noise: the densest 4-clique subgraph is
+  // (approximately) the planted core. The peeling guarantees a
+  // 1/(k(1+eps)) approximation; the planted core's density is so far above
+  // the background that the reported subgraph must reach it.
+  std::vector<node_t> planted;
+  const Graph g = planted_clique(400, 600, 12, 5, &planted);
+  const DensestResult r = kclique_densest_peeling(g, 4, 0.5);
+  const double planted_density = static_cast<double>(binomial(12, 4)) / 12.0;
+  EXPECT_GE(r.density, planted_density / (4.0 * 1.5));
+  EXPECT_GT(r.cliques, 0u);
+  EXPECT_FALSE(r.vertices.empty());
+}
+
+TEST(Peeling, TriangleFreeGraphHasNoDenseSubgraph) {
+  const DensestResult r = kclique_densest_peeling(hypercube(5), 3);
+  EXPECT_EQ(r.cliques, 0u);
+  EXPECT_EQ(r.density, 0.0);
+}
+
+TEST(Peeling, ReportedDensityConsistent) {
+  const Graph g = bio_like(200, 800, 8, 15, 0.6, 9);
+  const DensestResult r = kclique_densest_peeling(g, 3);
+  if (!r.vertices.empty()) {
+    EXPECT_NEAR(r.density,
+                static_cast<double>(r.cliques) / static_cast<double>(r.vertices.size()), 1e-9);
+  }
+}
+
+TEST(Peeling, RejectsBadArguments) {
+  const Graph g = complete_graph(4);
+  EXPECT_THROW((void)kclique_densest_peeling(g, 1), std::invalid_argument);
+  EXPECT_THROW((void)kclique_densest_peeling(g, 3, 0.0), std::invalid_argument);
+}
+
+TEST(Peeling, TerminatesOnEmptyGraph) {
+  const DensestResult r = kclique_densest_peeling(build_graph(EdgeList{}, 10), 3);
+  EXPECT_EQ(r.cliques, 0u);
+}
+
+}  // namespace
+}  // namespace c3

@@ -1,0 +1,131 @@
+// Direct tests of the Algorithm 2 engine on hand-built local subgraphs.
+#include "clique/recursive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "clique/combinatorics.hpp"
+
+namespace c3 {
+namespace {
+
+struct EngineFixture {
+  LocalGraph lg;
+  SearchContext ctx;
+  LocalCounters ctr;
+
+  explicit EngineFixture(int n) {
+    lg.reset(n);
+    ctx.lg = &lg;
+    ctx.ctr = &ctr;
+    ctx.prune = true;
+  }
+
+  count_t count_all(int c) { return search_cliques_all(ctx, c); }
+};
+
+TEST(RecursiveEngine, BaseCaseCountsCandidates) {
+  EngineFixture f(5);  // no edges
+  EXPECT_EQ(f.count_all(1), 5u);
+}
+
+TEST(RecursiveEngine, BaseCaseCountsEdges) {
+  EngineFixture f(4);
+  f.lg.add_edge(0, 1);
+  f.lg.add_edge(2, 3);
+  f.lg.add_edge(0, 3);
+  EXPECT_EQ(f.count_all(2), 3u);
+}
+
+TEST(RecursiveEngine, CompleteLocalGraphClosedForms) {
+  const int n = 10;
+  for (int c = 1; c <= n; ++c) {
+    EngineFixture f(n);
+    for (int a = 0; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b) f.lg.add_edge(a, b);
+    }
+    EXPECT_EQ(f.count_all(c), binomial(n, c)) << "c=" << c;
+  }
+}
+
+TEST(RecursiveEngine, PathHasNoTriangles) {
+  EngineFixture f(6);
+  for (int a = 0; a + 1 < 6; ++a) f.lg.add_edge(a, a + 1);
+  EXPECT_EQ(f.count_all(3), 0u);
+  EXPECT_EQ(f.count_all(2), 5u);
+}
+
+TEST(RecursiveEngine, CrossesWordBoundary) {
+  // A complete local graph on 70 vertices exercises the 2-word bitset path.
+  const int n = 70;
+  EngineFixture f(n);
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) f.lg.add_edge(a, b);
+  }
+  EXPECT_EQ(f.count_all(3), binomial(70, 3));
+  EXPECT_EQ(f.count_all(4), binomial(70, 4));
+}
+
+TEST(RecursiveEngine, IntervalRestrictionPreventsDoubleCounting) {
+  // Two triangles sharing an edge: {0,1,2} and {0,2,3} (edges 01 02 12 23 03).
+  // A 3-clique search must count each exactly once even though vertex 0 and
+  // 2 are common neighbors of several pairs.
+  EngineFixture f(4);
+  f.lg.add_edge(0, 1);
+  f.lg.add_edge(0, 2);
+  f.lg.add_edge(1, 2);
+  f.lg.add_edge(2, 3);
+  f.lg.add_edge(0, 3);
+  EXPECT_EQ(f.count_all(3), 2u);
+}
+
+TEST(RecursiveEngine, CountersTrackProbes) {
+  EngineFixture f(8);
+  for (int a = 0; a < 8; ++a) {
+    for (int b = a + 1; b < 8; ++b) f.lg.add_edge(a, b);
+  }
+  (void)f.count_all(4);
+  EXPECT_GT(f.ctr.pairs_probed, 0u);
+  EXPECT_GT(f.ctr.edges_matched, 0u);
+  EXPECT_GE(f.ctr.pairs_probed, f.ctr.edges_matched);
+  EXPECT_GT(f.ctr.recursive_calls, 0u);
+}
+
+TEST(RecursiveEngine, PruneFlagOnlyChangesWork) {
+  for (const bool prune : {true, false}) {
+    EngineFixture f(12);
+    for (int a = 0; a < 12; ++a) {
+      for (int b = a + 1; b < 12; ++b) f.lg.add_edge(a, b);
+    }
+    f.ctx.prune = prune;
+    EXPECT_EQ(f.count_all(6), binomial(12, 6)) << "prune=" << prune;
+  }
+}
+
+TEST(RecursiveEngine, ListingReportsChosenVertices) {
+  EngineFixture f(4);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) f.lg.add_edge(a, b);
+  }
+  const node_t to_orig[] = {100, 101, 102, 103};
+  std::vector<std::vector<node_t>> reported;
+  const CliqueCallback cb = [&](std::span<const node_t> clique) {
+    std::vector<node_t> sorted(clique.begin(), clique.end());
+    std::sort(sorted.begin(), sorted.end());
+    reported.push_back(sorted);
+    return true;
+  };
+  f.ctx.callback = &cb;
+  f.ctx.member_to_orig = to_orig;
+  EXPECT_EQ(f.count_all(3), 4u);
+  ASSERT_EQ(reported.size(), 4u);
+  for (const auto& c : reported) {
+    ASSERT_EQ(c.size(), 3u);
+    for (const node_t v : c) {
+      ASSERT_GE(v, 100u);
+      ASSERT_LE(v, 103u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace c3

@@ -1,0 +1,82 @@
+// Tests for the clique spectrum (shared-preprocessing k sweep).
+#include "clique/spectrum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "clique/api.hpp"
+#include "clique/bruteforce.hpp"
+#include "clique/combinatorics.hpp"
+#include "clique/max_clique.hpp"
+#include "graph/builder.hpp"
+#include "graph/gen/generators.hpp"
+
+namespace c3 {
+namespace {
+
+TEST(Spectrum, CompleteGraphIsPascalRow) {
+  const CliqueSpectrum s = clique_spectrum(complete_graph(10));
+  ASSERT_EQ(s.omega, 10u);
+  ASSERT_EQ(s.counts.size(), 11u);
+  for (count_t k = 1; k <= 10; ++k) EXPECT_EQ(s.counts[k], binomial(10, k)) << "k=" << k;
+}
+
+TEST(Spectrum, MatchesPerKCounts) {
+  const Graph g = social_like(200, 1500, 0.45, 17);
+  const CliqueSpectrum s = clique_spectrum(g);
+  EXPECT_EQ(s.omega, max_clique_size(g));
+  for (int k = 1; k <= static_cast<int>(s.omega); ++k) {
+    EXPECT_EQ(s.counts[static_cast<std::size_t>(k)], count_cliques(g, k).count) << "k=" << k;
+  }
+}
+
+TEST(Spectrum, RespectsKmaxCap) {
+  const Graph g = complete_graph(12);
+  const CliqueSpectrum s = clique_spectrum(g, 5);
+  EXPECT_EQ(s.omega, 5u);
+  EXPECT_EQ(s.counts.size(), 6u);
+  EXPECT_EQ(s.counts[5], binomial(12, 5));
+}
+
+TEST(Spectrum, TriangleFreeStopsAtTwo) {
+  const CliqueSpectrum s = clique_spectrum(hypercube(6));
+  EXPECT_EQ(s.omega, 2u);
+  EXPECT_EQ(s.counts[1], 64u);
+  EXPECT_EQ(s.counts[2], 64u * 6 / 2);
+}
+
+TEST(Spectrum, EmptyAndEdgelessGraphs) {
+  EXPECT_EQ(clique_spectrum(Graph{}).omega, 0u);
+  const CliqueSpectrum s = clique_spectrum(build_graph(EdgeList{}, 7));
+  EXPECT_EQ(s.omega, 1u);
+  EXPECT_EQ(s.counts[1], 7u);
+}
+
+TEST(Spectrum, OptionsAreHonored) {
+  const Graph g = erdos_renyi(60, 450, 23);
+  CliqueOptions tri;
+  tri.triangle_growth = true;
+  CliqueOptions approx;
+  approx.vertex_order = VertexOrderKind::ApproxDegeneracy;
+  const CliqueSpectrum base = clique_spectrum(g);
+  const CliqueSpectrum with_tri = clique_spectrum(g, 0, tri);
+  const CliqueSpectrum with_approx = clique_spectrum(g, 0, approx);
+  EXPECT_EQ(base.counts, with_tri.counts);
+  EXPECT_EQ(base.counts, with_approx.counts);
+}
+
+TEST(Spectrum, UnimodalOnRandomGraphs) {
+  // Clique counts per size are unimodal for these families — a cheap sanity
+  // property that catches off-by-one k plumbing.
+  const Graph g = bio_like(200, 900, 10, 16, 0.7, 31);
+  const CliqueSpectrum s = clique_spectrum(g);
+  bool decreasing = false;
+  for (std::size_t k = 2; k < s.counts.size(); ++k) {
+    if (s.counts[k] < s.counts[k - 1]) decreasing = true;
+    if (decreasing) {
+      ASSERT_LE(s.counts[k], s.counts[k - 1]) << "k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace c3

@@ -1,0 +1,67 @@
+// Tests for per-vertex / per-edge k-clique counts.
+#include "clique/vertex_counts.hpp"
+
+#include <gtest/gtest.h>
+
+#include "clique/api.hpp"
+#include "clique/combinatorics.hpp"
+#include "graph/gen/generators.hpp"
+
+namespace c3 {
+namespace {
+
+TEST(VertexCounts, CompleteGraphSymmetric) {
+  const Graph g = complete_graph(8);
+  const auto counts = per_vertex_clique_counts(g, 4);
+  for (node_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(counts[v], binomial(7, 3)) << "v=" << v;  // choose the other 3
+  }
+}
+
+TEST(VertexCounts, SumIdentity) {
+  const Graph g = social_like(200, 1400, 0.4, 3);
+  for (int k = 3; k <= 5; ++k) {
+    const count_t total = count_cliques(g, k).count;
+    const auto counts = per_vertex_clique_counts(g, k);
+    count_t sum = 0;
+    for (const count_t c : counts) sum += c;
+    EXPECT_EQ(sum, static_cast<count_t>(k) * total) << "k=" << k;
+  }
+}
+
+TEST(VertexCounts, PlantedCliqueMembersStandOut) {
+  std::vector<node_t> planted;
+  const Graph g = planted_clique(300, 500, 9, 11, &planted);
+  const auto counts = per_vertex_clique_counts(g, 6);
+  for (const node_t v : planted) {
+    EXPECT_GE(counts[v], binomial(8, 5)) << "member " << v;
+  }
+}
+
+TEST(EdgeCounts, SumIdentity) {
+  const Graph g = erdos_renyi(60, 500, 7);
+  for (int k = 3; k <= 5; ++k) {
+    const count_t total = count_cliques(g, k).count;
+    const auto counts = per_edge_clique_counts(g, k);
+    count_t sum = 0;
+    for (const count_t c : counts) sum += c;
+    EXPECT_EQ(sum, binomial(static_cast<count_t>(k), 2) * total) << "k=" << k;
+  }
+}
+
+TEST(EdgeCounts, TrianglePerEdgeMatchesCommunitySize) {
+  const Graph g = erdos_renyi(50, 300, 13);
+  const auto counts = per_edge_clique_counts(g, 3);
+  const auto endpoints = g.endpoints();
+  for (edge_t e = 0; e < g.num_edges(); ++e) {
+    // Count common neighbors directly.
+    count_t expect = 0;
+    for (const node_t w : g.neighbors(endpoints[e].u)) {
+      if (g.has_edge(endpoints[e].v, w)) ++expect;
+    }
+    ASSERT_EQ(counts[e], expect) << "edge " << e;
+  }
+}
+
+}  // namespace
+}  // namespace c3

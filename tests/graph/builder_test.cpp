@@ -1,0 +1,96 @@
+// Tests for the parallel graph builder's input normalization.
+#include "graph/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "parallel/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace c3 {
+namespace {
+
+TEST(Builder, DropsSelfLoops) {
+  const Graph g = build_graph(EdgeList{{0, 0}, {0, 1}, {1, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.has_edge(0, 0));
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(Builder, MergesDuplicatesAndReversedDuplicates) {
+  const Graph g = build_graph(EdgeList{{0, 1}, {0, 1}, {1, 0}, {2, 1}, {1, 2}, {1, 2}});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(Builder, InfersNodeCountFromMaxId) {
+  const Graph g = build_graph(EdgeList{{3, 9}});
+  EXPECT_EQ(g.num_nodes(), 10u);
+}
+
+TEST(Builder, ExplicitNodeCountKeepsIsolated) {
+  const Graph g = build_graph(EdgeList{{0, 1}}, 7);
+  EXPECT_EQ(g.num_nodes(), 7u);
+}
+
+TEST(Builder, ThrowsOnOutOfRangeVertex) {
+  EXPECT_THROW((void)build_graph(EdgeList{{0, 5}}, 3), std::invalid_argument);
+}
+
+TEST(Builder, EmptyEdgeList) {
+  const Graph g = build_graph(EdgeList{}, 4);
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  const Graph g0 = build_graph(EdgeList{});
+  EXPECT_EQ(g0.num_nodes(), 0u);
+}
+
+TEST(Builder, LargeRandomInputInvariants) {
+  // Throw a messy random multigraph at the builder and verify CSR sanity.
+  const node_t n = 5000;
+  EdgeList edges;
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 60'000; ++i) {
+    edges.push_back(Edge{static_cast<node_t>(rng.next_below(n)),
+                         static_cast<node_t>(rng.next_below(n))});
+  }
+  const Graph g = build_graph(edges, n);
+  edge_t degree_sum = 0;
+  for (node_t v = 0; v < n; ++v) {
+    const auto nbrs = g.neighbors(v);
+    ASSERT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+    ASSERT_TRUE(std::adjacent_find(nbrs.begin(), nbrs.end()) == nbrs.end()) << "duplicate";
+    for (const node_t w : nbrs) {
+      ASSERT_NE(w, v) << "self loop";
+      ASSERT_TRUE(g.has_edge(w, v)) << "asymmetric";
+    }
+    degree_sum += nbrs.size();
+  }
+  EXPECT_EQ(degree_sum, 2 * g.num_edges());
+}
+
+TEST(Builder, DeterministicAcrossWorkerCounts) {
+  EdgeList edges;
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 10'000; ++i) {
+    edges.push_back(Edge{static_cast<node_t>(rng.next_below(500)),
+                         static_cast<node_t>(rng.next_below(500))});
+  }
+  const int original = num_workers();
+  set_num_workers(1);
+  const Graph g1 = build_graph(edges, 500);
+  set_num_workers(4);
+  const Graph g4 = build_graph(edges, 500);
+  set_num_workers(original);
+
+  ASSERT_EQ(g1.num_edges(), g4.num_edges());
+  for (node_t v = 0; v < 500; ++v) {
+    const auto a = g1.neighbors(v);
+    const auto b = g4.neighbors(v);
+    ASSERT_EQ(std::vector<node_t>(a.begin(), a.end()), std::vector<node_t>(b.begin(), b.end()));
+  }
+}
+
+}  // namespace
+}  // namespace c3

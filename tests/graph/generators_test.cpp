@@ -1,0 +1,154 @@
+// Tests for every graph generator: size contracts, structural signatures,
+// and seed determinism.
+#include "graph/gen/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/gen/paper_examples.hpp"
+
+namespace c3 {
+namespace {
+
+bool same_graph(const Graph& a, const Graph& b) {
+  if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges()) return false;
+  for (node_t v = 0; v < a.num_nodes(); ++v) {
+    const auto x = a.neighbors(v);
+    const auto y = b.neighbors(v);
+    if (!std::equal(x.begin(), x.end(), y.begin(), y.end())) return false;
+  }
+  return true;
+}
+
+TEST(Generators, ErdosRenyiSizeAndDeterminism) {
+  const Graph g = erdos_renyi(1000, 5000, 42);
+  EXPECT_EQ(g.num_nodes(), 1000u);
+  EXPECT_EQ(g.num_edges(), 5000u);  // exactly m distinct edges
+  EXPECT_TRUE(same_graph(g, erdos_renyi(1000, 5000, 42)));
+  EXPECT_FALSE(same_graph(g, erdos_renyi(1000, 5000, 43)));
+}
+
+TEST(Generators, ErdosRenyiClampsToCompleteGraph) {
+  const Graph g = erdos_renyi(10, 1000, 1);
+  EXPECT_EQ(g.num_edges(), 45u);
+}
+
+TEST(Generators, RmatShapeAndSkew) {
+  const Graph g = rmat(1 << 12, 40'000, 0.57, 0.19, 0.19, 7);
+  EXPECT_EQ(g.num_nodes(), 1u << 12);
+  EXPECT_GT(g.num_edges(), 30'000u);  // some dedup expected
+  // R-MAT with skewed quadrants produces hubs well above average degree.
+  EXPECT_GT(g.max_degree(), 8 * (2 * g.num_edges() / g.num_nodes()));
+  EXPECT_TRUE(same_graph(g, rmat(1 << 12, 40'000, 0.57, 0.19, 0.19, 7)));
+}
+
+TEST(Generators, ChungLuSkewAndDeterminism) {
+  const Graph g = chung_lu(2000, 10'000, 0.7, 9);
+  EXPECT_EQ(g.num_nodes(), 2000u);
+  EXPECT_GT(g.num_edges(), 7000u);
+  EXPECT_GT(g.max_degree(), 4 * (2 * g.num_edges() / g.num_nodes()));
+  EXPECT_TRUE(same_graph(g, chung_lu(2000, 10'000, 0.7, 9)));
+}
+
+TEST(Generators, BarabasiAlbertDegrees) {
+  const Graph g = barabasi_albert(2000, 3, 5);
+  EXPECT_EQ(g.num_nodes(), 2000u);
+  // Every late vertex attaches to >= 1 (dedup may merge) and <= 3 targets.
+  EXPECT_LE(g.num_edges(), 3u * 2000u);
+  EXPECT_GT(g.max_degree(), 30u);  // preferential attachment grows hubs
+  for (node_t v = 4; v < g.num_nodes(); ++v) ASSERT_GE(g.degree(v), 1u);
+}
+
+TEST(Generators, HypercubeStructure) {
+  const Graph g = hypercube(6);
+  EXPECT_EQ(g.num_nodes(), 64u);
+  EXPECT_EQ(g.num_edges(), 64u * 6 / 2);
+  for (node_t v = 0; v < g.num_nodes(); ++v) ASSERT_EQ(g.degree(v), 6u);
+}
+
+TEST(Generators, CompleteAndTuran) {
+  EXPECT_EQ(complete_graph(7).num_edges(), 21u);
+  const Graph t = turan_graph(9, 3);  // 3 parts of 3: 27 edges
+  EXPECT_EQ(t.num_edges(), 27u);
+  for (node_t v = 0; v < 9; ++v) ASSERT_EQ(t.degree(v), 6u);
+}
+
+TEST(Generators, GridStarPathCycle) {
+  EXPECT_EQ(grid_graph(3, 4).num_edges(), 3u * 3 + 4u * 2);
+  EXPECT_EQ(star_graph(8).num_edges(), 7u);
+  EXPECT_EQ(star_graph(8).max_degree(), 7u);
+  EXPECT_EQ(path_graph(5).num_edges(), 4u);
+  EXPECT_EQ(cycle_graph(5).num_edges(), 5u);
+  EXPECT_EQ(cycle_graph(2).num_edges(), 1u);  // degenerate: no back edge
+}
+
+TEST(Generators, PlantedCliqueIsPresent) {
+  std::vector<node_t> members;
+  const Graph g = planted_clique(500, 1000, 12, 3, &members);
+  ASSERT_EQ(members.size(), 12u);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      ASSERT_TRUE(g.has_edge(members[i], members[j]));
+    }
+  }
+}
+
+TEST(Generators, BipartitePlusLine) {
+  const Graph g = bipartite_plus_line(10);
+  EXPECT_EQ(g.num_nodes(), 20u);
+  EXPECT_EQ(g.num_edges(), 100u + 9u);
+  // Cross edges plus the path on side A.
+  EXPECT_TRUE(g.has_edge(0, 1));    // path
+  EXPECT_TRUE(g.has_edge(0, 10));   // cross
+  EXPECT_FALSE(g.has_edge(10, 11)); // side B stays independent
+}
+
+TEST(Generators, PaperExampleGraphs) {
+  const Graph f1 = figure1_graph();
+  EXPECT_EQ(f1.num_edges(), 15u);  // K6
+  const Graph f2 = figure2_graph();
+  EXPECT_EQ(f2.num_edges(), 14u);
+  EXPECT_FALSE(f2.has_edge(2, 3));  // v3-v4 missing
+  const Graph f4 = figure4_graph();
+  EXPECT_EQ(f4.num_edges(), 13u);
+  EXPECT_FALSE(f4.has_edge(2, 3));
+  EXPECT_FALSE(f4.has_edge(1, 5));  // v2-v6 missing
+}
+
+TEST(Generators, DatasetStandInsProduceExpectedScale) {
+  const Graph social = social_like(2000, 12'000, 0.3, 1);
+  EXPECT_EQ(social.num_nodes(), 2000u);
+  EXPECT_GT(social.num_edges(), 6000u);
+
+  const Graph collab = collaboration_like(3000, 2000, 12, 2);
+  EXPECT_EQ(collab.num_nodes(), 3000u);
+  EXPECT_GT(collab.num_edges(), 1000u);
+
+  const Graph topo = topology_like(3000, 2, 0.2, 3);
+  EXPECT_EQ(topo.num_nodes(), 3000u);
+
+  const Graph mesh = mesh_like(2000, 8, 4);
+  EXPECT_EQ(mesh.num_nodes(), 2000u);
+  EXPECT_GE(mesh.max_degree(), 8u);
+
+  const Graph spec = spectral_like(1000, 4, 24, 40, 5);
+  EXPECT_EQ(spec.num_nodes(), 1000u);
+
+  const Graph rating = rating_projection(800, 60, 8, 6);
+  EXPECT_EQ(rating.num_nodes(), 800u);
+  EXPECT_GT(rating.num_edges(), 800u);
+
+  const Graph bio = bio_like(1500, 4000, 30, 25, 0.5, 7);
+  EXPECT_EQ(bio.num_nodes(), 1500u);
+}
+
+TEST(Generators, DatasetStandInsAreSeedDeterministic) {
+  EXPECT_TRUE(same_graph(social_like(500, 3000, 0.3, 11), social_like(500, 3000, 0.3, 11)));
+  EXPECT_TRUE(
+      same_graph(collaboration_like(500, 400, 10, 12), collaboration_like(500, 400, 10, 12)));
+  EXPECT_TRUE(same_graph(mesh_like(500, 6, 13), mesh_like(500, 6, 13)));
+  EXPECT_TRUE(same_graph(rating_projection(300, 40, 6, 14), rating_projection(300, 40, 6, 14)));
+  EXPECT_FALSE(same_graph(mesh_like(500, 6, 13), mesh_like(500, 6, 14)));
+}
+
+}  // namespace
+}  // namespace c3

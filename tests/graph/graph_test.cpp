@@ -1,0 +1,93 @@
+// Tests for the CSR Graph accessors.
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+
+namespace c3 {
+namespace {
+
+Graph triangle_with_tail() {
+  // 0-1-2 triangle, 2-3 tail.
+  return build_graph(EdgeList{{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+}
+
+TEST(Graph, BasicCounts) {
+  const Graph g = triangle_with_tail();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+TEST(Graph, NeighborsSortedAscending) {
+  const Graph g = triangle_with_tail();
+  for (node_t v = 0; v < g.num_nodes(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  }
+  const auto n2 = g.neighbors(2);
+  EXPECT_EQ(std::vector<node_t>(n2.begin(), n2.end()), (std::vector<node_t>{0, 1, 3}));
+}
+
+TEST(Graph, HasEdgeSymmetric) {
+  const Graph g = triangle_with_tail();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(3, 0));
+}
+
+TEST(Graph, EdgeIdsDenseAndConsistent) {
+  const Graph g = triangle_with_tail();
+  std::vector<bool> seen(g.num_edges(), false);
+  for (node_t u = 0; u < g.num_nodes(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto ids = g.edge_ids(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      ASSERT_LT(ids[i], g.num_edges());
+      // Both directions agree.
+      EXPECT_EQ(g.edge_id(u, nbrs[i]), ids[i]);
+      EXPECT_EQ(g.edge_id(nbrs[i], u), ids[i]);
+      seen[ids[i]] = true;
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(Graph, EdgeIdMissingEdge) {
+  const Graph g = triangle_with_tail();
+  EXPECT_EQ(g.edge_id(0, 3), static_cast<edge_t>(-1));
+}
+
+TEST(Graph, EndpointsTableCanonical) {
+  const Graph g = triangle_with_tail();
+  const auto eps = g.endpoints();
+  ASSERT_EQ(eps.size(), g.num_edges());
+  for (edge_t e = 0; e < g.num_edges(); ++e) {
+    EXPECT_LT(eps[e].u, eps[e].v);
+    EXPECT_EQ(g.edge_id(eps[e].u, eps[e].v), e);
+  }
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, IsolatedVertices) {
+  const Graph g = build_graph(EdgeList{{0, 1}}, 5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.degree(4), 0u);
+  EXPECT_TRUE(g.neighbors(4).empty());
+}
+
+}  // namespace
+}  // namespace c3

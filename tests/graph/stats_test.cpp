@@ -1,0 +1,50 @@
+// Tests for the Table 2 statistics pipeline.
+#include "graph/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "clique/combinatorics.hpp"
+#include "graph/gen/generators.hpp"
+
+namespace c3 {
+namespace {
+
+TEST(Stats, CompleteGraph) {
+  const GraphStats s = compute_stats(complete_graph(10));
+  EXPECT_EQ(s.nodes, 10u);
+  EXPECT_EQ(s.edges, 45u);
+  EXPECT_EQ(s.triangles, binomial(10, 3));
+  EXPECT_EQ(s.degeneracy, 9u);
+  EXPECT_EQ(s.max_degree, 9u);
+  EXPECT_DOUBLE_EQ(s.edges_per_node, 4.5);
+  EXPECT_DOUBLE_EQ(s.triangles_per_node, 12.0);
+  EXPECT_NEAR(s.triangles_per_edge, 120.0 / 45.0, 1e-12);
+}
+
+TEST(Stats, HypercubeHasNoTriangles) {
+  const GraphStats s = compute_stats(hypercube(5));
+  EXPECT_EQ(s.nodes, 32u);
+  EXPECT_EQ(s.edges, 80u);  // 2^5 * 5 / 2
+  EXPECT_EQ(s.triangles, 0u);
+  EXPECT_EQ(s.degeneracy, 5u);
+}
+
+TEST(Stats, EmptyGraphIsAllZero) {
+  const GraphStats s = compute_stats(Graph{});
+  EXPECT_EQ(s.nodes, 0u);
+  EXPECT_EQ(s.edges, 0u);
+  EXPECT_EQ(s.triangles, 0u);
+  EXPECT_EQ(s.degeneracy, 0u);
+  EXPECT_EQ(s.edges_per_node, 0.0);
+}
+
+TEST(Stats, GridGraph) {
+  const GraphStats s = compute_stats(grid_graph(10, 10));
+  EXPECT_EQ(s.nodes, 100u);
+  EXPECT_EQ(s.edges, 180u);
+  EXPECT_EQ(s.triangles, 0u);
+  EXPECT_EQ(s.degeneracy, 2u);
+}
+
+}  // namespace
+}  // namespace c3

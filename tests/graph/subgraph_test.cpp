@@ -1,0 +1,55 @@
+// Tests for induced subgraph extraction.
+#include "graph/subgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/gen/generators.hpp"
+
+namespace c3 {
+namespace {
+
+TEST(Subgraph, InducesEdgesAmongSelected) {
+  // Square with one diagonal: 0-1-2-3-0 plus 0-2.
+  const Graph g = build_graph(EdgeList{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}});
+  const std::vector<node_t> pick = {0, 2, 3};
+  const InducedSubgraph sub = induced_subgraph(g, pick);
+  EXPECT_EQ(sub.graph.num_nodes(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 3u);  // triangle 0-2-3
+  EXPECT_EQ(sub.to_parent, pick);
+  EXPECT_TRUE(sub.graph.has_edge(0, 1));  // 0-2 in parent
+  EXPECT_TRUE(sub.graph.has_edge(1, 2));  // 2-3
+  EXPECT_TRUE(sub.graph.has_edge(0, 2));  // 0-3
+}
+
+TEST(Subgraph, EmptySelection) {
+  const Graph g = complete_graph(5);
+  const InducedSubgraph sub = induced_subgraph(g, std::vector<node_t>{});
+  EXPECT_EQ(sub.graph.num_nodes(), 0u);
+}
+
+TEST(Subgraph, FullSelectionIsIsomorphic) {
+  const Graph g = erdos_renyi(50, 200, 9);
+  std::vector<node_t> all(g.num_nodes());
+  for (node_t v = 0; v < g.num_nodes(); ++v) all[v] = v;
+  const InducedSubgraph sub = induced_subgraph(g, all);
+  EXPECT_EQ(sub.graph.num_edges(), g.num_edges());
+}
+
+TEST(Subgraph, RejectsDuplicatesAndOutOfRange) {
+  const Graph g = complete_graph(4);
+  EXPECT_THROW((void)induced_subgraph(g, std::vector<node_t>{0, 0}), std::invalid_argument);
+  EXPECT_THROW((void)induced_subgraph(g, std::vector<node_t>{0, 9}), std::invalid_argument);
+}
+
+TEST(Subgraph, RespectsSelectionOrderForLocalIds) {
+  const Graph g = build_graph(EdgeList{{0, 1}, {1, 2}});
+  const std::vector<node_t> pick = {2, 1};  // local 0 = parent 2, local 1 = parent 1
+  const InducedSubgraph sub = induced_subgraph(g, pick);
+  EXPECT_TRUE(sub.graph.has_edge(0, 1));
+  EXPECT_EQ(sub.to_parent[0], 2u);
+  EXPECT_EQ(sub.to_parent[1], 1u);
+}
+
+}  // namespace
+}  // namespace c3

@@ -1,0 +1,88 @@
+// Closed-form clique counts on structured families, checked for every
+// algorithm (parameterized).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "clique/api.hpp"
+#include "clique/combinatorics.hpp"
+#include "graph/builder.hpp"
+#include "graph/gen/generators.hpp"
+
+namespace c3 {
+namespace {
+
+const Algorithm kAlgorithms[] = {Algorithm::C3List, Algorithm::C3ListCD, Algorithm::Hybrid,
+                                 Algorithm::KCList, Algorithm::ArbCount};
+
+class ClosedForms : public ::testing::TestWithParam<Algorithm> {
+ protected:
+  [[nodiscard]] CliqueOptions opts() const {
+    CliqueOptions o;
+    o.algorithm = GetParam();
+    return o;
+  }
+};
+
+TEST_P(ClosedForms, CompleteGraphAllK) {
+  const Graph g = complete_graph(13);
+  for (int k = 3; k <= 14; ++k) {
+    EXPECT_EQ(count_cliques(g, k, opts()).count, binomial(13, static_cast<count_t>(k)))
+        << "k=" << k;
+  }
+}
+
+TEST_P(ClosedForms, TuranGraphs) {
+  for (const node_t r : {3, 4, 5}) {
+    const Graph g = turan_graph(20, r);
+    for (node_t k = 3; k <= r + 1; ++k) {
+      EXPECT_EQ(count_cliques(g, static_cast<int>(k), opts()).count, cliques_in_turan(20, r, k))
+          << "r=" << r << " k=" << k;
+    }
+  }
+}
+
+TEST_P(ClosedForms, TriangleFreeFamilies) {
+  EXPECT_EQ(count_cliques(hypercube(7), 3, opts()).count, 0u);
+  EXPECT_EQ(count_cliques(grid_graph(12, 12), 3, opts()).count, 0u);
+  EXPECT_EQ(count_cliques(cycle_graph(30), 3, opts()).count, 0u);
+  EXPECT_EQ(count_cliques(star_graph(64), 3, opts()).count, 0u);
+}
+
+TEST_P(ClosedForms, BipartitePlusLineTriangles) {
+  // Every path edge forms a triangle with each vertex of the other side:
+  // (half - 1) * half triangles, and no 4-cliques (that would need two
+  // adjacent side-B vertices).
+  const node_t half = 8;
+  const Graph g = bipartite_plus_line(half);
+  EXPECT_EQ(count_cliques(g, 3, opts()).count,
+            static_cast<count_t>(half - 1) * half);
+  EXPECT_EQ(count_cliques(g, 4, opts()).count, 0u);
+}
+
+TEST_P(ClosedForms, DisjointCliquesAddUp) {
+  // Two disjoint K7: counts double, nothing leaks across components.
+  EdgeList edges;
+  for (node_t u = 0; u < 7; ++u) {
+    for (node_t v = u + 1; v < 7; ++v) {
+      edges.push_back(Edge{u, v});
+      edges.push_back(Edge{static_cast<node_t>(7 + u), static_cast<node_t>(7 + v)});
+    }
+  }
+  const Graph g = build_graph(edges, 14);
+  for (int k = 3; k <= 7; ++k) {
+    EXPECT_EQ(count_cliques(g, k, opts()).count, 2 * binomial(7, static_cast<count_t>(k)))
+        << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ClosedForms, ::testing::ValuesIn(kAlgorithms),
+                         [](const ::testing::TestParamInfo<Algorithm>& info) {
+                           std::string name = algorithm_name(info.param);
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace c3

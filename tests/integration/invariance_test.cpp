@@ -1,0 +1,101 @@
+// Invariance properties: counts must not depend on vertex labels, worker
+// count, or counting-vs-listing mode.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+#include "clique/api.hpp"
+#include "graph/builder.hpp"
+#include "graph/gen/generators.hpp"
+#include "parallel/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace c3 {
+namespace {
+
+Graph relabel(const Graph& g, std::uint64_t seed) {
+  std::vector<node_t> perm(g.num_nodes());
+  std::iota(perm.begin(), perm.end(), node_t{0});
+  Xoshiro256 rng(seed);
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.next_below(i)]);
+  }
+  EdgeList edges;
+  for (const Edge& e : g.endpoints()) edges.push_back(Edge{perm[e.u], perm[e.v]});
+  return build_graph(edges, g.num_nodes());
+}
+
+TEST(Invariance, RelabelingPreservesCounts) {
+  const Graph g = social_like(150, 1100, 0.4, 55);
+  const Graph h = relabel(g, 99);
+  for (const Algorithm alg : {Algorithm::C3List, Algorithm::C3ListCD, Algorithm::Hybrid,
+                              Algorithm::KCList, Algorithm::ArbCount}) {
+    CliqueOptions opts;
+    opts.algorithm = alg;
+    for (int k = 3; k <= 6; ++k) {
+      EXPECT_EQ(count_cliques(g, k, opts).count, count_cliques(h, k, opts).count)
+          << algorithm_name(alg) << " k=" << k;
+    }
+  }
+}
+
+TEST(Invariance, WorkerCountDoesNotChangeCounts) {
+  const Graph g = social_like(200, 1500, 0.4, 66);
+  const int original = num_workers();
+  std::vector<count_t> results;
+  for (const int workers : {1, 2, 4, 8}) {
+    set_num_workers(workers);
+    results.push_back(count_cliques(g, 5).count);
+  }
+  set_num_workers(original);
+  for (const count_t c : results) EXPECT_EQ(c, results.front());
+}
+
+TEST(Invariance, ListingCountEqualsCountingEverywhere) {
+  const Graph g = erdos_renyi(60, 480, 77);
+  for (const Algorithm alg : {Algorithm::C3List, Algorithm::C3ListCD, Algorithm::Hybrid,
+                              Algorithm::KCList, Algorithm::ArbCount}) {
+    CliqueOptions opts;
+    opts.algorithm = alg;
+    for (int k = 3; k <= 6; ++k) {
+      std::atomic<count_t> listed{0};
+      const CliqueResult r = list_cliques(
+          g, k, [&](std::span<const node_t>) { listed.fetch_add(1); return true; }, opts);
+      EXPECT_EQ(r.count, count_cliques(g, k, opts).count) << algorithm_name(alg) << " k=" << k;
+      EXPECT_EQ(listed.load(), r.count) << algorithm_name(alg) << " k=" << k;
+    }
+  }
+}
+
+TEST(Invariance, WorkerCountInvarianceForEveryAlgorithm) {
+  // The peeling orders (approximate degeneracy, Algorithm 4) involve atomic
+  // updates; counts must still be identical at any worker count.
+  const Graph g = bio_like(150, 700, 8, 14, 0.6, 44);
+  const int original = num_workers();
+  for (const Algorithm alg : {Algorithm::C3List, Algorithm::C3ListCD, Algorithm::Hybrid,
+                              Algorithm::KCList, Algorithm::ArbCount}) {
+    CliqueOptions opts;
+    opts.algorithm = alg;
+    opts.edge_order = EdgeOrderKind::ApproxCommunityDegeneracy;
+    opts.vertex_order =
+        alg == Algorithm::C3List ? VertexOrderKind::ApproxDegeneracy : VertexOrderKind::Default;
+    set_num_workers(1);
+    const count_t serial = count_cliques(g, 5, opts).count;
+    set_num_workers(4);
+    const count_t parallel = count_cliques(g, 5, opts).count;
+    set_num_workers(original);
+    EXPECT_EQ(serial, parallel) << algorithm_name(alg);
+  }
+}
+
+TEST(Invariance, RepeatRunsAreDeterministic) {
+  const Graph g = rating_projection(120, 20, 6, 88);
+  for (int run = 0; run < 3; ++run) {
+    EXPECT_EQ(count_cliques(g, 5).count, count_cliques(g, 5).count);
+  }
+}
+
+}  // namespace
+}  // namespace c3

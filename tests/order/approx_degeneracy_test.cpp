@@ -1,0 +1,84 @@
+// Tests for the (2+eps)-approximate degeneracy order (Lemma 4.2).
+#include "order/approx_degeneracy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/digraph.hpp"
+#include "graph/gen/generators.hpp"
+#include "order/degeneracy.hpp"
+
+namespace c3 {
+namespace {
+
+TEST(ApproxDegeneracy, QualityGuaranteeOnRandomGraphs) {
+  for (const std::uint64_t seed : {1, 2, 3, 4}) {
+    const Graph g = chung_lu(1000, 8000, 0.6, seed);
+    const node_t s = degeneracy_order(g).degeneracy;
+    for (const double eps : {0.25, 0.5, 1.0}) {
+      const ApproxDegeneracyResult r = approx_degeneracy_order(g, eps);
+      EXPECT_LE(r.max_out_degree, static_cast<node_t>((2.0 + eps) * s) + 1)
+          << "seed " << seed << " eps " << eps;
+    }
+  }
+}
+
+TEST(ApproxDegeneracy, ReportedQualityMatchesActualOrientation) {
+  const Graph g = social_like(600, 4000, 0.3, 7);
+  const ApproxDegeneracyResult r = approx_degeneracy_order(g, 0.5);
+  const Digraph dag = Digraph::orient(g, r.order);
+  EXPECT_EQ(dag.max_out_degree(), r.max_out_degree);
+}
+
+TEST(ApproxDegeneracy, OrderIsPermutation) {
+  const Graph g = erdos_renyi(700, 3000, 9);
+  const ApproxDegeneracyResult r = approx_degeneracy_order(g, 0.5);
+  std::vector<bool> seen(g.num_nodes(), false);
+  for (const node_t v : r.order) {
+    ASSERT_LT(v, g.num_nodes());
+    ASSERT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+  EXPECT_EQ(r.order.size(), g.num_nodes());
+}
+
+TEST(ApproxDegeneracy, LogarithmicRounds) {
+  const Graph g = chung_lu(20'000, 100'000, 0.6, 3);
+  const ApproxDegeneracyResult r = approx_degeneracy_order(g, 0.5);
+  // O(log_{1+eps/2} n) rounds; allow a generous constant.
+  const double bound = 4.0 * std::log(static_cast<double>(g.num_nodes())) / std::log(1.25) + 10;
+  EXPECT_LT(r.rounds, static_cast<node_t>(bound));
+  EXPECT_GT(r.rounds, 1u);
+}
+
+TEST(ApproxDegeneracy, DeterministicAcrossRuns) {
+  const Graph g = erdos_renyi(400, 1500, 17);
+  const auto a = approx_degeneracy_order(g, 0.5);
+  const auto b = approx_degeneracy_order(g, 0.5);
+  EXPECT_EQ(a.order, b.order);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(ApproxDegeneracy, RejectsNonPositiveEps) {
+  const Graph g = complete_graph(4);
+  EXPECT_THROW((void)approx_degeneracy_order(g, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)approx_degeneracy_order(g, -1.0), std::invalid_argument);
+}
+
+TEST(ApproxDegeneracy, EmptyGraph) {
+  const ApproxDegeneracyResult r = approx_degeneracy_order(Graph{}, 0.5);
+  EXPECT_TRUE(r.order.empty());
+  EXPECT_EQ(r.rounds, 0u);
+}
+
+TEST(ApproxDegeneracy, StarPeelsLeavesFirst) {
+  const Graph g = star_graph(50);
+  const ApproxDegeneracyResult r = approx_degeneracy_order(g, 0.5);
+  // The center (degree 49 vs average < 2) must be peeled last.
+  EXPECT_EQ(r.order.back(), 0u);
+  EXPECT_EQ(r.max_out_degree, 1u);
+}
+
+}  // namespace
+}  // namespace c3

@@ -1,0 +1,85 @@
+// Tests for the exact degeneracy order (Lemma 4.1).
+#include "order/degeneracy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/digraph.hpp"
+#include "graph/gen/generators.hpp"
+
+namespace c3 {
+namespace {
+
+TEST(Degeneracy, KnownValues) {
+  EXPECT_EQ(degeneracy_order(complete_graph(8)).degeneracy, 7u);
+  EXPECT_EQ(degeneracy_order(cycle_graph(10)).degeneracy, 2u);
+  EXPECT_EQ(degeneracy_order(star_graph(100)).degeneracy, 1u);
+  EXPECT_EQ(degeneracy_order(path_graph(10)).degeneracy, 1u);
+  EXPECT_EQ(degeneracy_order(grid_graph(8, 8)).degeneracy, 2u);
+  EXPECT_EQ(degeneracy_order(hypercube(7)).degeneracy, 7u);
+  // Complete multipartite: degeneracy = n - (largest part) = 12 - 3.
+  EXPECT_EQ(degeneracy_order(turan_graph(12, 4)).degeneracy, 9u);
+  // Section 1.1: the star is 1-degenerate despite max degree n-1.
+  EXPECT_EQ(degeneracy_order(star_graph(100)).degeneracy, 1u);
+}
+
+TEST(Degeneracy, EmptyAndTinyGraphs) {
+  EXPECT_EQ(degeneracy_order(Graph{}).degeneracy, 0u);
+  EXPECT_EQ(degeneracy_order(complete_graph(1)).degeneracy, 0u);
+  EXPECT_EQ(degeneracy_order(complete_graph(2)).degeneracy, 1u);
+}
+
+TEST(Degeneracy, OrderIsPermutation) {
+  const Graph g = erdos_renyi(500, 2000, 4);
+  const DegeneracyResult r = degeneracy_order(g);
+  std::vector<bool> seen(g.num_nodes(), false);
+  for (const node_t v : r.order) {
+    ASSERT_LT(v, g.num_nodes());
+    ASSERT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+  EXPECT_EQ(r.order.size(), g.num_nodes());
+}
+
+TEST(Degeneracy, OrientingByOrderBoundsOutDegreeByS) {
+  // The defining property: orienting by the degeneracy order gives max
+  // out-degree exactly s.
+  for (const std::uint64_t seed : {1, 2, 3}) {
+    const Graph g = social_like(800, 6000, 0.3, seed);
+    const DegeneracyResult r = degeneracy_order(g);
+    const Digraph dag = Digraph::orient(g, r.order);
+    EXPECT_EQ(dag.max_out_degree(), r.degeneracy) << "seed " << seed;
+  }
+}
+
+TEST(Degeneracy, CoreNumbersAreCorrect) {
+  const Graph g = erdos_renyi(300, 1500, 8);
+  const DegeneracyResult r = degeneracy_order(g);
+  const node_t s = r.degeneracy;
+  EXPECT_EQ(*std::max_element(r.core.begin(), r.core.end()), s);
+
+  // The k-core property: the subgraph induced by {v : core[v] >= k} has
+  // minimum degree >= k within itself, for every k.
+  for (node_t k = 1; k <= s; ++k) {
+    for (node_t v = 0; v < g.num_nodes(); ++v) {
+      if (r.core[v] < k) continue;
+      node_t deg_in_core = 0;
+      for (const node_t w : g.neighbors(v)) deg_in_core += r.core[w] >= k ? 1 : 0;
+      ASSERT_GE(deg_in_core, k) << "vertex " << v << " in " << k << "-core";
+    }
+  }
+}
+
+TEST(Degeneracy, CoreMonotoneAlongOrder) {
+  // Removal degrees are non-decreasing along the smallest-last order, which
+  // is what makes them core numbers.
+  const Graph g = chung_lu(400, 2400, 0.6, 15);
+  const DegeneracyResult r = degeneracy_order(g);
+  for (std::size_t i = 1; i < r.order.size(); ++i) {
+    ASSERT_GE(r.core[r.order[i]], r.core[r.order[i - 1]]);
+  }
+}
+
+}  // namespace
+}  // namespace c3

@@ -1,0 +1,53 @@
+// Unit tests for parallel packing / compaction.
+#include "parallel/pack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace c3 {
+namespace {
+
+TEST(Pack, IndexSelectsMatchingAscending) {
+  const auto idx = pack_index(100, [](std::size_t i) { return i % 7 == 0; });
+  std::vector<std::uint32_t> expect;
+  for (std::uint32_t i = 0; i < 100; i += 7) expect.push_back(i);
+  EXPECT_EQ(idx, expect);
+}
+
+TEST(Pack, IndexEmptyAndFull) {
+  EXPECT_TRUE(pack_index(0, [](std::size_t) { return true; }).empty());
+  EXPECT_TRUE(pack_index(100, [](std::size_t) { return false; }).empty());
+  EXPECT_EQ(pack_index(100, [](std::size_t) { return true; }).size(), 100u);
+}
+
+TEST(Pack, IfPreservesOrderOnLargeInput) {
+  const std::size_t n = 300'000;
+  std::vector<std::uint64_t> data(n);
+  Xoshiro256 rng(3);
+  for (auto& x : data) x = rng.next_below(1000);
+
+  const auto kept = pack_if<std::uint64_t>(data, [&](std::size_t i) { return data[i] < 100; });
+  std::vector<std::uint64_t> expect;
+  for (const auto x : data)
+    if (x < 100) expect.push_back(x);
+  EXPECT_EQ(kept, expect);
+}
+
+TEST(Pack, WideIndexType) {
+  const auto idx = pack_index<std::uint64_t>(10, [](std::size_t i) { return i >= 8; });
+  EXPECT_EQ(idx, (std::vector<std::uint64_t>{8, 9}));
+}
+
+TEST(Pack, ComplementsPartitionTheInput) {
+  const std::size_t n = 100'000;
+  auto pred = [](std::size_t i) { return (i * 2654435761u) % 3 == 0; };
+  const auto yes = pack_index(n, pred);
+  const auto no = pack_index(n, [&](std::size_t i) { return !pred(i); });
+  EXPECT_EQ(yes.size() + no.size(), n);
+}
+
+}  // namespace
+}  // namespace c3

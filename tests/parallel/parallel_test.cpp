@@ -1,0 +1,109 @@
+// Unit tests for the parallel loop substrate.
+#include "parallel/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/padded.hpp"
+#include "parallel/reduce.hpp"
+
+namespace c3 {
+namespace {
+
+TEST(Parallel, WorkerControlClampsAndRestores) {
+  const int original = num_workers();
+  EXPECT_GE(original, 1);
+  const int old = set_num_workers(3);
+  EXPECT_EQ(old, original);
+  EXPECT_EQ(num_workers(), 3);
+  set_num_workers(0);  // clamped
+  EXPECT_EQ(num_workers(), 1);
+  set_num_workers(original);
+  EXPECT_EQ(num_workers(), original);
+}
+
+TEST(Parallel, ForTouchesEveryIndexExactlyOnce) {
+  const std::size_t n = 100'000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(0, n, [&](std::size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(Parallel, ForDynamicTouchesEveryIndexExactlyOnce) {
+  const std::size_t n = 50'000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for_dynamic(0, n,
+                       [&](std::size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(Parallel, EmptyAndSingletonRanges) {
+  int count = 0;
+  parallel_for(5, 5, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  parallel_for(7, 8, [&](std::size_t i) {
+    EXPECT_EQ(i, 7u);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Parallel, NonZeroBeginOffset) {
+  std::atomic<long long> sum{0};
+  parallel_for(10, 1000, [&](std::size_t i) { sum.fetch_add(static_cast<long long>(i)); }, 8);
+  long long expect = 0;
+  for (std::size_t i = 10; i < 1000; ++i) expect += static_cast<long long>(i);
+  EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(Parallel, NestedLoopsRunSerially) {
+  // A loop launched from within a parallel region must not deadlock or
+  // double-run; it degrades to a serial loop.
+  std::vector<std::atomic<int>> hits(256 * 64);
+  parallel_for(
+      0, 256,
+      [&](std::size_t outer) {
+        parallel_for(0, 64, [&](std::size_t inner) {
+          hits[outer * 64 + inner].fetch_add(1, std::memory_order_relaxed);
+        });
+      },
+      1);
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, ReduceMatchesSerialSum) {
+  const std::size_t n = 123'457;
+  const auto total = parallel_sum<std::uint64_t>(0, n, [](std::size_t i) { return i; });
+  EXPECT_EQ(total, static_cast<std::uint64_t>(n) * (n - 1) / 2);
+}
+
+TEST(Parallel, ReduceMax) {
+  std::vector<int> data(10'000);
+  std::iota(data.begin(), data.end(), -5000);
+  data[7777] = 123456;
+  const int got = parallel_max(0, data.size(), -1 << 30, [&](std::size_t i) { return data[i]; });
+  EXPECT_EQ(got, 123456);
+}
+
+TEST(Parallel, ReduceEmptyRangeReturnsIdentity) {
+  EXPECT_EQ(parallel_sum<int>(3, 3, [](std::size_t) { return 1; }), 0);
+}
+
+TEST(Parallel, PerWorkerReduceCombinesAllSlots) {
+  PerWorker<std::uint64_t> acc;
+  parallel_for(0, 10'000, [&](std::size_t) { ++acc.local(); }, 16);
+  const auto total = acc.reduce(std::uint64_t{0}, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(total, 10'000u);
+}
+
+TEST(Parallel, PaddedOccupiesFullCacheLine) {
+  static_assert(sizeof(Padded<char>) >= kCacheLineSize);
+  static_assert(alignof(Padded<char>) == kCacheLineSize);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace c3

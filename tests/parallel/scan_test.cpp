@@ -1,0 +1,137 @@
+// Unit and property tests for the parallel prefix sums.
+#include "parallel/scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "parallel/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace c3 {
+namespace {
+
+std::vector<std::uint64_t> random_values(std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint64_t> v(n);
+  Xoshiro256 rng(seed);
+  for (auto& x : v) x = rng.next_below(1000);
+  return v;
+}
+
+class ScanSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScanSizes, ExclusiveMatchesSerialReference) {
+  const std::size_t n = GetParam();
+  const auto in = random_values(n, 42 + n);
+  std::vector<std::uint64_t> out(n);
+  const auto total = exclusive_scan<std::uint64_t>(in, out, 7);
+
+  std::uint64_t carry = 7;
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], carry) << "position " << i << " size " << n;
+    carry += in[i];
+  }
+  EXPECT_EQ(total, carry);
+}
+
+TEST_P(ScanSizes, InclusiveMatchesSerialReference) {
+  const std::size_t n = GetParam();
+  const auto in = random_values(n, 1042 + n);
+  std::vector<std::uint64_t> out(n);
+  const auto total = inclusive_scan<std::uint64_t>(in, out);
+
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    carry += in[i];
+    ASSERT_EQ(out[i], carry) << "position " << i << " size " << n;
+  }
+  EXPECT_EQ(total, carry);
+}
+
+TEST_P(ScanSizes, ExclusiveAliasedInputOutput) {
+  const std::size_t n = GetParam();
+  auto data = random_values(n, 7 + n);
+  const auto reference = data;
+  const auto total = exclusive_scan<std::uint64_t>(data, data, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(data[i], carry);
+    carry += reference[i];
+  }
+  EXPECT_EQ(total, carry);
+}
+
+TEST_P(ScanSizes, InclusiveAliasedInputOutput) {
+  const std::size_t n = GetParam();
+  auto data = random_values(n, 77 + n);
+  const auto reference = data;
+  inclusive_scan<std::uint64_t>(data, data);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    carry += reference[i];
+    ASSERT_EQ(data[i], carry);
+  }
+}
+
+// Sizes straddle the serial cutoff and block boundaries.
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanSizes,
+                         ::testing::Values(0, 1, 2, 100, 4095, 4096, 4097, 8192, 100'000,
+                                           1'000'003));
+
+/// Forces the blocked multi-worker path even on single-core machines.
+class ScanForcedParallel : public ::testing::Test {
+ protected:
+  void SetUp() override { original_ = set_num_workers(4); }
+  void TearDown() override { set_num_workers(original_); }
+  int original_ = 1;
+};
+
+TEST_F(ScanForcedParallel, BlockedExclusiveAndInclusive) {
+  const std::size_t n = 250'000;
+  const auto in = random_values(n, 5);
+  std::vector<std::uint64_t> out(n);
+  const auto total = exclusive_scan<std::uint64_t>(in, out, 3);
+  std::uint64_t carry = 3;
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], carry);
+    carry += in[i];
+  }
+  EXPECT_EQ(total, carry);
+
+  inclusive_scan<std::uint64_t>(in, out);
+  carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    carry += in[i];
+    ASSERT_EQ(out[i], carry);
+  }
+}
+
+TEST_F(ScanForcedParallel, BlockedAliasedScan) {
+  auto data = random_values(123'457, 6);
+  const auto reference = data;
+  exclusive_scan<std::uint64_t>(data, data, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(data[i], carry);
+    carry += reference[i];
+  }
+}
+
+TEST(Scan, EmptyReturnsInit) {
+  std::vector<int> empty;
+  std::vector<int> out;
+  EXPECT_EQ(exclusive_scan<int>(empty, out, 5), 5);
+  EXPECT_EQ(inclusive_scan<int>(empty, out, 5), 5);
+}
+
+TEST(Scan, WorksWithSignedTypes) {
+  std::vector<long long> in = {5, -3, 2, -10, 4};
+  std::vector<long long> out(in.size());
+  const auto total = exclusive_scan<long long>(in, out, 0);
+  EXPECT_EQ(total, -2);
+  EXPECT_EQ(out, (std::vector<long long>{0, 5, 2, 4, -6}));
+}
+
+}  // namespace
+}  // namespace c3

@@ -1,0 +1,111 @@
+// Unit and property tests for the parallel merge sort.
+#include "parallel/sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "parallel/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace c3 {
+namespace {
+
+class SortSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SortSizes, MatchesStdSortOnRandomInput) {
+  const std::size_t n = GetParam();
+  std::vector<std::uint64_t> data(n);
+  Xoshiro256 rng(n * 31 + 1);
+  for (auto& x : data) x = rng();
+  auto reference = data;
+  parallel_sort(data.begin(), data.end());
+  std::sort(reference.begin(), reference.end());
+  EXPECT_EQ(data, reference);
+}
+
+TEST_P(SortSizes, MatchesStdSortWithManyDuplicates) {
+  const std::size_t n = GetParam();
+  std::vector<int> data(n);
+  Xoshiro256 rng(n * 13 + 7);
+  for (auto& x : data) x = static_cast<int>(rng.next_below(8));  // heavy ties
+  auto reference = data;
+  parallel_sort(data.begin(), data.end());
+  std::sort(reference.begin(), reference.end());
+  EXPECT_EQ(data, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SortSizes,
+                         ::testing::Values(0, 1, 2, 17, 1000, 16'383, 16'384, 16'385, 100'000,
+                                           500'000));
+
+TEST(Sort, AlreadySortedAndReversed) {
+  std::vector<int> asc(50'000);
+  for (std::size_t i = 0; i < asc.size(); ++i) asc[i] = static_cast<int>(i);
+  auto desc = asc;
+  std::reverse(desc.begin(), desc.end());
+  auto expect = asc;
+
+  parallel_sort(asc.begin(), asc.end());
+  EXPECT_EQ(asc, expect);
+  parallel_sort(desc.begin(), desc.end());
+  EXPECT_EQ(desc, expect);
+}
+
+TEST(Sort, CustomComparatorDescending) {
+  std::vector<int> data(100'000);
+  Xoshiro256 rng(5);
+  for (auto& x : data) x = static_cast<int>(rng.next_below(1'000'000));
+  auto reference = data;
+  parallel_sort(data.begin(), data.end(), std::greater<>{});
+  std::sort(reference.begin(), reference.end(), std::greater<>{});
+  EXPECT_EQ(data, reference);
+}
+
+/// Forces the blocked parallel path even on single-core machines (the
+/// OpenMP pool oversubscribes, which is fine for correctness coverage).
+class SortForcedParallel : public ::testing::Test {
+ protected:
+  void SetUp() override { original_ = set_num_workers(4); }
+  void TearDown() override { set_num_workers(original_); }
+  int original_ = 1;
+};
+
+TEST_F(SortForcedParallel, BlockedMergePathMatchesStdSort) {
+  for (const std::size_t n : {std::size_t{16'384}, std::size_t{100'000}, std::size_t{250'001}}) {
+    std::vector<std::uint64_t> data(n);
+    Xoshiro256 rng(n);
+    for (auto& x : data) x = rng.next_below(1000);  // duplicates stress merges
+    auto reference = data;
+    parallel_sort(data.begin(), data.end());
+    std::sort(reference.begin(), reference.end());
+    ASSERT_EQ(data, reference) << "n=" << n;
+  }
+}
+
+TEST_F(SortForcedParallel, NonPowerOfTwoAndDescending) {
+  std::vector<int> data(77'777);
+  Xoshiro256 rng(3);
+  for (auto& x : data) x = static_cast<int>(rng.next_below(1u << 30));
+  auto reference = data;
+  parallel_sort(data.begin(), data.end(), std::greater<>{});
+  std::sort(reference.begin(), reference.end(), std::greater<>{});
+  EXPECT_EQ(data, reference);
+}
+
+TEST(Sort, SortsPairsLexicographically) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> data(200'000);
+  Xoshiro256 rng(11);
+  for (auto& p : data) {
+    p.first = static_cast<std::uint32_t>(rng.next_below(1000));
+    p.second = static_cast<std::uint32_t>(rng.next_below(1000));
+  }
+  auto reference = data;
+  parallel_sort(data.begin(), data.end());
+  std::sort(reference.begin(), reference.end());
+  EXPECT_EQ(data, reference);
+}
+
+}  // namespace
+}  // namespace c3

@@ -1,0 +1,116 @@
+// Tests for the edge-community construction (Algorithm 1's preprocessing).
+#include "triangle/communities.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+#include "graph/gen/generators.hpp"
+#include "graph/gen/paper_examples.hpp"
+#include "triangle/triangle_count.hpp"
+
+namespace c3 {
+namespace {
+
+Digraph orient_by_id(const Graph& g) {
+  std::vector<node_t> order(g.num_nodes());
+  for (node_t v = 0; v < g.num_nodes(); ++v) order[v] = v;
+  return Digraph::orient(g, order);
+}
+
+TEST(Communities, TotalSizeEqualsTriangleCount) {
+  for (const std::uint64_t seed : {1, 2, 3}) {
+    const Graph g = social_like(300, 2200, 0.4, seed);
+    const Digraph dag = orient_by_id(g);
+    const EdgeCommunities comms = EdgeCommunities::build(dag);
+    EXPECT_EQ(comms.total_size(), count_triangles(dag)) << "seed " << seed;
+    EXPECT_EQ(comms.num_edges(), dag.num_arcs());
+  }
+}
+
+TEST(Communities, MembersSortedStrictlyBetweenEndpointsAndAdjacent) {
+  const Graph g = erdos_renyi(80, 600, 5);
+  const Digraph dag = orient_by_id(g);
+  const EdgeCommunities comms = EdgeCommunities::build(dag);
+  for (edge_t e = 0; e < dag.num_arcs(); ++e) {
+    const node_t u = dag.arc_source(e);
+    const node_t v = dag.arc_target(e);
+    const auto members = comms.members(e);
+    ASSERT_TRUE(std::is_sorted(members.begin(), members.end()));
+    ASSERT_TRUE(std::adjacent_find(members.begin(), members.end()) == members.end());
+    for (const node_t w : members) {
+      // Community = N+(u) ∩ N-(v): ordered strictly between the endpoints
+      // and adjacent to both.
+      ASSERT_GT(w, u);
+      ASSERT_LT(w, v);
+      ASSERT_TRUE(dag.has_arc(u, w));
+      ASSERT_TRUE(dag.has_arc(w, v));
+    }
+  }
+}
+
+TEST(Communities, MatchesBruteForceIntersection) {
+  const Graph g = erdos_renyi(50, 300, 6);
+  const Digraph dag = orient_by_id(g);
+  const EdgeCommunities comms = EdgeCommunities::build(dag);
+  for (edge_t e = 0; e < dag.num_arcs(); ++e) {
+    const node_t u = dag.arc_source(e);
+    const node_t v = dag.arc_target(e);
+    std::vector<node_t> expect;
+    for (node_t w = u + 1; w < v; ++w) {
+      if (dag.has_arc(u, w) && dag.has_arc(w, v)) expect.push_back(w);
+    }
+    const auto members = comms.members(e);
+    ASSERT_EQ(std::vector<node_t>(members.begin(), members.end()), expect) << "edge " << e;
+  }
+}
+
+TEST(Communities, Figure1CommunityOfSupportingEdge) {
+  // Figure 1: in K6 the edge {v1, v2}... but under the id orientation the
+  // supporting edge of the whole clique is (v1, v6), whose community is all
+  // four middle vertices.
+  const Graph g = figure1_graph();
+  const Digraph dag = orient_by_id(g);
+  const EdgeCommunities comms = EdgeCommunities::build(dag);
+  const edge_t e16 = dag.arc_id(0, 5);
+  ASSERT_NE(e16, static_cast<edge_t>(-1));
+  const auto members = comms.members(e16);
+  EXPECT_EQ(std::vector<node_t>(members.begin(), members.end()),
+            (std::vector<node_t>{1, 2, 3, 4}));
+}
+
+TEST(Communities, Figure3OnlyOneEdgeSupportsSixClique) {
+  // Figure 3(a): searching for a 6-clique (k-2 = 4), only edge (v1, v6) has
+  // a community of size >= 4.
+  const Graph g = figure2_graph();
+  const Digraph dag = orient_by_id(g);
+  const EdgeCommunities comms = EdgeCommunities::build(dag);
+  int qualifying = 0;
+  for (edge_t e = 0; e < dag.num_arcs(); ++e) {
+    if (comms.size(e) >= 4) {
+      ++qualifying;
+      EXPECT_EQ(dag.arc_source(e), 0u);
+      EXPECT_EQ(dag.arc_target(e), 5u);
+    }
+  }
+  EXPECT_EQ(qualifying, 1);
+}
+
+TEST(Communities, MaxSizeIsGamma) {
+  const Graph g = complete_graph(9);
+  const EdgeCommunities comms = EdgeCommunities::build(orient_by_id(g));
+  // Largest community in K9 under any total order: the (first,last) edge
+  // holds all 7 middle vertices.
+  EXPECT_EQ(comms.max_size(), 7u);
+}
+
+TEST(Communities, EmptyGraph) {
+  const EdgeCommunities comms = EdgeCommunities::build(Digraph{});
+  EXPECT_EQ(comms.num_edges(), 0u);
+  EXPECT_EQ(comms.total_size(), 0u);
+  EXPECT_EQ(comms.max_size(), 0u);
+}
+
+}  // namespace
+}  // namespace c3

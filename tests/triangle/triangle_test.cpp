@@ -1,0 +1,92 @@
+// Tests for parallel triangle counting.
+#include "triangle/triangle_count.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <tuple>
+
+#include "clique/combinatorics.hpp"
+#include "graph/builder.hpp"
+#include "graph/gen/generators.hpp"
+
+namespace c3 {
+namespace {
+
+Digraph orient_by_id(const Graph& g) {
+  std::vector<node_t> order(g.num_nodes());
+  for (node_t v = 0; v < g.num_nodes(); ++v) order[v] = v;
+  return Digraph::orient(g, order);
+}
+
+count_t brute_triangles(const Graph& g) {
+  count_t t = 0;
+  for (node_t a = 0; a < g.num_nodes(); ++a) {
+    for (const node_t b : g.neighbors(a)) {
+      if (b <= a) continue;
+      for (const node_t c : g.neighbors(b)) {
+        if (c <= b) continue;
+        if (g.has_edge(a, c)) ++t;
+      }
+    }
+  }
+  return t;
+}
+
+TEST(Triangles, ClosedForms) {
+  EXPECT_EQ(count_triangles(orient_by_id(complete_graph(10))), binomial(10, 3));
+  EXPECT_EQ(count_triangles(orient_by_id(hypercube(6))), 0u);
+  EXPECT_EQ(count_triangles(orient_by_id(grid_graph(7, 7))), 0u);
+  EXPECT_EQ(count_triangles(orient_by_id(cycle_graph(3))), 1u);
+  EXPECT_EQ(count_triangles(orient_by_id(cycle_graph(17))), 0u);
+  EXPECT_EQ(count_triangles(orient_by_id(star_graph(20))), 0u);
+  // Turan T(n,3): triangles = one vertex per part.
+  EXPECT_EQ(count_triangles(orient_by_id(turan_graph(9, 3))), 27u);
+}
+
+TEST(Triangles, MatchesBruteForceOnRandomGraphs) {
+  for (const std::uint64_t seed : {1, 2, 3, 4, 5}) {
+    const Graph g = erdos_renyi(60, 400, seed);
+    EXPECT_EQ(count_triangles(orient_by_id(g)), brute_triangles(g)) << "seed " << seed;
+  }
+}
+
+TEST(Triangles, CountInvariantUnderOrientation) {
+  const Graph g = social_like(300, 2500, 0.4, 9);
+  const count_t by_id = count_triangles(orient_by_id(g));
+  // Orient by reversed id order: same triangles.
+  std::vector<node_t> rev(g.num_nodes());
+  for (node_t v = 0; v < g.num_nodes(); ++v) rev[v] = g.num_nodes() - 1 - v;
+  EXPECT_EQ(count_triangles(Digraph::orient(g, rev)), by_id);
+}
+
+TEST(Triangles, ForEachTriangleEmitsEachOnceOrdered) {
+  const Graph g = erdos_renyi(40, 200, 7);
+  const Digraph dag = orient_by_id(g);
+  std::set<std::tuple<node_t, node_t, node_t>> seen;
+  std::atomic<int> bad{0};
+  for_each_triangle(dag, [&](node_t a, node_t b, node_t c) {
+    if (!(a < b && b < c)) bad.fetch_add(1);
+    static std::mutex m;
+    const std::lock_guard<std::mutex> lock(m);
+    if (!seen.emplace(a, b, c).second) bad.fetch_add(1);
+  });
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(seen.size(), brute_triangles(g));
+  // Every emitted triple really is a triangle.
+  for (const auto& [a, b, c] : seen) {
+    EXPECT_TRUE(g.has_edge(a, b));
+    EXPECT_TRUE(g.has_edge(b, c));
+    EXPECT_TRUE(g.has_edge(a, c));
+  }
+}
+
+TEST(Triangles, EmptyGraph) {
+  EXPECT_EQ(count_triangles(orient_by_id(build_graph(EdgeList{}, 3))), 0u);
+  EXPECT_EQ(count_triangles(Digraph{}), 0u);
+}
+
+}  // namespace
+}  // namespace c3

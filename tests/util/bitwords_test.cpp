@@ -1,0 +1,112 @@
+// Tests for the word-level bitset helpers that carry the clique engine.
+#include "util/bitwords.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace c3 {
+namespace {
+
+TEST(Bitwords, SetTestClearAcrossWordBoundaries) {
+  std::vector<std::uint64_t> w(3, 0);
+  for (const std::size_t i : {0u, 1u, 63u, 64u, 65u, 127u, 128u, 191u}) {
+    EXPECT_FALSE(bits::test_bit(w.data(), i));
+    bits::set_bit(w.data(), i);
+    EXPECT_TRUE(bits::test_bit(w.data(), i));
+  }
+  bits::clear_bit(w.data(), 64);
+  EXPECT_FALSE(bits::test_bit(w.data(), 64));
+  EXPECT_TRUE(bits::test_bit(w.data(), 63));
+  EXPECT_TRUE(bits::test_bit(w.data(), 65));
+}
+
+TEST(Bitwords, WordsForRounding) {
+  EXPECT_EQ(bits::words_for(0), 0u);
+  EXPECT_EQ(bits::words_for(1), 1u);
+  EXPECT_EQ(bits::words_for(64), 1u);
+  EXPECT_EQ(bits::words_for(65), 2u);
+  EXPECT_EQ(bits::words_for(128), 2u);
+  EXPECT_EQ(bits::words_for(129), 3u);
+}
+
+TEST(Bitwords, PopcountAndVariants) {
+  std::vector<std::uint64_t> a(2, 0), b(2, 0), c(2, 0);
+  for (std::size_t i = 0; i < 128; i += 2) bits::set_bit(a.data(), i);   // evens
+  for (std::size_t i = 0; i < 128; i += 3) bits::set_bit(b.data(), i);   // multiples of 3
+  for (std::size_t i = 0; i < 128; i += 4) bits::set_bit(c.data(), i);   // multiples of 4
+  EXPECT_EQ(bits::popcount(a.data(), 2), 64u);
+  EXPECT_EQ(bits::popcount_and(a.data(), b.data(), 2), 22u);   // multiples of 6 in [0,128)
+  EXPECT_EQ(bits::popcount_and3(a.data(), b.data(), c.data(), 2), 11u);  // multiples of 12
+}
+
+/// Reference implementation of between_mask.
+std::vector<std::uint64_t> between_reference(std::size_t lo, std::size_t hi, std::size_t nwords) {
+  std::vector<std::uint64_t> w(nwords, 0);
+  for (std::size_t i = lo + 1; i < hi; ++i) bits::set_bit(w.data(), i);
+  return w;
+}
+
+TEST(Bitwords, BetweenMaskMatchesReferenceExhaustively) {
+  const std::size_t nbits = 130;
+  const std::size_t nwords = bits::words_for(nbits);
+  std::vector<std::uint64_t> got(nwords);
+  for (std::size_t lo = 0; lo < nbits; lo += 7) {
+    for (std::size_t hi = lo; hi < nbits; hi += 5) {
+      bits::between_mask(got.data(), lo, hi, nwords);
+      ASSERT_EQ(got, between_reference(lo, hi, nwords)) << "lo=" << lo << " hi=" << hi;
+    }
+  }
+}
+
+TEST(Bitwords, BetweenMaskBoundaryBits) {
+  std::vector<std::uint64_t> got(2);
+  bits::between_mask(got.data(), 62, 66, 2);  // spans the word boundary
+  EXPECT_EQ(got, between_reference(62, 66, 2));
+  bits::between_mask(got.data(), 63, 64, 2);  // empty interval
+  EXPECT_EQ(got, between_reference(63, 64, 2));
+  bits::between_mask(got.data(), 0, 127, 2);
+  EXPECT_EQ(got, between_reference(0, 127, 2));
+}
+
+TEST(Bitwords, FillPrefix) {
+  std::vector<std::uint64_t> w(3, ~std::uint64_t{0});
+  bits::fill_prefix(w.data(), 70, 3);
+  for (std::size_t i = 0; i < 70; ++i) ASSERT_TRUE(bits::test_bit(w.data(), i));
+  for (std::size_t i = 70; i < 192; ++i) ASSERT_FALSE(bits::test_bit(w.data(), i));
+  bits::fill_prefix(w.data(), 128, 3);
+  EXPECT_EQ(bits::popcount(w.data(), 3), 128u);
+}
+
+TEST(Bitwords, ForEachBitAscendingOrder) {
+  std::vector<std::uint64_t> w(2, 0);
+  const std::vector<std::size_t> expect = {0, 5, 63, 64, 100, 127};
+  for (const auto i : expect) bits::set_bit(w.data(), i);
+  std::vector<std::size_t> got;
+  bits::for_each_bit(w.data(), 2, [&](std::size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, expect);
+}
+
+TEST(Bitwords, ForEachBitAndIntersects) {
+  std::vector<std::uint64_t> a(2, 0), b(2, 0);
+  bits::set_bit(a.data(), 3);
+  bits::set_bit(a.data(), 70);
+  bits::set_bit(a.data(), 90);
+  bits::set_bit(b.data(), 70);
+  bits::set_bit(b.data(), 90);
+  bits::set_bit(b.data(), 120);
+  std::vector<std::size_t> got;
+  bits::for_each_bit_and(a.data(), b.data(), 2, [&](std::size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, (std::vector<std::size_t>{70, 90}));
+}
+
+TEST(Bitwords, AndIntoAndAssign) {
+  std::vector<std::uint64_t> a = {0xF0F0, 0xFF}, b = {0xFF00, 0x0F}, dst(2);
+  bits::and_into(dst.data(), a.data(), b.data(), 2);
+  EXPECT_EQ(dst, (std::vector<std::uint64_t>{0xF000, 0x0F}));
+  bits::and_assign(a.data(), b.data(), 2);
+  EXPECT_EQ(a, dst);
+}
+
+}  // namespace
+}  // namespace c3

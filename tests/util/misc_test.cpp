@@ -1,0 +1,87 @@
+// Tests for RunStats, Table formatting, and the CLI parser.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/run_stats.hpp"
+#include "util/table.hpp"
+
+namespace c3 {
+namespace {
+
+TEST(RunStats, KnownMeanAndStddev) {
+  RunStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.rel_stddev(), std::sqrt(32.0 / 7.0) / 5.0, 1e-12);
+}
+
+TEST(RunStats, EmptyAndSingle) {
+  RunStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  s.add(3.5);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(Table, AlignsAndRules) {
+  Table t({"k", "time"});
+  t.add_row({"6", "0.81"});
+  t.add_row({"10", "28.1"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find(" k"), std::string::npos);
+  EXPECT_NE(out.find("28.1"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, StrfmtAndCommas) {
+  EXPECT_EQ(strfmt("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(strfmt("%d/%d", 3, 4), "3/4");
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(117185083), "117,185,083");
+}
+
+TEST(Cli, ParsesFlagsAndValues) {
+  const char* argv[] = {"prog", "--n", "100", "--eps=0.5", "--verbose", "--name", "orkut"};
+  CommandLine cli(7, argv);
+  EXPECT_EQ(cli.get_int("n", 0), 100);
+  EXPECT_DOUBLE_EQ(cli.get_double("eps", 0.0), 0.5);
+  EXPECT_TRUE(cli.has_flag("verbose"));
+  EXPECT_FALSE(cli.has_flag("quiet"));
+  EXPECT_EQ(cli.get_string("name", ""), "orkut");
+  EXPECT_EQ(cli.get_int("missing", -7), -7);
+}
+
+TEST(Cli, EmptyArgvUsesFallbacks) {
+  const char* argv[] = {"prog"};
+  CommandLine cli(1, argv);
+  EXPECT_EQ(cli.get_int("n", 42), 42);
+  EXPECT_FALSE(cli.has_flag("x"));
+}
+
+}  // namespace
+}  // namespace c3

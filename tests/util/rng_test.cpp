@@ -1,0 +1,71 @@
+// Tests for the deterministic RNG substrate.
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace c3 {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += a() == b() ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndDeterministic) {
+  Xoshiro256 base(7);
+  Xoshiro256 f1 = base.fork(1);
+  Xoshiro256 f1_again = Xoshiro256(7).fork(1);
+  Xoshiro256 f2 = base.fork(2);
+  int equal12 = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto x1 = f1();
+    ASSERT_EQ(x1, f1_again());
+    equal12 += x1 == f2() ? 1 : 0;
+  }
+  EXPECT_LT(equal12, 5);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 100'000; ++i) {
+    ASSERT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowCoversTheRange) {
+  Xoshiro256 rng(10);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, NextDoubleInUnitIntervalWithPlausibleMean) {
+  Xoshiro256 rng(11);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, Hash64IsStable) {
+  EXPECT_EQ(hash64(42), hash64(42));
+  EXPECT_NE(hash64(42), hash64(43));
+}
+
+}  // namespace
+}  // namespace c3
