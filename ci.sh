@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Tier-1 verification matrix, runnable locally or from CI:
+#   1. Release + OpenMP            (the configuration benchmarks run in)
+#   2. Debug + ASan/UBSan          (memory + UB coverage for the parallel paths)
+#   3. Release, OpenMP disabled    (the exactly-deterministic serial fallback)
+#
+# Each config runs the full ctest suite:
+#   cmake -B <dir> -S . && cmake --build <dir> -j && ctest --test-dir <dir>
+#
+# Usage: ./ci.sh [config ...]   with configs from: release asan serial
+set -euo pipefail
+cd "$(dirname "$0")"
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+# Prefer Ninja when available (CI installs it).
+if command -v ninja >/dev/null 2>&1; then
+  export CMAKE_GENERATOR="${CMAKE_GENERATOR:-Ninja}"
+fi
+configs=("$@")
+[ ${#configs[@]} -eq 0 ] && configs=(release asan serial)
+
+run_config() {
+  local name="$1"; shift
+  local dir="build-ci-${name}"
+  echo "==== [${name}] configure ===="
+  cmake -B "${dir}" -S . "$@"
+  echo "==== [${name}] build ===="
+  cmake --build "${dir}" -j "${jobs}"
+  echo "==== [${name}] ctest ===="
+  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+}
+
+for config in "${configs[@]}"; do
+  case "${config}" in
+    release) run_config release -DCMAKE_BUILD_TYPE=Release -DC3_WERROR=ON ;;
+    asan)    run_config asan -DCMAKE_BUILD_TYPE=Debug -DC3_SANITIZE=ON -DC3_WERROR=ON ;;
+    serial)  run_config serial -DCMAKE_BUILD_TYPE=Release -DC3_ENABLE_OPENMP=OFF -DC3_WERROR=ON ;;
+    *) echo "unknown config '${config}' (expected: release asan serial)" >&2; exit 2 ;;
+  esac
+done
+
+echo "==== all configs green ===="

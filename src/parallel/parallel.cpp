@@ -1,6 +1,8 @@
 #include "parallel/parallel.hpp"
 
+#if defined(_OPENMP)
 #include <omp.h>
+#endif
 
 #include <algorithm>
 #include <atomic>
@@ -9,10 +11,15 @@ namespace c3 {
 namespace {
 
 // Worker cap shared by all parallel loops. Defaults to the OpenMP pool size
-// (respects OMP_NUM_THREADS). Atomic so tests can flip it concurrently.
+// (respects OMP_NUM_THREADS); 1 in serial builds. Atomic so tests can flip
+// it concurrently.
 std::atomic<int> g_workers{0};
 
+#if defined(_OPENMP)
 int default_workers() noexcept { return std::max(1, omp_get_max_threads()); }
+#else
+int default_workers() noexcept { return 1; }
+#endif
 
 }  // namespace
 
@@ -23,14 +30,20 @@ int num_workers() noexcept {
 
 int set_num_workers(int workers) noexcept {
   const int clamped = std::max(1, workers);
-  const int old = num_workers();
-  g_workers.store(clamped, std::memory_order_relaxed);
-  return old;
+  // Atomic swap so concurrent set/restore pairs cannot lose an update. The
+  // raw slot value 0 means "unset"; report it as the effective default so the
+  // returned value always round-trips through set_num_workers.
+  const int old = g_workers.exchange(clamped, std::memory_order_relaxed);
+  return old > 0 ? old : default_workers();
 }
 
+#if defined(_OPENMP)
 int worker_id() noexcept { return omp_get_thread_num(); }
-
 bool in_parallel() noexcept { return omp_in_parallel() != 0; }
+#else
+int worker_id() noexcept { return 0; }
+bool in_parallel() noexcept { return false; }
+#endif
 
 namespace detail {
 
@@ -39,13 +52,16 @@ void parallel_for_impl(std::int64_t begin, std::int64_t end, bool dynamic, std::
   if (begin >= end) return;
   const std::int64_t trip = end - begin;
   const int workers = num_workers();
-  // Nested parallel regions are not used: a loop launched from inside a
-  // parallel region (e.g. from a recursive clique search) runs serially,
-  // which matches the intended "parallel outer loop only" execution.
-  if (workers <= 1 || trip <= grain || in_parallel()) {
+  // Serial fallback when the trip count is below the grain size or only one
+  // worker is available. Nested parallel regions are not used: a loop
+  // launched from inside a parallel region (e.g. from a recursive clique
+  // search) runs serially, which matches the intended "parallel outer loop
+  // only" execution.
+  if (workers <= 1 || trip < grain || in_parallel()) {
     for (std::int64_t i = begin; i < end; ++i) body(i, ctx);
     return;
   }
+#if defined(_OPENMP)
   if (dynamic) {
     const int chunk = static_cast<int>(std::max<std::int64_t>(1, grain));
 #pragma omp parallel for schedule(dynamic, chunk) num_threads(workers)
@@ -54,6 +70,10 @@ void parallel_for_impl(std::int64_t begin, std::int64_t end, bool dynamic, std::
 #pragma omp parallel for schedule(static) num_threads(workers)
     for (std::int64_t i = begin; i < end; ++i) body(i, ctx);
   }
+#else
+  (void)dynamic;
+  for (std::int64_t i = begin; i < end; ++i) body(i, ctx);
+#endif
 }
 
 }  // namespace detail

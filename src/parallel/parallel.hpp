@@ -22,7 +22,10 @@ namespace c3 {
 /// Maximum number of workers parallel loops may use.
 [[nodiscard]] int num_workers() noexcept;
 
-/// Caps the worker pool; values < 1 are clamped to 1. Returns the old value.
+/// Caps the worker pool; values < 1 are clamped to 1. Atomically swaps the
+/// cap and returns the old effective value, so the usual save/restore pair
+///   const int old = set_num_workers(1); ... ; set_num_workers(old);
+/// round-trips even under concurrent callers.
 int set_num_workers(int workers) noexcept;
 
 /// Identifier of the calling worker in [0, num_workers()).

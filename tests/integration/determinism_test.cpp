@@ -1,0 +1,81 @@
+// Worker-count determinism: every counting algorithm must return the exact
+// same count on the same seeded graph whether the loop substrate runs with a
+// single worker (fully serial, deterministic reference) or the full pool.
+// This is the correctness-by-agreement harness the ROADMAP's scale/speed PRs
+// are validated against: a racy counter merge or a schedule-dependent branch
+// shows up here as a 1-vs-N mismatch.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "clique/api.hpp"
+#include "graph/gen/generators.hpp"
+#include "parallel/parallel.hpp"
+
+namespace c3 {
+namespace {
+
+constexpr Algorithm kAllAlgorithms[] = {Algorithm::C3List,   Algorithm::C3ListCD,
+                                        Algorithm::Hybrid,   Algorithm::KCList,
+                                        Algorithm::ArbCount, Algorithm::BruteForce};
+
+struct SeededGraphCase {
+  const char* name;
+  Graph graph;
+};
+
+SeededGraphCase make_case(int which) {
+  switch (which) {
+    case 0:
+      return {"erdos_renyi_sparse", erdos_renyi(64, 320, 2021)};
+    case 1:
+      return {"erdos_renyi_dense", erdos_renyi(40, 390, 2022)};
+    default:
+      return {"barabasi_albert", barabasi_albert(80, 6, 2023)};
+  }
+}
+
+class WorkerDeterminism : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  void SetUp() override { original_workers_ = num_workers(); }
+  void TearDown() override { set_num_workers(original_workers_); }
+  int original_workers_ = 1;
+};
+
+TEST_P(WorkerDeterminism, SerialAndParallelCountsAgree) {
+  const auto [which, k] = GetParam();
+  const SeededGraphCase c = make_case(which);
+  // At least 4 workers so the parallel run exercises real concurrency even
+  // on single-core CI machines (OpenMP honors num_threads above the core
+  // count; in serial builds this stays at 1 and the test degenerates to a
+  // pure determinism check).
+  const int parallel_workers = std::max(4, original_workers_);
+
+  for (const Algorithm alg : kAllAlgorithms) {
+    CliqueOptions opts;
+    opts.algorithm = alg;
+
+    set_num_workers(1);
+    const count_t serial = count_cliques(c.graph, k, opts).count;
+    const count_t serial_again = count_cliques(c.graph, k, opts).count;
+    EXPECT_EQ(serial, serial_again)
+        << c.name << " k=" << k << " alg=" << algorithm_name(alg) << ": serial run not stable";
+
+    set_num_workers(parallel_workers);
+    const count_t parallel = count_cliques(c.graph, k, opts).count;
+    EXPECT_EQ(serial, parallel) << c.name << " k=" << k << " alg=" << algorithm_name(alg) << ": "
+                                << parallel_workers << "-worker count diverged from 1-worker count";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeededGraphs, WorkerDeterminism,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(3, 4, 5, 6)),
+                         [](const auto& info) {
+                           return make_case(std::get<0>(info.param)).name + std::string("_k") +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+}  // namespace
+}  // namespace c3

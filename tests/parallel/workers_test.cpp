@@ -1,0 +1,171 @@
+// Regression tests for the worker-pool semantics documented in
+// parallel/parallel.hpp: set_num_workers clamping and round-trip restore,
+// the grain-size serial fallback, and the "no nested parallelism" rule for
+// parallel_for launched from inside a parallel region.
+#include "parallel/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace c3 {
+namespace {
+
+class WorkersTest : public ::testing::Test {
+ protected:
+  void SetUp() override { original_ = num_workers(); }
+  void TearDown() override { set_num_workers(original_); }
+  int original_ = 1;
+};
+
+TEST_F(WorkersTest, ClampsNonPositiveValuesToOne) {
+  set_num_workers(0);
+  EXPECT_EQ(num_workers(), 1);
+  set_num_workers(-17);
+  EXPECT_EQ(num_workers(), 1);
+}
+
+TEST_F(WorkersTest, ReturnsOldValueThatRoundTrips) {
+  const int before = num_workers();
+  const int old = set_num_workers(3);
+  EXPECT_EQ(old, before);
+  EXPECT_EQ(num_workers(), 3);
+  // The returned value must restore the previous effective pool size, even
+  // through a chain of set/restore pairs.
+  const int inner = set_num_workers(7);
+  EXPECT_EQ(inner, 3);
+  set_num_workers(inner);
+  EXPECT_EQ(num_workers(), 3);
+  set_num_workers(old);
+  EXPECT_EQ(num_workers(), before);
+}
+
+TEST_F(WorkersTest, ReturnedValueRoundTripsEvenWhenClamped) {
+  set_num_workers(-5);  // clamped to 1
+  const int old = set_num_workers(4);
+  EXPECT_EQ(old, 1);
+  set_num_workers(old);
+  EXPECT_EQ(num_workers(), 1);
+}
+
+TEST_F(WorkersTest, ConcurrentSetRestorePairsNeverObserveZero) {
+  // set_num_workers must be an atomic swap: a load/store pair can lose an
+  // update and report a stale "old" value under contention.
+  std::atomic<bool> bad{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        const int old = set_num_workers(2 + (i % 3));
+        if (old < 1) bad.store(true);
+        set_num_workers(old);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(bad.load());
+  EXPECT_GE(num_workers(), 1);
+}
+
+TEST_F(WorkersTest, TripCountBelowGrainRunsSeriallyOnCallingThread) {
+  set_num_workers(4);
+  // parallel.hpp: "Falls back to a serial loop when the trip count is below
+  // `grain`" — so 9 iterations under grain=10 must run in order, on the
+  // calling thread, outside any parallel region.
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  parallel_for(
+      0, 9,
+      [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        EXPECT_FALSE(in_parallel());
+        order.push_back(i);
+      },
+      /*grain=*/10);
+  ASSERT_EQ(order.size(), 9u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST_F(WorkersTest, TripCountEqualToGrainIsEligibleForParallelism) {
+  set_num_workers(4);
+  // Boundary of the documented contract: a trip count of exactly `grain` is
+  // NOT below it, so the loop may go parallel. All indices must still be
+  // visited exactly once.
+  const std::size_t n = 64;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(0, n, [&](std::size_t i) { hits[i].fetch_add(1); }, /*grain=*/n);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST_F(WorkersTest, SingleWorkerRunsSeriallyRegardlessOfGrain) {
+  set_num_workers(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  parallel_for(
+      0, 5000, [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i);
+      },
+      /*grain=*/1);
+  ASSERT_EQ(order.size(), 5000u);
+  for (std::size_t i = 0; i < order.size(); ++i) ASSERT_EQ(order[i], i);
+}
+
+TEST_F(WorkersTest, NestedParallelForRunsSeriallyInsideOuterLoop) {
+  set_num_workers(4);
+  // An inner parallel_for launched from an outer parallel iteration must run
+  // serially on the worker that spawned it ("parallel outer loop only").
+  // Each inner loop therefore sees its indices in order, on one thread.
+  const std::size_t outer_n = 32;
+  const std::size_t inner_n = 64;
+  std::vector<std::atomic<int>> violations(outer_n);
+  std::vector<std::atomic<long long>> sums(outer_n);
+  parallel_for(
+      0, outer_n,
+      [&](std::size_t o) {
+        const std::thread::id outer_thread = std::this_thread::get_id();
+        std::size_t expect_next = 0;
+        parallel_for(
+            0, inner_n,
+            [&](std::size_t i) {
+              if (std::this_thread::get_id() != outer_thread) violations[o].fetch_add(1);
+              if (i != expect_next) violations[o].fetch_add(1);
+              ++expect_next;
+              sums[o].fetch_add(static_cast<long long>(i));
+            },
+            /*grain=*/1);
+      },
+      /*grain=*/1);
+  long long inner_sum_expect = 0;
+  for (std::size_t i = 0; i < inner_n; ++i) inner_sum_expect += static_cast<long long>(i);
+  for (std::size_t o = 0; o < outer_n; ++o) {
+    EXPECT_EQ(violations[o].load(), 0) << "outer iteration " << o;
+    EXPECT_EQ(sums[o].load(), inner_sum_expect) << "outer iteration " << o;
+  }
+}
+
+TEST_F(WorkersTest, NestedDynamicLoopAlsoSerial) {
+  set_num_workers(4);
+  std::atomic<int> violations{0};
+  std::atomic<long long> total{0};
+  parallel_for_dynamic(
+      0, 16,
+      [&](std::size_t) {
+        const std::thread::id outer_thread = std::this_thread::get_id();
+        parallel_for_dynamic(
+            0, 100,
+            [&](std::size_t i) {
+              if (std::this_thread::get_id() != outer_thread) violations.fetch_add(1);
+              total.fetch_add(static_cast<long long>(i));
+            },
+            /*grain=*/1);
+      },
+      /*grain=*/1);
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(total.load(), 16LL * (99 * 100 / 2));
+}
+
+}  // namespace
+}  // namespace c3
