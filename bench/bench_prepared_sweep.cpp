@@ -1,0 +1,115 @@
+// Prepared k-sweep smoke bench — the perf-trajectory baseline for the query
+// engine. Runs a small prepared sweep (one PreparedGraph per algorithm,
+// k = kmin..kmax) on generated graphs, cross-checks the counts between all
+// algorithms (non-zero exit on mismatch, so CI catches drift), and emits a
+// machine-readable JSON report:
+//
+//   ./bench_prepared_sweep [--out BENCH_pr2.json] [--kmin 3] [--kmax 6]
+//
+// Schema: {"bench", "kmin", "kmax", "graphs": [{"name", n, m, "algorithms":
+// [{"name", "prepare_seconds", "queries": [{"k", "count",
+// "search_seconds"}]}]}]}
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "c3list.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace c3;
+
+struct NamedGraph {
+  std::string name;
+  Graph graph;
+};
+
+const Algorithm kAlgorithms[] = {Algorithm::C3List, Algorithm::C3ListCD, Algorithm::Hybrid,
+                                 Algorithm::KCList, Algorithm::ArbCount};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CommandLine cli(argc, argv);
+  const int kmin = static_cast<int>(cli.get_int("kmin", 3));
+  const int kmax = static_cast<int>(cli.get_int("kmax", 6));
+  const std::string out_path = cli.get_string("out", "BENCH_pr2.json");
+
+  const std::vector<NamedGraph> graphs = {
+      {"social_like", social_like(3000, 24'000, 0.4, 7)},
+      {"erdos_renyi", erdos_renyi(2000, 20'000, 11)},
+      {"barabasi_albert", barabasi_albert(3000, 6, 13)},
+  };
+
+  std::FILE* json = std::fopen(out_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "bench_prepared_sweep: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(json, "{\"bench\": \"prepared_sweep\", \"kmin\": %d, \"kmax\": %d, \"graphs\": [",
+               kmin, kmax);
+
+  bool mismatch = false;
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    const NamedGraph& ng = graphs[gi];
+    std::printf("# %s: |V|=%u |E|=%llu, prepared sweep k=%d..%d\n", ng.name.c_str(),
+                ng.graph.num_nodes(), static_cast<unsigned long long>(ng.graph.num_edges()), kmin,
+                kmax);
+    std::fprintf(json, "%s{\"name\": \"%s\", \"n\": %u, \"m\": %llu, \"algorithms\": [",
+                 gi > 0 ? ", " : "", ng.name.c_str(), ng.graph.num_nodes(),
+                 static_cast<unsigned long long>(ng.graph.num_edges()));
+
+    std::vector<count_t> reference;  // counts of the first algorithm, per k
+    Table table({"algorithm", "prepare[s]", "search k=all[s]", "#cliques(kmin)"});
+
+    for (std::size_t a = 0; a < std::size(kAlgorithms); ++a) {
+      CliqueOptions opts;
+      opts.algorithm = kAlgorithms[a];
+      const PreparedGraph engine(ng.graph, opts);
+      WallTimer prep_timer;
+      engine.prepare();
+      const double prep = prep_timer.seconds();
+
+      std::fprintf(json, "%s{\"name\": \"%s\", \"prepare_seconds\": %.6f, \"queries\": [",
+                   a > 0 ? ", " : "", algorithm_name(kAlgorithms[a]), prep);
+      double search_total = 0.0;
+      count_t count_kmin = 0;
+      for (int k = kmin; k <= kmax; ++k) {
+        const CliqueResult r = engine.count(k);
+        search_total += r.stats.search_seconds;
+        if (k == kmin) count_kmin = r.count;
+        const auto ki = static_cast<std::size_t>(k - kmin);
+        if (a == 0) {
+          reference.push_back(r.count);
+        } else if (r.count != reference[ki]) {
+          std::printf("!! %s k=%d: %s counted %llu, %s counted %llu\n", ng.name.c_str(), k,
+                      algorithm_name(kAlgorithms[a]), static_cast<unsigned long long>(r.count),
+                      algorithm_name(kAlgorithms[0]),
+                      static_cast<unsigned long long>(reference[ki]));
+          mismatch = true;
+        }
+        std::fprintf(json, "%s{\"k\": %d, \"count\": %llu, \"search_seconds\": %.6f}",
+                     k > kmin ? ", " : "", k, static_cast<unsigned long long>(r.count),
+                     r.stats.search_seconds);
+      }
+      std::fprintf(json, "]}");
+      table.add_row({algorithm_name(kAlgorithms[a]), strfmt("%.3f", prep),
+                     strfmt("%.3f", search_total), with_commas(count_kmin)});
+    }
+    std::fprintf(json, "]}");
+    table.print();
+    std::printf("\n");
+  }
+  std::fprintf(json, "]}\n");
+  std::fclose(json);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (mismatch) {
+    std::fprintf(stderr, "bench_prepared_sweep: count mismatch between algorithms\n");
+    return 1;
+  }
+  return 0;
+}

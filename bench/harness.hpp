@@ -7,6 +7,9 @@
 //   --scale X       grow/shrink the generated dataset
 //   --kmin/--kmax   clique size range (default 6..10 like the figures)
 //   --csv           additionally dump a CSV block for plotting
+//   --prepared      run the k sweep through one PreparedGraph per algorithm
+//                   (prepare once, search per k) and report prepare vs
+//                   search seconds separately
 #pragma once
 
 #include <algorithm>
@@ -46,7 +49,85 @@ inline double timed_run(const Graph& g, int k, Algorithm alg, count_t& count_out
   return t;
 }
 
+/// Prepared-mode sweep: one PreparedGraph per algorithm, preparation timed
+/// once, only the k-dependent search timed per query. The "amortized total"
+/// column shows what the one-shot path would have re-paid per k.
+inline void run_figure_prepared(const FigureConfig& cfg, const Dataset& ds,
+                                const CommandLine& cli) {
+  const int reps = static_cast<int>(env_int("C3_BENCH_REPS", 3));
+  const int kmin = static_cast<int>(cli.get_int("kmin", cfg.kmin));
+  const int kmax = static_cast<int>(cli.get_int("kmax", cfg.kmax));
+  if (kmax < kmin) {
+    std::printf("# %s: empty k range (%d..%d)\n", cfg.figure.c_str(), kmin, kmax);
+    return;
+  }
+  const auto n_algs = kFigureAlgorithms.size();
+  const auto n_ks = static_cast<std::size_t>(kmax - kmin + 1);
+
+  std::printf("# %s — %s, prepared query engine (prepare once, search per k)\n",
+              cfg.figure.c_str(), ds.name.c_str());
+  std::printf("# %d repetitions per point\n\n", reps);
+
+  std::vector<RunStats> prep(n_algs);
+  std::vector<std::vector<RunStats>> search(n_algs, std::vector<RunStats>(n_ks));
+  std::vector<count_t> counts(n_ks, 0);
+
+  for (int rep = 0; rep < reps; ++rep) {
+    for (std::size_t a = 0; a < n_algs; ++a) {
+      CliqueOptions opts;
+      opts.algorithm = kFigureAlgorithms[a];
+      const PreparedGraph engine(ds.graph, opts);
+      WallTimer prep_timer;
+      engine.prepare();
+      prep[a].add(prep_timer.seconds());
+      for (int k = kmin; k <= kmax; ++k) {
+        const auto ki = static_cast<std::size_t>(k - kmin);
+        const CliqueResult r = engine.count(k);
+        search[a][ki].add(r.stats.search_seconds);
+        if (rep == 0 && a == 0) {
+          counts[ki] = r.count;
+        } else if (r.count != counts[ki]) {
+          std::printf("!! count mismatch at k=%d: %llu vs %llu\n", k,
+                      static_cast<unsigned long long>(r.count),
+                      static_cast<unsigned long long>(counts[ki]));
+        }
+      }
+    }
+  }
+
+  Table prep_table({"algorithm", "prepare[s]", "std%"});
+  for (std::size_t a = 0; a < n_algs; ++a) {
+    prep_table.add_row({algorithm_name(kFigureAlgorithms[a]), strfmt("%.3f", prep[a].mean()),
+                        strfmt("%.1f%%", 100.0 * prep[a].rel_stddev())});
+  }
+  prep_table.print();
+  std::printf("\n");
+
+  Table table({"k", "c3List[s]", "ArbCount[s]", "kcList[s]", "#cliques", "prep/search(c3)"});
+  for (int k = kmin; k <= kmax; ++k) {
+    const auto ki = static_cast<std::size_t>(k - kmin);
+    const double c3 = search[0][ki].mean();
+    table.add_row({std::to_string(k), strfmt("%.3f", c3), strfmt("%.3f", search[1][ki].mean()),
+                   strfmt("%.3f", search[2][ki].mean()), with_commas(counts[ki]),
+                   strfmt("%.2fx", c3 > 0.0 ? prep[0].mean() / c3 : 0.0)});
+  }
+  table.print();
+
+  if (cli.has_flag("csv")) {
+    std::printf("\nk,c3list_search,arbcount_search,kclist_search\n");
+    for (int k = kmin; k <= kmax; ++k) {
+      const auto ki = static_cast<std::size_t>(k - kmin);
+      std::printf("%d,%.4f,%.4f,%.4f\n", k, search[0][ki].mean(), search[1][ki].mean(),
+                  search[2][ki].mean());
+    }
+  }
+}
+
 inline void run_figure(const FigureConfig& cfg, const Dataset& ds, const CommandLine& cli) {
+  if (cli.has_flag("prepared")) {
+    run_figure_prepared(cfg, ds, cli);
+    return;
+  }
   const int reps = static_cast<int>(env_int("C3_BENCH_REPS", 3));
   const int kmin = static_cast<int>(cli.get_int("kmin", cfg.kmin));
   const int kmax = static_cast<int>(cli.get_int("kmax", cfg.kmax));

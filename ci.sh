@@ -29,6 +29,18 @@ run_config() {
   cmake --build "${dir}" -j "${jobs}"
   echo "==== [${name}] ctest ===="
   ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+  if [ "${name}" = "release" ]; then
+    # Perf-trajectory smoke: a small prepared k-sweep per algorithm. Emits
+    # BENCH_pr2.json (prepare/search seconds + counts) and fails on any
+    # cross-algorithm count mismatch. A missing binary is an error, not a
+    # skip — otherwise the gate would silently stop existing.
+    echo "==== [${name}] bench smoke (prepared sweep) ===="
+    if [ ! -x "${dir}/bench/bench_prepared_sweep" ]; then
+      echo "bench_prepared_sweep not built (is C3_BUILD_BENCH off?)" >&2
+      exit 1
+    fi
+    "${dir}/bench/bench_prepared_sweep" --out BENCH_pr2.json
+  fi
 }
 
 for config in "${configs[@]}"; do

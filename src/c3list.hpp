@@ -7,6 +7,8 @@
 //                           order/community_degeneracy.hpp
 //   Triangles/communities   triangle/triangle_count.hpp, triangle/communities.hpp
 //   Clique counting         clique/api.hpp (count_cliques / list_cliques)
+//   Prepared queries        clique/engine.hpp (PreparedGraph: prepare once,
+//                           answer many count/list/spectrum/max queries)
 //   Individual algorithms   clique/c3list.hpp, clique/c3list_cd.hpp,
 //                           clique/hybrid.hpp, clique/kclist.hpp,
 //                           clique/arbcount.hpp, clique/bruteforce.hpp
@@ -24,6 +26,7 @@
 #include "clique/c3list.hpp"
 #include "clique/c3list_cd.hpp"
 #include "clique/combinatorics.hpp"
+#include "clique/engine.hpp"
 #include "clique/hybrid.hpp"
 #include "clique/kclist.hpp"
 #include "clique/max_clique.hpp"

@@ -1,58 +1,16 @@
 #include "clique/api.hpp"
 
-#include <stdexcept>
-
-#include "clique/arbcount.hpp"
-#include "clique/bruteforce.hpp"
-#include "clique/c3list_cd.hpp"
-#include "clique/hybrid.hpp"
-#include "clique/kclist.hpp"
+#include "clique/engine.hpp"
 
 namespace c3 {
 
 CliqueResult count_cliques(const Graph& g, int k, const CliqueOptions& opts) {
-  switch (opts.algorithm) {
-    case Algorithm::C3List:
-      return c3list_count(g, k, opts);
-    case Algorithm::C3ListCD:
-      return c3list_cd_count(g, k, opts);
-    case Algorithm::Hybrid:
-      return hybrid_count(g, k, opts);
-    case Algorithm::KCList:
-      return kclist_count(g, k, opts);
-    case Algorithm::ArbCount:
-      return arbcount_count(g, k, opts);
-    case Algorithm::BruteForce: {
-      CliqueResult r;
-      r.count = brute_force_count(g, k);
-      r.stats.cliques = r.count;
-      return r;
-    }
-  }
-  throw std::invalid_argument("count_cliques: unknown algorithm");
+  return PreparedGraph(g, opts).count(k);
 }
 
 CliqueResult list_cliques(const Graph& g, int k, const CliqueCallback& callback,
                           const CliqueOptions& opts) {
-  switch (opts.algorithm) {
-    case Algorithm::C3List:
-      return c3list_list(g, k, callback, opts);
-    case Algorithm::C3ListCD:
-      return c3list_cd_list(g, k, callback, opts);
-    case Algorithm::Hybrid:
-      return hybrid_list(g, k, callback, opts);
-    case Algorithm::KCList:
-      return kclist_list(g, k, callback, opts);
-    case Algorithm::ArbCount:
-      return arbcount_list(g, k, callback, opts);
-    case Algorithm::BruteForce: {
-      CliqueResult r;
-      r.count = brute_force_list(g, k, callback);
-      r.stats.cliques = r.count;
-      return r;
-    }
-  }
-  throw std::invalid_argument("list_cliques: unknown algorithm");
+  return PreparedGraph(g, opts).list(k, callback);
 }
 
 const char* algorithm_name(Algorithm alg) noexcept {

@@ -1,6 +1,9 @@
-// Unified entry points: dispatch a CliqueOptions::algorithm to the matching
-// implementation. Most callers only need these two functions (and the
-// umbrella header c3list.hpp re-exports everything else).
+// Unified one-shot entry points: dispatch a CliqueOptions::algorithm to the
+// matching implementation. Both are thin wrappers over the plan/execute
+// engine (engine.hpp) — they prepare, query once, and throw the preparation
+// away. Callers issuing several queries against the same graph should hold a
+// PreparedGraph instead. Most one-shot callers only need these two functions
+// (and the umbrella header c3list.hpp re-exports everything else).
 #pragma once
 
 #include "clique/c3list.hpp"

@@ -1,13 +1,10 @@
 #include "clique/arbcount.hpp"
 
 #include <atomic>
-#include <numeric>
 #include <vector>
 
+#include "clique/engine.hpp"
 #include "clique/local_graph.hpp"
-#include "graph/digraph.hpp"
-#include "clique/order_util.hpp"
-#include "parallel/padded.hpp"
 #include "parallel/parallel.hpp"
 #include "util/bitwords.hpp"
 #include "util/timer.hpp"
@@ -15,25 +12,19 @@
 namespace c3 {
 namespace {
 
-struct Worker {
-  LocalGraph lg;
-  std::vector<std::uint64_t> mask_pool;  // one mask per recursion level
-  std::vector<node_t> member_orig;
-  std::vector<node_t> clique_stack;
-  LocalCounters ctr;
-  count_t count = 0;
-  bool stopped = false;
-};
-
 struct Env {
   const CliqueCallback* callback;
 };
 
+// Early-stop state rides in w.ctx (SearchContext::poll_stop / request_stop),
+// the same shared-flag mechanism the community-centric searches use.
+
 /// Vertex-at-a-time recursion over the induced bitset subgraph: pick the
 /// next clique vertex x from the candidate mask (ascending = respecting the
 /// orientation), descend into row(x) ∩ mask ∩ {> x}.
-count_t arb_rec(const Env& env, Worker& w, const std::uint64_t* mask, int level, int l) {
+count_t arb_rec(const Env& env, CliqueScratch& w, const std::uint64_t* mask, int level, int l) {
   ++w.ctr.recursive_calls;
+  if (w.ctx.poll_stop()) return 0;
   const LocalGraph& lg = w.lg;
   const auto words = static_cast<std::size_t>(lg.words());
 
@@ -42,9 +33,9 @@ count_t arb_rec(const Env& env, Worker& w, const std::uint64_t* mask, int level,
     w.ctr.leaf_work += found;
     if (env.callback == nullptr) return found;
     bits::for_each_bit(mask, words, [&](std::size_t x) {
-      if (w.stopped) return;
+      if (w.ctx.poll_stop()) return;
       w.clique_stack.push_back(w.member_orig[x]);
-      if (!(*env.callback)(std::span<const node_t>(w.clique_stack))) w.stopped = true;
+      if (!(*env.callback)(std::span<const node_t>(w.clique_stack))) w.ctx.request_stop();
       w.clique_stack.pop_back();
     });
     return found;
@@ -54,7 +45,7 @@ count_t arb_rec(const Env& env, Worker& w, const std::uint64_t* mask, int level,
       w.mask_pool.data() + static_cast<std::size_t>(level) * words;
   count_t total = 0;
   bits::for_each_bit(mask, words, [&](std::size_t x) {
-    if (w.stopped) return;
+    if (w.ctx.poll_stop()) return;
     // next = candidates after x that are adjacent to x.
     const std::uint64_t* row = lg.row(static_cast<int>(x));
     const std::size_t wx = bits::word_index(x);
@@ -70,10 +61,10 @@ count_t arb_rec(const Env& env, Worker& w, const std::uint64_t* mask, int level,
       total += found;
       if (env.callback != nullptr) {
         bits::for_each_bit(next, words, [&](std::size_t y) {
-          if (w.stopped) return;
+          if (w.ctx.poll_stop()) return;
           w.clique_stack.push_back(w.member_orig[x]);
           w.clique_stack.push_back(w.member_orig[y]);
-          if (!(*env.callback)(std::span<const node_t>(w.clique_stack))) w.stopped = true;
+          if (!(*env.callback)(std::span<const node_t>(w.clique_stack))) w.ctx.request_stop();
           w.clique_stack.pop_back();
           w.clique_stack.pop_back();
         });
@@ -90,25 +81,19 @@ count_t arb_rec(const Env& env, Worker& w, const std::uint64_t* mask, int level,
   return total;
 }
 
-CliqueResult run(const Graph& g, int k, const CliqueCallback* callback,
-                 const CliqueOptions& opts) {
-  CliqueResult result;
-  if (k <= 2) {
-    return callback != nullptr ? c3list_list(g, k, *callback, opts) : c3list_count(g, k, opts);
-  }
+}  // namespace
 
-  WallTimer prep_timer;
-  const std::vector<node_t> order =
-      make_vertex_order(g, opts.vertex_order, opts.eps, VertexOrderKind::ApproxDegeneracy, opts.order_seed);
-  const Digraph dag = Digraph::orient(g, order);
+CliqueResult arbcount_search(const Digraph& dag, int k, const CliqueCallback* callback,
+                             const CliqueOptions& opts, PerWorker<CliqueScratch>& workers) {
+  (void)opts;
+  CliqueResult result;
   result.stats.order_quality = dag.max_out_degree();
-  result.stats.gamma = dag.max_out_degree();
-  result.stats.preprocess_seconds = prep_timer.seconds();
+  result.stats.gamma = result.stats.order_quality;
 
   WallTimer search_timer;
   const node_t n = dag.num_nodes();
   result.stats.top_level_tasks = n;
-  PerWorker<Worker> workers;
+  reset_scratch_pool(workers);
   std::atomic<bool> stop{false};
   Env env{callback};
 
@@ -118,7 +103,9 @@ CliqueResult run(const Graph& g, int k, const CliqueCallback* callback,
         if (stop.load(std::memory_order_relaxed)) return;
         const auto members = dag.out_neighbors(static_cast<node_t>(u));
         if (static_cast<int>(members.size()) < k - 1) return;
-        Worker& w = workers.local();
+        CliqueScratch& w = workers.local();
+        w.ctx.callback = callback;
+        w.ctx.stop = callback != nullptr ? &stop : nullptr;
 
         // Induce and rename G[N+(u)] (the per-vertex re-representation).
         build_local_graph(dag, members, w.lg);
@@ -138,28 +125,25 @@ CliqueResult run(const Graph& g, int k, const CliqueCallback* callback,
         }
 
         w.count += arb_rec(env, w, universe, 0, k - 1);
-        if (w.stopped) stop.store(true, std::memory_order_relaxed);
       },
       1);
 
-  for (std::size_t i = 0; i < workers.size(); ++i) {
-    result.count += workers.slot(i).count;
-    workers.slot(i).ctr.merge_into(result.stats);
-  }
-  result.stats.cliques = result.count;
+  merge_scratch_pool(workers, result);
   result.stats.search_seconds = search_timer.seconds();
   return result;
 }
 
-}  // namespace
-
 CliqueResult arbcount_count(const Graph& g, int k, const CliqueOptions& opts) {
-  return run(g, k, nullptr, opts);
+  CliqueOptions o = opts;
+  o.algorithm = Algorithm::ArbCount;
+  return PreparedGraph(g, o).count(k);
 }
 
 CliqueResult arbcount_list(const Graph& g, int k, const CliqueCallback& callback,
                            const CliqueOptions& opts) {
-  return run(g, k, &callback, opts);
+  CliqueOptions o = opts;
+  o.algorithm = Algorithm::ArbCount;
+  return PreparedGraph(g, o).list(k, callback);
 }
 
 }  // namespace c3

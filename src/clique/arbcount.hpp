@@ -14,7 +14,10 @@
 
 #include "clique/c3list.hpp"
 #include "clique/common.hpp"
+#include "clique/scratch.hpp"
+#include "graph/digraph.hpp"
 #include "graph/graph.hpp"
+#include "parallel/padded.hpp"
 
 namespace c3 {
 
@@ -24,5 +27,12 @@ namespace c3 {
 /// Listing variant.
 [[nodiscard]] CliqueResult arbcount_list(const Graph& g, int k, const CliqueCallback& callback,
                                          const CliqueOptions& opts = {});
+
+/// Search half on a prepared orientation: requires k >= 3. `callback` may be
+/// null (counting).
+[[nodiscard]] CliqueResult arbcount_search(const Digraph& dag, int k,
+                                           const CliqueCallback* callback,
+                                           const CliqueOptions& opts,
+                                           PerWorker<CliqueScratch>& workers);
 
 }  // namespace c3

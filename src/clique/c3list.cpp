@@ -1,79 +1,23 @@
 #include "clique/c3list.hpp"
 
 #include <atomic>
-#include <numeric>
-#include <stdexcept>
 #include <vector>
 
+#include "clique/engine.hpp"
 #include "clique/local_graph.hpp"
 #include "clique/recursive.hpp"
-#include "graph/digraph.hpp"
-#include "clique/order_util.hpp"
 #include "parallel/pack.hpp"
-#include "parallel/padded.hpp"
 #include "parallel/parallel.hpp"
-#include "triangle/communities.hpp"
 #include "util/timer.hpp"
 
 namespace c3 {
-namespace {
 
-/// Per-worker state reused across top-level edges.
-struct Worker {
-  LocalGraph lg;
-  SearchContext ctx;
-  LocalCounters ctr;
-  std::vector<node_t> member_orig;  // local id -> original vertex id (listing)
-  count_t count = 0;
-};
-
-/// Trivial clique sizes that need no search. k <= 0 -> none; k == 1 ->
-/// vertices; k == 2 -> edges.
-bool trivial_k(const Graph& g, int k, const CliqueCallback* callback, CliqueResult& out) {
-  if (k > 2) return false;
-  if (k <= 0) return true;
-  if (k == 1) {
-    out.count = g.num_nodes();
-    if (callback != nullptr) {
-      out.count = 0;
-      for (node_t v = 0; v < g.num_nodes(); ++v) {
-        const node_t clique[] = {v};
-        ++out.count;
-        if (!(*callback)(clique)) break;
-      }
-    }
-    return true;
-  }
-  out.count = g.num_edges();
-  if (callback != nullptr) {
-    out.count = 0;
-    for (const Edge& e : g.endpoints()) {
-      const node_t clique[] = {e.u, e.v};
-      ++out.count;
-      if (!(*callback)(clique)) break;
-    }
-  }
-  return true;
-}
-
-CliqueResult run(const Graph& g, int k, const CliqueCallback* callback,
-                 const CliqueOptions& opts) {
+CliqueResult c3list_search(const Digraph& dag, const EdgeCommunities& comms, int k,
+                           const CliqueCallback* callback, const CliqueOptions& opts,
+                           PerWorker<CliqueScratch>& workers) {
   CliqueResult result;
-  if (trivial_k(g, k, callback, result)) return result;
-
-  WallTimer prep_timer;
-
-  // Step 0 (Section 4): the total vertex order — exact degeneracy by
-  // default, as in the paper's own evaluation (Appendix B).
-  const std::vector<node_t> order =
-      make_vertex_order(g, opts.vertex_order, opts.eps, VertexOrderKind::ExactDegeneracy, opts.order_seed);
-  const Digraph dag = Digraph::orient(g, order);
   result.stats.order_quality = dag.max_out_degree();
-
-  // Algorithm 1, line 1: build the communities and sort them.
-  const EdgeCommunities comms = EdgeCommunities::build(dag);
   result.stats.gamma = comms.max_size();
-  result.stats.preprocess_seconds = prep_timer.seconds();
 
   WallTimer search_timer;
   // Algorithm 1, line 2: all edges with at least k-2 triangles.
@@ -82,14 +26,14 @@ CliqueResult run(const Graph& g, int k, const CliqueCallback* callback,
       dag.num_arcs(), [&](std::size_t e) { return comms.size(static_cast<edge_t>(e)) >= needed; });
   result.stats.top_level_tasks = tasks.size();
 
-  PerWorker<Worker> workers;
+  reset_scratch_pool(workers);
   std::atomic<bool> stop{false};
 
   parallel_for_dynamic(
       0, tasks.size(),
       [&](std::size_t t) {
         if (stop.load(std::memory_order_relaxed)) return;
-        Worker& w = workers.local();
+        CliqueScratch& w = workers.local();
         const edge_t e = tasks[t];
         const auto members = comms.members(e);
 
@@ -110,6 +54,7 @@ CliqueResult run(const Graph& g, int k, const CliqueCallback* callback,
         w.ctx.prune = opts.distance_pruning;
         w.ctx.ctr = &w.ctr;
         w.ctx.callback = callback;
+        w.ctx.stop = callback != nullptr ? &stop : nullptr;
         if (callback != nullptr) {
           w.member_orig.resize(members.size());
           for (std::size_t i = 0; i < members.size(); ++i)
@@ -122,28 +67,25 @@ CliqueResult run(const Graph& g, int k, const CliqueCallback* callback,
 
         // Algorithm 1, line 3: recurse on the community with c = k - 2.
         w.count += search_cliques_all(w.ctx, k - 2, opts.triangle_growth);
-        if (w.ctx.stopped) stop.store(true, std::memory_order_relaxed);
       },
       1);
 
-  for (std::size_t i = 0; i < workers.size(); ++i) {
-    result.count += workers.slot(i).count;
-    workers.slot(i).ctr.merge_into(result.stats);
-  }
-  result.stats.cliques = result.count;
+  merge_scratch_pool(workers, result);
   result.stats.search_seconds = search_timer.seconds();
   return result;
 }
 
-}  // namespace
-
 CliqueResult c3list_count(const Graph& g, int k, const CliqueOptions& opts) {
-  return run(g, k, nullptr, opts);
+  CliqueOptions o = opts;
+  o.algorithm = Algorithm::C3List;
+  return PreparedGraph(g, o).count(k);
 }
 
 CliqueResult c3list_list(const Graph& g, int k, const CliqueCallback& callback,
                          const CliqueOptions& opts) {
-  return run(g, k, &callback, opts);
+  CliqueOptions o = opts;
+  o.algorithm = Algorithm::C3List;
+  return PreparedGraph(g, o).list(k, callback);
 }
 
 }  // namespace c3

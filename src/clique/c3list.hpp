@@ -7,17 +7,20 @@
 // universe, build its indicator-table adjacency, and run the recursive
 // search for (k-2)-cliques inside it. Work/depth bounds: Theorem 2.1,
 // instantiated by the chosen order per Table 1.
+//
+// The pipeline is split into a prepare half (order + orientation +
+// communities, owned by PreparedGraph in engine.hpp) and the search half
+// below, so one preparation can serve many k queries.
 #pragma once
 
 #include "clique/common.hpp"
+#include "clique/scratch.hpp"
+#include "graph/digraph.hpp"
 #include "graph/graph.hpp"
+#include "parallel/padded.hpp"
+#include "triangle/communities.hpp"
 
 namespace c3 {
-
-struct CliqueResult {
-  count_t count = 0;
-  CliqueStats stats;
-};
 
 /// Counts all k-cliques of g. Options select the orientation (exact
 /// degeneracy, (2+eps)-approximate, or by id) and the pruning ablation.
@@ -27,5 +30,13 @@ struct CliqueResult {
 /// early-exit contract). Returns the number of cliques reported.
 [[nodiscard]] CliqueResult c3list_list(const Graph& g, int k, const CliqueCallback& callback,
                                        const CliqueOptions& opts = {});
+
+/// Search half of Algorithm 1 on prepared artifacts: requires k >= 3, an
+/// oriented `dag` and its edge communities. `callback` may be null
+/// (counting). The scratch pool is reset and reused; stats report only the
+/// search (preprocess_seconds stays 0).
+[[nodiscard]] CliqueResult c3list_search(const Digraph& dag, const EdgeCommunities& comms, int k,
+                                         const CliqueCallback* callback, const CliqueOptions& opts,
+                                         PerWorker<CliqueScratch>& workers);
 
 }  // namespace c3

@@ -3,22 +3,15 @@
 #include <algorithm>
 #include <atomic>
 
+#include "clique/engine.hpp"
 #include "clique/local_graph.hpp"
 #include "clique/recursive.hpp"
 #include "parallel/pack.hpp"
-#include "parallel/padded.hpp"
 #include "parallel/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace c3 {
 namespace {
-
-struct Worker {
-  LocalGraph lg;
-  SearchContext ctx;
-  LocalCounters ctr;
-  count_t count = 0;
-};
 
 /// Builds the local subgraph over V'(e) = `members` (sorted by vertex id,
 /// which serves as the inner total order): the pair {a, b} is an edge iff it
@@ -51,16 +44,13 @@ void build_local_graph_cd(const Graph& g, std::span<const node_t> members,
   }
 }
 
-CliqueResult run_with_order(const Graph& g, int k, const EdgeOrderResult& order,
-                            const CliqueCallback* callback, const CliqueOptions& opts) {
+}  // namespace
+
+CliqueResult c3list_cd_search(const Graph& g, const EdgeOrderResult& order, int k,
+                              const CliqueCallback* callback, const CliqueOptions& opts,
+                              PerWorker<CliqueScratch>& workers) {
   CliqueResult result;
   result.stats.order_quality = order.sigma;
-  if (k <= 2) {
-    // Same trivial handling as c3list.
-    result = callback != nullptr ? c3list_list(g, k, *callback, opts) : c3list_count(g, k, opts);
-    result.stats.order_quality = order.sigma;
-    return result;
-  }
 
   WallTimer search_timer;
   // Algorithm 3, line 3: every edge whose candidate set can hold k-2 more
@@ -76,14 +66,14 @@ CliqueResult run_with_order(const Graph& g, int k, const EdgeOrderResult& order,
   result.stats.gamma = gamma;
 
   const auto endpoints = g.endpoints();
-  PerWorker<Worker> workers;
+  reset_scratch_pool(workers);
   std::atomic<bool> stop{false};
 
   parallel_for_dynamic(
       0, tasks.size(),
       [&](std::size_t t) {
         if (stop.load(std::memory_order_relaxed)) return;
-        Worker& w = workers.local();
+        CliqueScratch& w = workers.local();
         const edge_t e = tasks[t];
         const auto members = order.candidates(e);
         // Algorithm 3, line 4: V' <- community of e among later edges.
@@ -92,6 +82,7 @@ CliqueResult run_with_order(const Graph& g, int k, const EdgeOrderResult& order,
         w.ctx.prune = opts.distance_pruning;
         w.ctx.ctr = &w.ctr;
         w.ctx.callback = callback;
+        w.ctx.stop = callback != nullptr ? &stop : nullptr;
         if (callback != nullptr) {
           // V'(e) members are original vertex ids already.
           w.ctx.member_to_orig = members.data();
@@ -101,47 +92,38 @@ CliqueResult run_with_order(const Graph& g, int k, const EdgeOrderResult& order,
         }
         // Algorithm 3, line 5: recurse with c = k - 2.
         w.count += search_cliques_all(w.ctx, k - 2, opts.triangle_growth);
-        if (w.ctx.stopped) stop.store(true, std::memory_order_relaxed);
       },
       1);
 
-  for (std::size_t i = 0; i < workers.size(); ++i) {
-    result.count += workers.slot(i).count;
-    workers.slot(i).ctr.merge_into(result.stats);
-  }
-  result.stats.cliques = result.count;
+  merge_scratch_pool(workers, result);
   result.stats.search_seconds = search_timer.seconds();
   return result;
 }
 
-CliqueResult run(const Graph& g, int k, const CliqueCallback* callback,
-                 const CliqueOptions& opts) {
-  // Algorithm 3, lines 1-2: vertex order (identity) is implicit in vertex
-  // ids; compute the edge total order.
-  WallTimer prep_timer;
-  const EdgeOrderResult order = opts.edge_order == EdgeOrderKind::ExactCommunityDegeneracy
-                                    ? community_degeneracy_order(g)
-                                    : approx_community_degeneracy_order(g, opts.eps);
-  const double prep = prep_timer.seconds();
-  CliqueResult result = run_with_order(g, k, order, callback, opts);
-  result.stats.preprocess_seconds = prep;
-  return result;
-}
-
-}  // namespace
-
 CliqueResult c3list_cd_count_with_order(const Graph& g, int k, const EdgeOrderResult& order,
                                         const CliqueOptions& opts) {
-  return run_with_order(g, k, order, nullptr, opts);
+  if (k <= 2) {
+    CliqueOptions o = opts;
+    o.algorithm = Algorithm::C3ListCD;
+    CliqueResult result = PreparedGraph(g, o).count(k);
+    result.stats.order_quality = order.sigma;
+    return result;
+  }
+  PerWorker<CliqueScratch> workers;
+  return c3list_cd_search(g, order, k, nullptr, opts, workers);
 }
 
 CliqueResult c3list_cd_count(const Graph& g, int k, const CliqueOptions& opts) {
-  return run(g, k, nullptr, opts);
+  CliqueOptions o = opts;
+  o.algorithm = Algorithm::C3ListCD;
+  return PreparedGraph(g, o).count(k);
 }
 
 CliqueResult c3list_cd_list(const Graph& g, int k, const CliqueCallback& callback,
                             const CliqueOptions& opts) {
-  return run(g, k, &callback, opts);
+  CliqueOptions o = opts;
+  o.algorithm = Algorithm::C3ListCD;
+  return PreparedGraph(g, o).list(k, callback);
 }
 
 }  // namespace c3

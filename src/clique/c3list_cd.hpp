@@ -13,8 +13,10 @@
 
 #include "clique/c3list.hpp"
 #include "clique/common.hpp"
+#include "clique/scratch.hpp"
 #include "graph/graph.hpp"
 #include "order/community_degeneracy.hpp"
+#include "parallel/padded.hpp"
 
 namespace c3 {
 
@@ -31,5 +33,12 @@ namespace c3 {
 [[nodiscard]] CliqueResult c3list_cd_count_with_order(const Graph& g, int k,
                                                       const EdgeOrderResult& order,
                                                       const CliqueOptions& opts = {});
+
+/// Search half of Algorithm 3 on a prepared edge order: requires k >= 3.
+/// `callback` may be null (counting).
+[[nodiscard]] CliqueResult c3list_cd_search(const Graph& g, const EdgeOrderResult& order, int k,
+                                            const CliqueCallback* callback,
+                                            const CliqueOptions& opts,
+                                            PerWorker<CliqueScratch>& workers);
 
 }  // namespace c3

@@ -10,7 +10,8 @@
 
 namespace c3 {
 
-/// Which k-clique algorithm to run (see DESIGN.md system inventory).
+/// Which k-clique algorithm to run (see DESIGN.md Section 1, the system
+/// inventory).
 enum class Algorithm {
   C3List,      ///< the paper's community-centric algorithm (Algorithms 1+2)
   C3ListCD,    ///< Algorithm 3, parameterized by community degeneracy
@@ -73,6 +74,12 @@ struct CliqueStats {
   node_t order_quality = 0;        ///< max out-degree (or max |V'|) induced by the order
   double preprocess_seconds = 0.0;
   double search_seconds = 0.0;
+};
+
+/// Result of one clique query: the global count plus instrumentation.
+struct CliqueResult {
+  count_t count = 0;
+  CliqueStats stats;
 };
 
 /// Per-worker counter block merged into CliqueStats at the end of a run.

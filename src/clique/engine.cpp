@@ -1,0 +1,298 @@
+#include "clique/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+
+#include "clique/arbcount.hpp"
+#include "clique/bruteforce.hpp"
+#include "clique/c3list.hpp"
+#include "clique/c3list_cd.hpp"
+#include "clique/hybrid.hpp"
+#include "clique/kclist.hpp"
+#include "clique/order_util.hpp"
+#include "order/approx_degeneracy.hpp"
+#include "order/degeneracy.hpp"
+#include "parallel/parallel.hpp"
+#include "util/timer.hpp"
+
+namespace c3 {
+namespace {
+
+/// Trivial clique sizes that need no prepared artifacts. k <= 0 -> none;
+/// k == 1 -> vertices; k == 2 -> edges.
+bool trivial_k(const Graph& g, int k, const CliqueCallback* callback, CliqueResult& out) {
+  if (k > 2) return false;
+  if (k <= 0) return true;
+  if (k == 1) {
+    out.count = g.num_nodes();
+    if (callback != nullptr) {
+      out.count = 0;
+      for (node_t v = 0; v < g.num_nodes(); ++v) {
+        const node_t clique[] = {v};
+        ++out.count;
+        if (!(*callback)(clique)) break;
+      }
+    }
+    return true;
+  }
+  out.count = g.num_edges();
+  if (callback != nullptr) {
+    out.count = 0;
+    for (const Edge& e : g.endpoints()) {
+      const node_t clique[] = {e.u, e.v};
+      ++out.count;
+      if (!(*callback)(clique)) break;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+PreparedGraph::PreparedGraph(const Graph& g, const CliqueOptions& opts) : g_(&g), opts_(opts) {}
+
+const Digraph& PreparedGraph::dag() const {
+  if (!dag_.has_value()) {
+    WallTimer timer;
+    std::vector<node_t> order;
+    switch (opts_.algorithm) {
+      case Algorithm::ArbCount:
+        // ArbCount's paper-native default is the (2+eps)-approximate order.
+        order = make_vertex_order(*g_, opts_.vertex_order, opts_.eps,
+                                  VertexOrderKind::ApproxDegeneracy, opts_.order_seed);
+        break;
+      case Algorithm::Hybrid:
+        // The hybrid's outer order is always the low-depth approximate one;
+        // the exact degeneracy order is recomputed per out-neighborhood
+        // inside the search (Section 4.2).
+        order = approx_degeneracy_order(*g_, opts_.eps).order;
+        break;
+      default:
+        order = make_vertex_order(*g_, opts_.vertex_order, opts_.eps,
+                                  VertexOrderKind::ExactDegeneracy, opts_.order_seed);
+        break;
+    }
+    dag_.emplace(Digraph::orient(*g_, order));
+    prepare_seconds_ += timer.seconds();
+  }
+  return *dag_;
+}
+
+const EdgeCommunities& PreparedGraph::communities() const {
+  const Digraph& d = dag();  // built (and timed) first
+  if (!comms_.has_value()) {
+    WallTimer timer;
+    comms_.emplace(EdgeCommunities::build(d));
+    prepare_seconds_ += timer.seconds();
+  }
+  return *comms_;
+}
+
+const EdgeOrderResult& PreparedGraph::edge_order() const {
+  if (!edge_order_.has_value()) {
+    WallTimer timer;
+    edge_order_.emplace(opts_.edge_order == EdgeOrderKind::ExactCommunityDegeneracy
+                            ? community_degeneracy_order(*g_)
+                            : approx_community_degeneracy_order(*g_, opts_.eps));
+    prepare_seconds_ += timer.seconds();
+  }
+  return *edge_order_;
+}
+
+node_t PreparedGraph::exact_degeneracy() const {
+  if (!exact_degeneracy_.has_value()) {
+    WallTimer timer;
+    exact_degeneracy_ = degeneracy_order(*g_).degeneracy;
+    prepare_seconds_ += timer.seconds();
+  }
+  return *exact_degeneracy_;
+}
+
+PerWorker<CliqueScratch>& PreparedGraph::scratch() const {
+  // Rebuilt only if the worker pool *grew* past the slot count, so local()
+  // never indexes out of bounds; a shrunken pool keeps its warm buffers
+  // (surplus slots are reset and merge as zero).
+  if (scratch_ == nullptr || scratch_workers_ < num_workers()) {
+    scratch_ = std::make_unique<PerWorker<CliqueScratch>>();
+    scratch_workers_ = num_workers();
+  }
+  return *scratch_;
+}
+
+void PreparedGraph::prepare() const {
+  switch (opts_.algorithm) {
+    case Algorithm::C3List:
+      (void)communities();
+      break;
+    case Algorithm::C3ListCD:
+      (void)edge_order();
+      break;
+    case Algorithm::Hybrid:
+    case Algorithm::KCList:
+    case Algorithm::ArbCount:
+      (void)dag();
+      break;
+    case Algorithm::BruteForce:
+      break;
+  }
+}
+
+node_t PreparedGraph::clique_number_upper_bound() const {
+  if (g_->num_nodes() == 0) return 0;
+  if (g_->num_edges() == 0) return 1;
+  switch (opts_.algorithm) {
+    case Algorithm::C3List:
+      // A k-clique needs a community of k-2 (Observation 1).
+      return communities().max_size() + 2;
+    case Algorithm::C3ListCD:
+      // Its lowest-ordered edge has the remaining k-2 vertices in V'(e).
+      return edge_order().sigma + 2;
+    case Algorithm::Hybrid:
+    case Algorithm::KCList:
+    case Algorithm::ArbCount:
+      // The clique's lowest-ranked vertex sees the rest in N+(v).
+      return dag().max_out_degree() + 1;
+    case Algorithm::BruteForce:
+      break;
+  }
+  // omega <= s + 1 for an s-degenerate graph.
+  return exact_degeneracy() + 1;
+}
+
+CliqueResult PreparedGraph::dispatch(int k, const CliqueCallback* callback) const {
+  switch (opts_.algorithm) {
+    case Algorithm::C3List: {
+      const Digraph& d = dag();
+      const EdgeCommunities& c = communities();
+      return c3list_search(d, c, k, callback, opts_, scratch());
+    }
+    case Algorithm::C3ListCD:
+      return c3list_cd_search(*g_, edge_order(), k, callback, opts_, scratch());
+    case Algorithm::Hybrid:
+      return hybrid_search(dag(), k, callback, opts_, scratch());
+    case Algorithm::KCList:
+      return kclist_search(dag(), k, callback, opts_, scratch());
+    case Algorithm::ArbCount:
+      return arbcount_search(dag(), k, callback, opts_, scratch());
+    case Algorithm::BruteForce: {
+      CliqueResult r;
+      WallTimer timer;
+      r.count = callback != nullptr ? brute_force_list(*g_, k, *callback)
+                                    : brute_force_count(*g_, k);
+      r.stats.cliques = r.count;
+      r.stats.search_seconds = timer.seconds();
+      return r;
+    }
+  }
+  throw std::invalid_argument("PreparedGraph: unknown algorithm");
+}
+
+CliqueResult PreparedGraph::run(int k, const CliqueCallback* callback) const {
+  const double before = prepare_seconds_;
+  CliqueResult result;
+  if (!trivial_k(*g_, k, callback, result)) result = dispatch(k, callback);
+  // Only preparation performed during *this* query; 0 on reuse.
+  result.stats.preprocess_seconds = prepare_seconds_ - before;
+  return result;
+}
+
+CliqueResult PreparedGraph::count(int k) const { return run(k, nullptr); }
+
+CliqueResult PreparedGraph::list(int k, const CliqueCallback& callback) const {
+  return run(k, &callback);
+}
+
+CliqueSpectrum PreparedGraph::spectrum(int kmax) const {
+  CliqueSpectrum out;
+  out.counts.assign(2, 0);
+  if (g_->num_nodes() == 0) return out;
+  out.counts[1] = g_->num_nodes();
+  out.omega = 1;
+  if (g_->num_edges() == 0) return out;
+  out.counts.push_back(g_->num_edges());
+  out.omega = 2;
+
+  const double before = prepare_seconds_;
+  const auto ub = static_cast<int>(clique_number_upper_bound());
+  const int limit = kmax > 0 ? std::min(kmax, ub) : ub;
+  for (int k = 3; k <= limit; ++k) {
+    const CliqueResult r = dispatch(k, nullptr);
+    out.search_seconds += r.stats.search_seconds;
+    if (r.count == 0) break;
+    out.counts.push_back(r.count);
+    out.omega = static_cast<node_t>(k);
+  }
+  out.preprocess_seconds = prepare_seconds_ - before;
+  return out;
+}
+
+std::vector<count_t> PreparedGraph::per_vertex_counts(int k) const {
+  std::vector<std::atomic<count_t>> acc(g_->num_nodes());
+  const CliqueCallback tally = [&](std::span<const node_t> clique) {
+    for (const node_t v : clique) acc[v].fetch_add(1, std::memory_order_relaxed);
+    return true;
+  };
+  (void)list(k, tally);
+  std::vector<count_t> out(g_->num_nodes());
+  for (node_t v = 0; v < g_->num_nodes(); ++v) out[v] = acc[v].load(std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<count_t> PreparedGraph::per_edge_counts(int k) const {
+  std::vector<std::atomic<count_t>> acc(g_->num_edges());
+  const CliqueCallback tally = [&](std::span<const node_t> clique) {
+    for (std::size_t i = 0; i < clique.size(); ++i) {
+      for (std::size_t j = i + 1; j < clique.size(); ++j) {
+        const edge_t e = g_->edge_id(clique[i], clique[j]);
+        acc[e].fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    return true;
+  };
+  (void)list(k, tally);
+  std::vector<count_t> out(g_->num_edges());
+  for (edge_t e = 0; e < g_->num_edges(); ++e) out[e] = acc[e].load(std::memory_order_relaxed);
+  return out;
+}
+
+bool PreparedGraph::has_clique(int k) const { return find_clique(k).has_value(); }
+
+std::optional<std::vector<node_t>> PreparedGraph::find_clique(int k) const {
+  if (k <= 0) return std::nullopt;
+  std::optional<std::vector<node_t>> witness;
+  std::mutex guard;
+  const CliqueCallback stop_at_first = [&](std::span<const node_t> clique) {
+    const std::lock_guard<std::mutex> lock(guard);
+    if (!witness.has_value()) witness.emplace(clique.begin(), clique.end());
+    return false;  // stop the enumeration
+  };
+  (void)list(k, stop_at_first);
+  return witness;
+}
+
+node_t PreparedGraph::max_clique_size() const {
+  if (g_->num_nodes() == 0) return 0;
+  if (g_->num_edges() == 0) return 1;
+  node_t lo = 2;  // always feasible: the graph has an edge
+  node_t hi = clique_number_upper_bound();
+  while (lo < hi) {
+    const node_t mid = lo + (hi - lo + 1) / 2;
+    if (has_clique(static_cast<int>(mid))) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+std::vector<node_t> PreparedGraph::max_clique() const {
+  const node_t omega = max_clique_size();
+  if (omega == 0) return {};
+  if (omega == 1) return {0};
+  return find_clique(static_cast<int>(omega)).value();
+}
+
+}  // namespace c3

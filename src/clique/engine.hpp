@@ -1,0 +1,122 @@
+// Plan/execute query engine: prepare the graph once, answer many queries.
+//
+// Every clique algorithm factors into a *query-independent* prepare half —
+// the total vertex order and the oriented DAG (Section 4), the sorted edge
+// communities (Algorithm 1, line 1), or the community-degeneracy edge order
+// (Algorithm 3) — and a k-dependent search half. The one-shot entry points
+// recompute the prepare half on every call; a PreparedGraph computes each
+// artifact at most once (lazily, on first use) and serves any number of
+// queries from it: counts and listings for any k, the full clique spectrum,
+// per-vertex/per-edge local counts, and maximum-clique searches. It also
+// owns the per-worker scratch pool (local bitset subgraphs, recursion
+// stacks, label arrays), so repeated queries reuse warm buffers instead of
+// reallocating.
+//
+// Contract (see DESIGN.md Section 2):
+//  * The Graph must outlive the PreparedGraph; the engine keeps a reference.
+//  * opts.algorithm is fixed at construction and selects which artifacts are
+//    built; all queries of one engine run that algorithm.
+//  * Each query's CliqueStats.preprocess_seconds reports only the
+//    preparation performed *during that query* — 0 once the artifacts exist
+//    (the reuse guarantee; prepare() forces them eagerly).
+//  * Queries parallelize internally but the engine is not reentrant: issue
+//    one query at a time per PreparedGraph.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "clique/common.hpp"
+#include "clique/scratch.hpp"
+#include "clique/spectrum.hpp"
+#include "graph/digraph.hpp"
+#include "graph/graph.hpp"
+#include "order/community_degeneracy.hpp"
+#include "parallel/padded.hpp"
+#include "triangle/communities.hpp"
+
+namespace c3 {
+
+class PreparedGraph {
+ public:
+  /// Binds the engine to `g` (not copied — must outlive the engine) and
+  /// fixes the algorithm and its options. No artifact is built yet.
+  explicit PreparedGraph(const Graph& g, const CliqueOptions& opts = {});
+
+  PreparedGraph(PreparedGraph&&) noexcept = default;
+  PreparedGraph& operator=(PreparedGraph&&) noexcept = default;
+
+  // ------------------------------------------------------------- queries
+
+  /// Counts all k-cliques.
+  [[nodiscard]] CliqueResult count(int k) const;
+
+  /// Lists all k-cliques through `callback` (see CliqueCallback).
+  [[nodiscard]] CliqueResult list(int k, const CliqueCallback& callback) const;
+
+  /// Counts k-cliques for every k = 1..min(kmax, omega) with one shared
+  /// preparation; kmax = 0 means "up to the clique number".
+  [[nodiscard]] CliqueSpectrum spectrum(int kmax = 0) const;
+
+  /// counts[v] = number of k-cliques containing v.
+  [[nodiscard]] std::vector<count_t> per_vertex_counts(int k) const;
+
+  /// counts[e] = number of k-cliques containing edge e (graph edge ids).
+  [[nodiscard]] std::vector<count_t> per_edge_counts(int k) const;
+
+  /// True iff the graph contains a k-clique (early-exit listing).
+  [[nodiscard]] bool has_clique(int k) const;
+
+  /// Some k-clique, or nullopt if none exists.
+  [[nodiscard]] std::optional<std::vector<node_t>> find_clique(int k) const;
+
+  /// The clique number omega, by binary search over has_clique in
+  /// [2, clique_number_upper_bound()].
+  [[nodiscard]] node_t max_clique_size() const;
+
+  /// A maximum clique (empty for the empty graph).
+  [[nodiscard]] std::vector<node_t> max_clique() const;
+
+  // ---------------------------------------------- plan control / inspection
+
+  /// Forces the algorithm's artifacts to exist now, so later queries report
+  /// preprocess_seconds == 0. Idempotent.
+  void prepare() const;
+
+  /// Cumulative seconds spent building artifacts so far.
+  [[nodiscard]] double prepare_seconds() const noexcept { return prepare_seconds_; }
+
+  /// An upper bound on the clique number derived from the prepared
+  /// artifacts: gamma + 2 (c3List), sigma + 2 (c3List-CD), max out-degree
+  /// + 1 (orientation-based), degeneracy + 1 otherwise.
+  [[nodiscard]] node_t clique_number_upper_bound() const;
+
+  [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
+  [[nodiscard]] const CliqueOptions& options() const noexcept { return opts_; }
+
+ private:
+  [[nodiscard]] CliqueResult run(int k, const CliqueCallback* callback) const;
+  [[nodiscard]] CliqueResult dispatch(int k, const CliqueCallback* callback) const;
+  [[nodiscard]] const Digraph& dag() const;
+  [[nodiscard]] const EdgeCommunities& communities() const;
+  [[nodiscard]] const EdgeOrderResult& edge_order() const;
+  [[nodiscard]] node_t exact_degeneracy() const;
+  [[nodiscard]] PerWorker<CliqueScratch>& scratch() const;
+
+  const Graph* g_;
+  CliqueOptions opts_;
+
+  // Artifacts are memoized on first use; `mutable` because queries are
+  // logically const. prepare_seconds_ accumulates the build times, letting
+  // run() report per-query preparation as a delta.
+  mutable std::optional<Digraph> dag_;
+  mutable std::optional<EdgeCommunities> comms_;
+  mutable std::optional<EdgeOrderResult> edge_order_;
+  mutable std::optional<node_t> exact_degeneracy_;
+  mutable double prepare_seconds_ = 0.0;
+  mutable std::unique_ptr<PerWorker<CliqueScratch>> scratch_;
+  mutable int scratch_workers_ = 0;
+};
+
+}  // namespace c3

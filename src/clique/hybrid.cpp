@@ -4,11 +4,9 @@
 #include <atomic>
 #include <vector>
 
+#include "clique/engine.hpp"
 #include "clique/local_graph.hpp"
 #include "clique/recursive.hpp"
-#include "graph/digraph.hpp"
-#include "order/approx_degeneracy.hpp"
-#include "parallel/padded.hpp"
 #include "parallel/parallel.hpp"
 #include "util/bitwords.hpp"
 #include "util/timer.hpp"
@@ -16,17 +14,12 @@
 namespace c3 {
 namespace {
 
-/// Scratch arrays for the per-neighborhood exact degeneracy order, reused
-/// across vertices by each worker.
-struct LocalDegScratch {
-  std::vector<int> adj_offsets, adj, degree, bin, verts, pos;
-};
-
 /// Small-universe exact degeneracy order over a LocalGraph: the same
 /// Batagelj-Zaversnik sweep as order/degeneracy.cpp, but on a universe of
 /// O(s) vertices — so the greedy's linear depth only touches gamma, not n.
 /// That is the whole point of the hybrid (Section 4.2).
-void local_degeneracy_order(const LocalGraph& lg, std::vector<int>& order, LocalDegScratch& s) {
+void local_degeneracy_order(const LocalGraph& lg, std::vector<int>& order,
+                            LocalDegeneracyScratch& s) {
   const int n = lg.size();
   order.clear();
   if (n == 0) return;
@@ -86,36 +79,18 @@ void local_degeneracy_order(const LocalGraph& lg, std::vector<int>& order, Local
   }
 }
 
-struct Worker {
-  LocalGraph lg_raw;  // N+(v) subgraph in approximate-order rank space
-  LocalGraph lg;      // same subgraph renamed by the inner exact order
-  SearchContext ctx;
-  LocalCounters ctr;
-  std::vector<int> inner_order, inner_rank;
-  LocalDegScratch deg_scratch;
-  std::vector<node_t> member_orig;
-  count_t count = 0;
-};
+}  // namespace
 
-CliqueResult run(const Graph& g, int k, const CliqueCallback* callback,
-                 const CliqueOptions& opts) {
+CliqueResult hybrid_search(const Digraph& dag, int k, const CliqueCallback* callback,
+                           const CliqueOptions& opts, PerWorker<CliqueScratch>& workers) {
   CliqueResult result;
-  if (k <= 2) {
-    return callback != nullptr ? c3list_list(g, k, *callback, opts) : c3list_count(g, k, opts);
-  }
-
-  WallTimer prep_timer;
-  // Outer order: (2+eps)-approximate degeneracy, computed in low depth.
-  const ApproxDegeneracyResult approx = approx_degeneracy_order(g, opts.eps);
-  const Digraph dag = Digraph::orient(g, approx.order);
   result.stats.order_quality = dag.max_out_degree();
-  result.stats.gamma = dag.max_out_degree();
-  result.stats.preprocess_seconds = prep_timer.seconds();
+  result.stats.gamma = result.stats.order_quality;
 
   WallTimer search_timer;
   const node_t n = dag.num_nodes();
   result.stats.top_level_tasks = n;
-  PerWorker<Worker> workers;
+  reset_scratch_pool(workers);
   std::atomic<bool> stop{false};
 
   parallel_for_dynamic(
@@ -124,20 +99,20 @@ CliqueResult run(const Graph& g, int k, const CliqueCallback* callback,
         if (stop.load(std::memory_order_relaxed)) return;
         const auto members = dag.out_neighbors(static_cast<node_t>(v));
         if (static_cast<int>(members.size()) < k - 1) return;
-        Worker& w = workers.local();
+        CliqueScratch& w = workers.local();
 
         // Induce G[N+(v)] in approximate-rank space...
-        build_local_graph(dag, members, w.lg_raw);
+        build_local_graph(dag, members, w.lg_aux);
         // ...compute its exact degeneracy order...
-        local_degeneracy_order(w.lg_raw, w.inner_order, w.deg_scratch);
-        const int sz = w.lg_raw.size();
+        local_degeneracy_order(w.lg_aux, w.inner_order, w.deg);
+        const int sz = w.lg_aux.size();
         w.inner_rank.assign(static_cast<std::size_t>(sz), 0);
         for (int r = 0; r < sz; ++r)
           w.inner_rank[static_cast<std::size_t>(w.inner_order[static_cast<std::size_t>(r)])] = r;
         // ...and rename the subgraph into inner-rank space.
         w.lg.reset(sz);
         for (int a = 0; a < sz; ++a) {
-          bits::for_each_bit(w.lg_raw.row(a), static_cast<std::size_t>(w.lg_raw.words()),
+          bits::for_each_bit(w.lg_aux.row(a), static_cast<std::size_t>(w.lg_aux.words()),
                              [&](std::size_t b) {
                                if (static_cast<int>(b) > a)
                                  w.lg.add_edge(w.inner_rank[static_cast<std::size_t>(a)],
@@ -149,6 +124,7 @@ CliqueResult run(const Graph& g, int k, const CliqueCallback* callback,
         w.ctx.prune = opts.distance_pruning;
         w.ctx.ctr = &w.ctr;
         w.ctx.callback = callback;
+        w.ctx.stop = callback != nullptr ? &stop : nullptr;
         if (callback != nullptr) {
           w.member_orig.resize(members.size());
           for (int r = 0; r < sz; ++r) {
@@ -163,28 +139,25 @@ CliqueResult run(const Graph& g, int k, const CliqueCallback* callback,
 
         // Search (k-1)-cliques in G[N+(v)]; each completes with v.
         w.count += search_cliques_all(w.ctx, k - 1, opts.triangle_growth);
-        if (w.ctx.stopped) stop.store(true, std::memory_order_relaxed);
       },
       1);
 
-  for (std::size_t i = 0; i < workers.size(); ++i) {
-    result.count += workers.slot(i).count;
-    workers.slot(i).ctr.merge_into(result.stats);
-  }
-  result.stats.cliques = result.count;
+  merge_scratch_pool(workers, result);
   result.stats.search_seconds = search_timer.seconds();
   return result;
 }
 
-}  // namespace
-
 CliqueResult hybrid_count(const Graph& g, int k, const CliqueOptions& opts) {
-  return run(g, k, nullptr, opts);
+  CliqueOptions o = opts;
+  o.algorithm = Algorithm::Hybrid;
+  return PreparedGraph(g, o).count(k);
 }
 
 CliqueResult hybrid_list(const Graph& g, int k, const CliqueCallback& callback,
                          const CliqueOptions& opts) {
-  return run(g, k, &callback, opts);
+  CliqueOptions o = opts;
+  o.algorithm = Algorithm::Hybrid;
+  return PreparedGraph(g, o).list(k, callback);
 }
 
 }  // namespace c3

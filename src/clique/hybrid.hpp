@@ -11,7 +11,10 @@
 
 #include "clique/c3list.hpp"
 #include "clique/common.hpp"
+#include "clique/scratch.hpp"
+#include "graph/digraph.hpp"
 #include "graph/graph.hpp"
+#include "parallel/padded.hpp"
 
 namespace c3 {
 
@@ -21,5 +24,12 @@ namespace c3 {
 /// Listing variant.
 [[nodiscard]] CliqueResult hybrid_list(const Graph& g, int k, const CliqueCallback& callback,
                                        const CliqueOptions& opts = {});
+
+/// Search half on a prepared (approximate-order) orientation: requires
+/// k >= 3; computes the exact inner order per out-neighborhood. `callback`
+/// may be null (counting).
+[[nodiscard]] CliqueResult hybrid_search(const Digraph& dag, int k,
+                                         const CliqueCallback* callback, const CliqueOptions& opts,
+                                         PerWorker<CliqueScratch>& workers);
 
 }  // namespace c3

@@ -1,36 +1,27 @@
 #include "clique/kclist.hpp"
 
 #include <atomic>
-#include <numeric>
 #include <stdexcept>
 #include <vector>
 
-#include "graph/digraph.hpp"
-#include "clique/order_util.hpp"
-#include "parallel/padded.hpp"
+#include "clique/engine.hpp"
 #include "parallel/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace c3 {
 namespace {
 
-struct Worker {
-  std::vector<int> label;                   // global, lazily grown to n
-  std::vector<std::vector<node_t>> levels;  // candidate set per level
-  std::vector<node_t> clique_stack;
-  LocalCounters ctr;
-  count_t count = 0;
-  bool stopped = false;
-};
-
 struct Env {
   const Digraph* dag;
   const CliqueCallback* callback;
-  std::atomic<bool>* stop;
 };
 
-count_t kclist_rec(const Env& env, Worker& w, int l) {
+// Early-stop state rides in w.ctx (SearchContext::poll_stop / request_stop),
+// the same shared-flag mechanism the community-centric searches use.
+
+count_t kclist_rec(const Env& env, CliqueScratch& w, int l) {
   ++w.ctr.recursive_calls;
+  if (w.ctx.poll_stop()) return 0;
   const std::vector<node_t>& S = w.levels[static_cast<std::size_t>(l)];
   const Digraph& dag = *env.dag;
 
@@ -41,14 +32,15 @@ count_t kclist_rec(const Env& env, Worker& w, int l) {
       for (const node_t x : dag.out_neighbors(v)) {
         ++w.ctr.pairs_probed;
         if (w.label[x] != 2) continue;
+        if (env.callback != nullptr && w.ctx.poll_stop()) return found;
         ++found;
         if (env.callback != nullptr) {
           w.clique_stack.push_back(dag.original_id(v));
           w.clique_stack.push_back(dag.original_id(x));
-          if (!(*env.callback)(std::span<const node_t>(w.clique_stack))) w.stopped = true;
+          if (!(*env.callback)(std::span<const node_t>(w.clique_stack))) w.ctx.request_stop();
           w.clique_stack.pop_back();
           w.clique_stack.pop_back();
-          if (w.stopped) return found;
+          if (w.ctx.stopped) return found;
         }
       }
     }
@@ -59,7 +51,7 @@ count_t kclist_rec(const Env& env, Worker& w, int l) {
   count_t total = 0;
   std::vector<node_t>& next = w.levels[static_cast<std::size_t>(l - 1)];
   for (const node_t v : S) {
-    if (w.stopped) break;
+    if (w.ctx.poll_stop()) break;
     // Descend into N+(v) ∩ S: exactly the out-neighbors still labeled l.
     next.clear();
     for (const node_t x : dag.out_neighbors(v)) {
@@ -81,38 +73,33 @@ count_t kclist_rec(const Env& env, Worker& w, int l) {
   return total;
 }
 
-CliqueResult run(const Graph& g, int k, const CliqueCallback* callback,
-                 const CliqueOptions& opts) {
-  CliqueResult result;
-  if (k <= 2) {
-    return callback != nullptr ? c3list_list(g, k, *callback, opts) : c3list_count(g, k, opts);
-  }
-  if (k > 255) throw std::invalid_argument("kclist: k too large");
+}  // namespace
 
-  WallTimer prep_timer;
-  const std::vector<node_t> order =
-      make_vertex_order(g, opts.vertex_order, opts.eps, VertexOrderKind::ExactDegeneracy, opts.order_seed);
-  const Digraph dag = Digraph::orient(g, order);
+CliqueResult kclist_search(const Digraph& dag, int k, const CliqueCallback* callback,
+                           const CliqueOptions& opts, PerWorker<CliqueScratch>& workers) {
+  (void)opts;
+  if (k > 255) throw std::invalid_argument("kclist: k too large");
+  CliqueResult result;
   result.stats.order_quality = dag.max_out_degree();
-  result.stats.gamma = dag.max_out_degree();
-  result.stats.preprocess_seconds = prep_timer.seconds();
+  result.stats.gamma = result.stats.order_quality;
 
   WallTimer search_timer;
   const node_t n = dag.num_nodes();
   result.stats.top_level_tasks = n;
-  PerWorker<Worker> workers;
+  reset_scratch_pool(workers);
   std::atomic<bool> stop{false};
-  Env env{&dag, callback, &stop};
+  Env env{&dag, callback};
 
   parallel_for_dynamic(
       0, n,
       [&](std::size_t u) {
         if (stop.load(std::memory_order_relaxed)) return;
-        Worker& w = workers.local();
-        if (w.label.empty()) {
-          w.label.assign(n, 0);
+        CliqueScratch& w = workers.local();
+        w.ctx.callback = callback;
+        w.ctx.stop = callback != nullptr ? &stop : nullptr;
+        if (w.label.size() < static_cast<std::size_t>(n)) w.label.assign(n, 0);
+        if (w.levels.size() < static_cast<std::size_t>(k))
           w.levels.resize(static_cast<std::size_t>(k));
-        }
         const auto out = dag.out_neighbors(static_cast<node_t>(u));
         if (static_cast<int>(out.size()) < k - 1) return;
 
@@ -125,28 +112,25 @@ CliqueResult run(const Graph& g, int k, const CliqueCallback* callback,
         }
         w.count += kclist_rec(env, w, k - 1);
         for (const node_t x : top) w.label[x] = 0;
-        if (w.stopped) stop.store(true, std::memory_order_relaxed);
       },
       1);
 
-  for (std::size_t i = 0; i < workers.size(); ++i) {
-    result.count += workers.slot(i).count;
-    workers.slot(i).ctr.merge_into(result.stats);
-  }
-  result.stats.cliques = result.count;
+  merge_scratch_pool(workers, result);
   result.stats.search_seconds = search_timer.seconds();
   return result;
 }
 
-}  // namespace
-
 CliqueResult kclist_count(const Graph& g, int k, const CliqueOptions& opts) {
-  return run(g, k, nullptr, opts);
+  CliqueOptions o = opts;
+  o.algorithm = Algorithm::KCList;
+  return PreparedGraph(g, o).count(k);
 }
 
 CliqueResult kclist_list(const Graph& g, int k, const CliqueCallback& callback,
                          const CliqueOptions& opts) {
-  return run(g, k, &callback, opts);
+  CliqueOptions o = opts;
+  o.algorithm = Algorithm::KCList;
+  return PreparedGraph(g, o).list(k, callback);
 }
 
 }  // namespace c3

@@ -1,52 +1,27 @@
 #include "clique/max_clique.hpp"
 
-#include <mutex>
-
-#include "clique/api.hpp"
-#include "order/degeneracy.hpp"
+#include "clique/engine.hpp"
 
 namespace c3 {
 
+// One-shot wrappers: each constructs a PreparedGraph so the expensive
+// preparation happens once even across a binary search's many decision
+// queries (previously every has_clique probe re-prepared from scratch).
+
 bool has_clique(const Graph& g, int k, const CliqueOptions& opts) {
-  return find_clique(g, k, opts).has_value();
+  return PreparedGraph(g, opts).has_clique(k);
 }
 
 std::optional<std::vector<node_t>> find_clique(const Graph& g, int k, const CliqueOptions& opts) {
-  if (k <= 0) return std::nullopt;
-  std::optional<std::vector<node_t>> witness;
-  std::mutex guard;
-  const CliqueCallback stop_at_first = [&](std::span<const node_t> clique) {
-    const std::lock_guard<std::mutex> lock(guard);
-    if (!witness.has_value()) witness.emplace(clique.begin(), clique.end());
-    return false;  // stop the enumeration
-  };
-  (void)list_cliques(g, k, stop_at_first, opts);
-  return witness;
+  return PreparedGraph(g, opts).find_clique(k);
 }
 
 node_t max_clique_size(const Graph& g, const CliqueOptions& opts) {
-  if (g.num_nodes() == 0) return 0;
-  if (g.num_edges() == 0) return 1;
-  // omega <= s + 1 for an s-degenerate graph; omega >= 2 since m > 0.
-  const node_t s = degeneracy_order(g).degeneracy;
-  node_t lo = 2, hi = s + 1;  // lo is always feasible
-  while (lo < hi) {
-    const node_t mid = lo + (hi - lo + 1) / 2;
-    if (has_clique(g, static_cast<int>(mid), opts)) {
-      lo = mid;
-    } else {
-      hi = mid - 1;
-    }
-  }
-  return lo;
+  return PreparedGraph(g, opts).max_clique_size();
 }
 
 std::vector<node_t> find_max_clique(const Graph& g, const CliqueOptions& opts) {
-  const node_t omega = max_clique_size(g, opts);
-  if (omega == 0) return {};
-  if (omega == 1) return {0};
-  auto witness = find_clique(g, static_cast<int>(omega), opts);
-  return witness.value();
+  return PreparedGraph(g, opts).max_clique();
 }
 
 }  // namespace c3

@@ -3,8 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "clique/api.hpp"
-#include "clique/vertex_counts.hpp"
+#include "clique/engine.hpp"
 #include "graph/subgraph.hpp"
 
 namespace c3 {
@@ -25,7 +24,11 @@ DensestResult kclique_densest_peeling(const Graph& g, int k, double eps,
 
   while (!current.empty()) {
     ++best.rounds;
-    const std::vector<count_t> counts = per_vertex_clique_counts(sub.graph, k, opts);
+    // One engine per round, for API uniformity: each round's subgraph needs
+    // a fresh preparation. Sharing preparation *across* rounds needs
+    // incremental re-preparation under vertex removals (ROADMAP follow-up).
+    const PreparedGraph engine(sub.graph, opts);
+    const std::vector<count_t> counts = engine.per_vertex_counts(k);
     count_t total_times_k = 0;
     for (const count_t c : counts) total_times_k += c;
     const count_t cliques = total_times_k / static_cast<count_t>(k);

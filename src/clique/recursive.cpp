@@ -62,7 +62,7 @@ count_t search_cliques(SearchContext& ctx, std::span<const int> I, const std::ui
   assert(c >= 1);
   LocalCounters& ctr = *ctx.ctr;
   ++ctr.recursive_calls;
-  if (ctx.stopped) return 0;
+  if (ctx.poll_stop()) return 0;
 
   const LocalGraph& lg = *ctx.lg;
   const int words = lg.words();
@@ -74,12 +74,13 @@ count_t search_cliques(SearchContext& ctx, std::span<const int> I, const std::ui
     if (!listing) return static_cast<count_t>(I.size());
     count_t emitted = 0;
     for (const int a : I) {
+      if (ctx.poll_stop()) break;
       ctx.clique_stack.push_back(ctx.member_to_orig[a]);
       const bool keep_going = emit(ctx);
       ctx.clique_stack.pop_back();
       ++emitted;
       if (!keep_going) {
-        ctx.stopped = true;
+        ctx.request_stop();
         break;
       }
     }
@@ -99,13 +100,13 @@ count_t search_cliques(SearchContext& ctx, std::span<const int> I, const std::ui
     }
     count_t emitted = 0;
     for (const int a : I) {
-      if (ctx.stopped) break;
+      if (ctx.poll_stop()) break;
       bits::for_each_bit_and(lg.row(a), I_mask, static_cast<std::size_t>(words),
                              [&](std::size_t b) {
-                               if (ctx.stopped || static_cast<int>(b) <= a) return;
+                               if (ctx.poll_stop() || static_cast<int>(b) <= a) return;
                                ctx.clique_stack.push_back(ctx.member_to_orig[a]);
                                ctx.clique_stack.push_back(ctx.member_to_orig[b]);
-                               if (!emit(ctx)) ctx.stopped = true;
+                               if (!emit(ctx)) ctx.request_stop();
                                ctx.clique_stack.pop_back();
                                ctx.clique_stack.pop_back();
                                ++emitted;
@@ -123,7 +124,7 @@ count_t search_cliques(SearchContext& ctx, std::span<const int> I, const std::ui
   std::uint64_t* community = ctx.mask_at(level);
   count_t total = 0;
 
-  for (int i = 0; i < t && !ctx.stopped; ++i) {
+  for (int i = 0; i < t && !ctx.poll_stop(); ++i) {
     const int a = I[static_cast<std::size_t>(i)];
     const std::uint64_t* row_a = lg.row(a);
     for (int j = i + 1 + gap; j < t && !ctx.stopped; ++j) {
@@ -186,7 +187,7 @@ count_t search_cliques_tri(SearchContext& ctx, std::span<const int> I,
 
   LocalCounters& ctr = *ctx.ctr;
   ++ctr.recursive_calls;
-  if (ctx.stopped) return 0;
+  if (ctx.poll_stop()) return 0;
 
   const LocalGraph& lg = *ctx.lg;
   const int words = lg.words();
@@ -197,7 +198,7 @@ count_t search_cliques_tri(SearchContext& ctx, std::span<const int> I,
   std::uint64_t* inner = ctx.mask_at(level + 1);
   count_t total = 0;
 
-  for (int i = 0; i < t && !ctx.stopped; ++i) {
+  for (int i = 0; i < t && !ctx.poll_stop(); ++i) {
     const int a = I[static_cast<std::size_t>(i)];
     const std::uint64_t* row_a = lg.row(a);
     for (int j = i + 1 + gap; j < t && !ctx.stopped; ++j) {
@@ -210,7 +211,7 @@ count_t search_cliques_tri(SearchContext& ctx, std::span<const int> I,
 
       // Grow by the third triangle vertex: the minimal internal member x.
       bits::for_each_bit(community, static_cast<std::size_t>(words), [&](std::size_t xbit) {
-        if (ctx.stopped) return;
+        if (ctx.poll_stop()) return;
         const int x = static_cast<int>(xbit);
         // inner = community ∩ N(x) ∩ {> x}
         const std::uint64_t* row_x = lg.row(x);

@@ -21,6 +21,7 @@
 // endpoints) rather than "common neighborhood".
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -45,6 +46,24 @@ struct SearchContext {
   std::vector<node_t> clique_stack;
   const node_t* member_to_orig = nullptr;
   bool stopped = false;  ///< callback requested early termination
+
+  /// Cross-worker early-stop flag, shared by all contexts of one run. When a
+  /// callback returns false anywhere, every other worker observes it at its
+  /// next poll point (each recursion entry and each emission) instead of
+  /// finishing its in-flight top-level task.
+  std::atomic<bool>* stop = nullptr;
+
+  /// Refreshes `stopped` from the shared flag; returns the merged state.
+  [[nodiscard]] bool poll_stop() noexcept {
+    if (!stopped && stop != nullptr && stop->load(std::memory_order_relaxed)) stopped = true;
+    return stopped;
+  }
+
+  /// Records a callback's false return locally and broadcasts it.
+  void request_stop() noexcept {
+    stopped = true;
+    if (stop != nullptr) stop->store(true, std::memory_order_relaxed);
+  }
 
   /// Grows the per-level scratch to cover candidate sets of size `gamma`
   /// and recursion depth `depth` with `words` words per mask.

@@ -1,0 +1,87 @@
+// Per-worker scratch shared by the search halves of all clique algorithms.
+//
+// Every algorithm's inner loop re-represents a small subproblem (a community,
+// a candidate set, an out-neighborhood) in worker-local storage. One
+// CliqueScratch is the union of those worker states, so a PreparedGraph can
+// own a single PerWorker<CliqueScratch> pool and reuse the warm buffers —
+// bitset rows, recursion stacks, label arrays, mask pools — across many
+// queries instead of reallocating them per call. Fields unused by a given
+// algorithm stay empty and cost nothing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clique/local_graph.hpp"
+#include "clique/recursive.hpp"
+#include "graph/types.hpp"
+#include "parallel/padded.hpp"
+
+namespace c3 {
+
+/// Scratch arrays of the small-universe exact degeneracy sweep the hybrid
+/// algorithm runs inside each out-neighborhood (see hybrid.cpp).
+struct LocalDegeneracyScratch {
+  std::vector<int> adj_offsets, adj, degree, bin, verts, pos;
+};
+
+/// One worker's reusable state for a sequence of clique searches. Owned per
+/// engine (PerWorker<CliqueScratch>) and handed to the *_search functions;
+/// reset_query() clears the per-query accumulators while keeping the
+/// capacity of every buffer.
+struct CliqueScratch {
+  // Shared by the community-centric searches (c3List, c3List-CD, hybrid).
+  LocalGraph lg;
+  SearchContext ctx;
+  std::vector<node_t> member_orig;  // local id -> original vertex id (listing)
+
+  // Hybrid: the out-neighborhood subgraph before the inner-order renaming,
+  // plus the inner exact degeneracy order and its scratch.
+  LocalGraph lg_aux;
+  std::vector<int> inner_order, inner_rank;
+  LocalDegeneracyScratch deg;
+
+  // kcList: per-level label array and candidate sets.
+  std::vector<int> label;
+  std::vector<std::vector<node_t>> levels;
+
+  // ArbCount: one candidate mask per recursion level.
+  std::vector<std::uint64_t> mask_pool;
+
+  // kcList/ArbCount listing stack (c3List's lives in ctx.clique_stack).
+  std::vector<node_t> clique_stack;
+
+  // Per-query accumulators. Early-stop state lives in ctx (stopped / stop /
+  // callback) for every algorithm — kcList and ArbCount use only those
+  // fields of their SearchContext, so the cross-worker stop logic exists
+  // exactly once (SearchContext::poll_stop / request_stop).
+  LocalCounters ctr;
+  count_t count = 0;
+
+  /// Resets the per-query accumulators; all buffers keep their capacity.
+  void reset_query() noexcept {
+    ctr = {};
+    count = 0;
+    ctx.stopped = false;
+    ctx.stop = nullptr;
+    ctx.callback = nullptr;
+  }
+};
+
+/// Prepares every slot of a scratch pool for a new query. Called by the
+/// *_search functions; slots touched by previous queries keep their warm
+/// buffers.
+inline void reset_scratch_pool(PerWorker<CliqueScratch>& pool) noexcept {
+  for (std::size_t i = 0; i < pool.size(); ++i) pool.slot(i).reset_query();
+}
+
+/// Merges every slot's count and counters into `result` after a search.
+inline void merge_scratch_pool(const PerWorker<CliqueScratch>& pool, CliqueResult& result) {
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    result.count += pool.slot(i).count;
+    pool.slot(i).ctr.merge_into(result.stats);
+  }
+  result.stats.cliques = result.count;
+}
+
+}  // namespace c3

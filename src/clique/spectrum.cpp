@@ -1,87 +1,13 @@
 #include "clique/spectrum.hpp"
 
-#include <algorithm>
-
-#include "clique/local_graph.hpp"
-#include "clique/order_util.hpp"
-#include "clique/recursive.hpp"
-#include "graph/digraph.hpp"
-#include "parallel/pack.hpp"
-#include "parallel/padded.hpp"
-#include "parallel/parallel.hpp"
-#include "triangle/communities.hpp"
-#include "util/timer.hpp"
+#include "clique/engine.hpp"
 
 namespace c3 {
-namespace {
-
-struct Worker {
-  LocalGraph lg;
-  SearchContext ctx;
-  LocalCounters ctr;
-  count_t count = 0;
-};
-
-}  // namespace
 
 CliqueSpectrum clique_spectrum(const Graph& g, int kmax, const CliqueOptions& opts) {
-  CliqueSpectrum out;
-  out.counts.assign(2, 0);
-  if (g.num_nodes() == 0) return out;
-  out.counts[1] = g.num_nodes();
-  out.omega = 1;
-  if (g.num_edges() == 0) return out;
-  out.counts.push_back(g.num_edges());
-  out.omega = 2;
-
-  // Shared preprocessing: order once, orient once, communities once.
-  WallTimer prep_timer;
-  const std::vector<node_t> order = make_vertex_order(
-      g, opts.vertex_order, opts.eps, VertexOrderKind::ExactDegeneracy, opts.order_seed);
-  const Digraph dag = Digraph::orient(g, order);
-  const EdgeCommunities comms = EdgeCommunities::build(dag);
-  const node_t gamma = comms.max_size();
-  out.preprocess_seconds = prep_timer.seconds();
-
-  // omega <= gamma + 2 (a k-clique needs a community of k-2).
-  const int limit = kmax > 0 ? std::min(kmax, static_cast<int>(gamma) + 2)
-                             : static_cast<int>(gamma) + 2;
-
-  WallTimer search_timer;
-  for (int k = 3; k <= limit; ++k) {
-    const auto needed = static_cast<node_t>(k - 2);
-    const std::vector<edge_t> tasks = pack_index<edge_t>(dag.num_arcs(), [&](std::size_t e) {
-      return comms.size(static_cast<edge_t>(e)) >= needed;
-    });
-    if (tasks.empty()) break;
-
-    PerWorker<Worker> workers;
-    parallel_for_dynamic(
-        0, tasks.size(),
-        [&](std::size_t t) {
-          Worker& w = workers.local();
-          const edge_t e = tasks[t];
-          const auto members = comms.members(e);
-          if (k == 3) {
-            w.count += members.size();
-            return;
-          }
-          build_local_graph(dag, members, w.lg);
-          w.ctx.lg = &w.lg;
-          w.ctx.prune = opts.distance_pruning;
-          w.ctx.ctr = &w.ctr;
-          w.ctx.callback = nullptr;
-          w.count += search_cliques_all(w.ctx, k - 2, opts.triangle_growth);
-        },
-        1);
-    count_t total = 0;
-    for (std::size_t i = 0; i < workers.size(); ++i) total += workers.slot(i).count;
-    if (total == 0) break;
-    out.counts.push_back(total);
-    out.omega = static_cast<node_t>(k);
-  }
-  out.search_seconds = search_timer.seconds();
-  return out;
+  // The engine prepares once (order, orientation, communities / edge order)
+  // and reruns only the k-dependent search per size.
+  return PreparedGraph(g, opts).spectrum(kmax);
 }
 
 }  // namespace c3

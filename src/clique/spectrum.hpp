@@ -2,9 +2,9 @@
 //
 // "Finding large cliques" in practice means sweeping k — the paper's own
 // evaluation runs k = 6..10 — and the expensive preprocessing (degeneracy
-// order, orientation, communities) is identical for every k. This API
-// computes it once and reruns only the search per k, stopping at the clique
-// number.
+// order, orientation, communities) is identical for every k. This is a
+// convenience wrapper over PreparedGraph::spectrum (engine.hpp): prepare
+// once, rerun only the search per k, stop at the clique number.
 #pragma once
 
 #include <vector>
@@ -25,9 +25,9 @@ struct CliqueSpectrum {
 };
 
 /// Counts k-cliques for all k = 1..min(kmax, omega) with shared
-/// preprocessing (c3List engine). `kmax` = 0 means "up to the clique
-/// number". Options honored: vertex_order, eps, order_seed,
-/// distance_pruning, triangle_growth.
+/// preprocessing (one PreparedGraph). `kmax` = 0 means "up to the clique
+/// number". All CliqueOptions are honored, including `algorithm`
+/// (c3List by default).
 [[nodiscard]] CliqueSpectrum clique_spectrum(const Graph& g, int kmax = 0,
                                              const CliqueOptions& opts = {});
 

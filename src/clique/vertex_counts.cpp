@@ -1,38 +1,15 @@
 #include "clique/vertex_counts.hpp"
 
-#include <atomic>
-
-#include "clique/api.hpp"
+#include "clique/engine.hpp"
 
 namespace c3 {
 
 std::vector<count_t> per_vertex_clique_counts(const Graph& g, int k, const CliqueOptions& opts) {
-  std::vector<std::atomic<count_t>> acc(g.num_nodes());
-  const CliqueCallback tally = [&](std::span<const node_t> clique) {
-    for (const node_t v : clique) acc[v].fetch_add(1, std::memory_order_relaxed);
-    return true;
-  };
-  (void)list_cliques(g, k, tally, opts);
-  std::vector<count_t> out(g.num_nodes());
-  for (node_t v = 0; v < g.num_nodes(); ++v) out[v] = acc[v].load(std::memory_order_relaxed);
-  return out;
+  return PreparedGraph(g, opts).per_vertex_counts(k);
 }
 
 std::vector<count_t> per_edge_clique_counts(const Graph& g, int k, const CliqueOptions& opts) {
-  std::vector<std::atomic<count_t>> acc(g.num_edges());
-  const CliqueCallback tally = [&](std::span<const node_t> clique) {
-    for (std::size_t i = 0; i < clique.size(); ++i) {
-      for (std::size_t j = i + 1; j < clique.size(); ++j) {
-        const edge_t e = g.edge_id(clique[i], clique[j]);
-        acc[e].fetch_add(1, std::memory_order_relaxed);
-      }
-    }
-    return true;
-  };
-  (void)list_cliques(g, k, tally, opts);
-  std::vector<count_t> out(g.num_edges());
-  for (edge_t e = 0; e < g.num_edges(); ++e) out[e] = acc[e].load(std::memory_order_relaxed);
-  return out;
+  return PreparedGraph(g, opts).per_edge_counts(k);
 }
 
 }  // namespace c3

@@ -1,0 +1,78 @@
+// Regression tests for cross-worker early stop: a callback returning false
+// on one worker must halt the *other* workers' in-flight searches promptly
+// (via the shared stop flag polled inside the recursions), not merely stop
+// new top-level tasks from starting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <span>
+
+#include "clique/api.hpp"
+#include "clique/max_clique.hpp"
+#include "graph/gen/generators.hpp"
+#include "parallel/parallel.hpp"
+
+namespace c3 {
+namespace {
+
+const Algorithm kParallelAlgorithms[] = {Algorithm::C3List, Algorithm::C3ListCD,
+                                         Algorithm::Hybrid, Algorithm::KCList,
+                                         Algorithm::ArbCount};
+
+TEST(EarlyStop, OneWorkersStopHaltsInFlightSearches) {
+  // K28 at k = 5: ~98k cliques total, and every top-level task holds
+  // thousands — so a worker that misses the stop signal and finishes its
+  // in-flight task emits thousands of extra callbacks. With the shared flag
+  // polled at every emission, post-stop callbacks are bounded by the number
+  // of concurrently in-flight emissions (~one per worker).
+  const Graph g = complete_graph(28);
+  for (const Algorithm alg : kParallelAlgorithms) {
+    CliqueOptions opts;
+    opts.algorithm = alg;
+    std::atomic<count_t> calls{0};
+    const CliqueCallback stop_once = [&](std::span<const node_t>) {
+      // Only the very first invocation requests the stop.
+      return calls.fetch_add(1, std::memory_order_relaxed) != 0;
+    };
+    (void)list_cliques(g, 5, stop_once, opts);
+    const count_t total = calls.load();
+    EXPECT_GE(total, 1u) << algorithm_name(alg);
+    EXPECT_LE(total, static_cast<count_t>(num_workers()) * 64 + 64) << algorithm_name(alg);
+  }
+}
+
+TEST(EarlyStop, StopInsideDeepRecursionStillReportsPartialCount) {
+  const Graph g = complete_graph(20);
+  for (const Algorithm alg : kParallelAlgorithms) {
+    CliqueOptions opts;
+    opts.algorithm = alg;
+    std::atomic<count_t> calls{0};
+    const CliqueCallback stop_after_five = [&](std::span<const node_t>) {
+      return calls.fetch_add(1, std::memory_order_relaxed) + 1 < 5;
+    };
+    const CliqueResult r = list_cliques(g, 6, stop_after_five, opts);
+    EXPECT_GE(calls.load(), 5u) << algorithm_name(alg);
+    EXPECT_GE(r.count, 1u) << algorithm_name(alg);
+    // Far fewer than the full enumeration (C(20,6) = 38760).
+    EXPECT_LT(calls.load(), 38760u / 2) << algorithm_name(alg);
+  }
+}
+
+TEST(EarlyStop, WitnessQueriesStayCorrect) {
+  const Graph g = social_like(150, 1100, 0.45, 7);
+  for (const Algorithm alg : kParallelAlgorithms) {
+    CliqueOptions opts;
+    opts.algorithm = alg;
+    const auto witness = find_clique(g, 4, opts);
+    ASSERT_TRUE(witness.has_value()) << algorithm_name(alg);
+    ASSERT_EQ(witness->size(), 4u) << algorithm_name(alg);
+    for (std::size_t i = 0; i < witness->size(); ++i) {
+      for (std::size_t j = i + 1; j < witness->size(); ++j) {
+        EXPECT_TRUE(g.has_edge((*witness)[i], (*witness)[j])) << algorithm_name(alg);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace c3
