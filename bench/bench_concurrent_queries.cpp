@@ -1,0 +1,132 @@
+// Concurrent-query throughput bench — the perf baseline for the PR 3 lease
+// engine + batch executor. For each generator stand-in it builds one
+// PreparedGraph, then answers the same mixed query set (counts over several
+// k, decision probes, witness lookups, plus a spectrum and a max-clique)
+// two ways:
+//
+//   sequential — one query at a time through the engine API, the pre-lease
+//                serving model;
+//   batch      — QueryBatch::run, which executes the small queries
+//                concurrently on executor threads (each leasing its own
+//                scratch) and the heavy ones with full internal parallelism.
+//
+// Results are cross-checked query by query (non-zero exit on mismatch) and
+// written to a machine-readable JSON report:
+//
+//   ./bench_concurrent_queries [--out BENCH_pr3.json] [--reps 3]
+//                              [--concurrency 0 = one per worker]
+//
+// Schema: {"bench", "workers", "concurrency", "graphs": [{"name", n, m,
+// "queries", "sequential_seconds", "batch_seconds", "speedup"}]}
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "c3list.hpp"
+#include "datasets.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace c3;
+
+/// The serving-mix stand-in: mostly small count/decision queries over a few
+/// k values, a couple of witness lookups, one spectrum, one max-clique.
+std::vector<BatchQuery> make_query_mix() {
+  std::vector<BatchQuery> queries;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (int k = 3; k <= 6; ++k) queries.push_back({QueryKind::Count, k, 0});
+  }
+  for (int k = 3; k <= 6; ++k) queries.push_back({QueryKind::HasClique, k, 0});
+  queries.push_back({QueryKind::FindClique, 3, 0});
+  queries.push_back({QueryKind::FindClique, 4, 0});
+  queries.push_back({QueryKind::Spectrum, 0, 6});
+  queries.push_back({QueryKind::MaxClique, 0, 0});
+  return queries;
+}
+
+bool results_agree(const BatchResult& a, const BatchResult& b) {
+  return a.count == b.count && a.found == b.found && a.omega == b.omega &&
+         a.spectrum.counts == b.spectrum.counts && a.witness.size() == b.witness.size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CommandLine cli(argc, argv);
+  const int reps = static_cast<int>(cli.get_int("reps", 3));
+  const int concurrency = static_cast<int>(cli.get_int("concurrency", 0));
+  const std::string out_path = cli.get_string("out", "BENCH_pr3.json");
+
+  const std::vector<bench::SmokeGraph> graphs = bench::smoke_graphs();
+  const std::vector<BatchQuery> queries = make_query_mix();
+
+  std::FILE* json = std::fopen(out_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "bench_concurrent_queries: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(json,
+               "{\"bench\": \"concurrent_queries\", \"workers\": %d, \"concurrency\": %d, "
+               "\"graphs\": [",
+               num_workers(), concurrency);
+
+  bool mismatch = false;
+  Table table({"graph", "queries", "sequential[s]", "batch[s]", "speedup"});
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    const bench::SmokeGraph& ng = graphs[gi];
+    CliqueOptions opts;
+    opts.algorithm = Algorithm::C3List;
+    const PreparedGraph engine(ng.graph, opts);
+    engine.prepare();  // both modes measure pure query throughput
+
+    // Best-of-reps to damp scheduler noise; identical query set both ways.
+    double seq_best = 0.0, batch_best = 0.0;
+    std::vector<BatchResult> seq_results, batch_results;
+    for (int rep = 0; rep < reps; ++rep) {
+      // Sequential baseline: the same query set, one at a time (what a
+      // serving loop without the batch executor would pay).
+      WallTimer seq_timer;
+      seq_results = run_query_batch(engine, queries, /*concurrency=*/1);
+      const double seq = seq_timer.seconds();
+      seq_best = rep == 0 ? seq : std::min(seq_best, seq);
+
+      WallTimer batch_timer;
+      batch_results = run_query_batch(engine, queries, concurrency);
+      const double bat = batch_timer.seconds();
+      batch_best = rep == 0 ? bat : std::min(batch_best, bat);
+    }
+
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      if (!results_agree(seq_results[i], batch_results[i])) {
+        std::printf("!! %s query %zu (%s): batch and sequential disagree\n", ng.name.c_str(), i,
+                    query_kind_name(queries[i].kind));
+        mismatch = true;
+      }
+    }
+
+    const double speedup = batch_best > 0.0 ? seq_best / batch_best : 0.0;
+    table.add_row({ng.name, std::to_string(queries.size()), strfmt("%.3f", seq_best),
+                   strfmt("%.3f", batch_best), strfmt("%.2fx", speedup)});
+    std::fprintf(json,
+                 "%s{\"name\": \"%s\", \"n\": %u, \"m\": %llu, \"queries\": %zu, "
+                 "\"sequential_seconds\": %.6f, \"batch_seconds\": %.6f, \"speedup\": %.4f}",
+                 gi > 0 ? ", " : "", ng.name.c_str(), ng.graph.num_nodes(),
+                 static_cast<unsigned long long>(ng.graph.num_edges()), queries.size(), seq_best,
+                 batch_best, speedup);
+  }
+  std::fprintf(json, "]}\n");
+  std::fclose(json);
+
+  table.print();
+  std::printf("wrote %s (%d workers)\n", out_path.c_str(), num_workers());
+
+  if (mismatch) {
+    std::fprintf(stderr, "bench_concurrent_queries: batch/sequential result mismatch\n");
+    return 1;
+  }
+  return 0;
+}

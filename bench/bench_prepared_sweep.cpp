@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "c3list.hpp"
+#include "datasets.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -21,11 +22,6 @@
 namespace {
 
 using namespace c3;
-
-struct NamedGraph {
-  std::string name;
-  Graph graph;
-};
 
 const Algorithm kAlgorithms[] = {Algorithm::C3List, Algorithm::C3ListCD, Algorithm::Hybrid,
                                  Algorithm::KCList, Algorithm::ArbCount};
@@ -38,11 +34,7 @@ int main(int argc, char** argv) {
   const int kmax = static_cast<int>(cli.get_int("kmax", 6));
   const std::string out_path = cli.get_string("out", "BENCH_pr2.json");
 
-  const std::vector<NamedGraph> graphs = {
-      {"social_like", social_like(3000, 24'000, 0.4, 7)},
-      {"erdos_renyi", erdos_renyi(2000, 20'000, 11)},
-      {"barabasi_albert", barabasi_albert(3000, 6, 13)},
-  };
+  const std::vector<bench::SmokeGraph> graphs = bench::smoke_graphs();
 
   std::FILE* json = std::fopen(out_path.c_str(), "w");
   if (json == nullptr) {
@@ -54,7 +46,7 @@ int main(int argc, char** argv) {
 
   bool mismatch = false;
   for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
-    const NamedGraph& ng = graphs[gi];
+    const bench::SmokeGraph& ng = graphs[gi];
     std::printf("# %s: |V|=%u |E|=%llu, prepared sweep k=%d..%d\n", ng.name.c_str(),
                 ng.graph.num_nodes(), static_cast<unsigned long long>(ng.graph.num_edges()), kmin,
                 kmax);

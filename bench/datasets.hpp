@@ -44,6 +44,23 @@ namespace c3::bench {
   return build_graph(edges, n);
 }
 
+/// The small CI smoke graphs shared by the perf-trajectory benches
+/// (bench_prepared_sweep -> BENCH_pr2.json, bench_concurrent_queries ->
+/// BENCH_pr3.json): one list so the two baselines can never drift onto
+/// different inputs.
+struct SmokeGraph {
+  std::string name;
+  Graph graph;
+};
+
+[[nodiscard]] inline std::vector<SmokeGraph> smoke_graphs() {
+  return {
+      {"social_like", social_like(3000, 24'000, 0.4, 7)},
+      {"erdos_renyi", erdos_renyi(2000, 20'000, 11)},
+      {"barabasi_albert", barabasi_albert(3000, 6, 13)},
+  };
+}
+
 struct Dataset {
   std::string name;        ///< paper dataset this stands in for
   std::string generator;   ///< how the substitute is built

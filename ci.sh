@@ -3,11 +3,15 @@
 #   1. Release + OpenMP            (the configuration benchmarks run in)
 #   2. Debug + ASan/UBSan          (memory + UB coverage for the parallel paths)
 #   3. Release, OpenMP disabled    (the exactly-deterministic serial fallback)
+#   4. TSan, OpenMP disabled       (data-race coverage for the concurrent
+#      query engine: clique + parallel labels only. OpenMP stays off because
+#      libgomp is not TSan-instrumented and would drown the report in false
+#      positives; the concurrency under test comes from std::threads.)
 #
-# Each config runs the full ctest suite:
+# Each config runs the full ctest suite (tsan: the clique|parallel labels):
 #   cmake -B <dir> -S . && cmake --build <dir> -j && ctest --test-dir <dir>
 #
-# Usage: ./ci.sh [config ...]   with configs from: release asan serial
+# Usage: ./ci.sh [config ...]   with configs from: release asan serial tsan
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -18,17 +22,23 @@ if command -v ninja >/dev/null 2>&1; then
   export CMAKE_GENERATOR="${CMAKE_GENERATOR:-Ninja}"
 fi
 configs=("$@")
-[ ${#configs[@]} -eq 0 ] && configs=(release asan serial)
+[ ${#configs[@]} -eq 0 ] && configs=(release asan serial tsan)
 
 run_config() {
   local name="$1"; shift
   local dir="build-ci-${name}"
+  local label_args=()
+  if [ "${name}" = "tsan" ]; then
+    # The race-sensitive surfaces: the concurrent engine/batch suites and
+    # the parallel substrate.
+    label_args=(-L "clique|parallel")
+  fi
   echo "==== [${name}] configure ===="
   cmake -B "${dir}" -S . "$@"
   echo "==== [${name}] build ===="
   cmake --build "${dir}" -j "${jobs}"
   echo "==== [${name}] ctest ===="
-  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}" ${label_args[@]+"${label_args[@]}"}
   if [ "${name}" = "release" ]; then
     # Perf-trajectory smoke: a small prepared k-sweep per algorithm. Emits
     # BENCH_pr2.json (prepare/search seconds + counts) and fails on any
@@ -40,6 +50,15 @@ run_config() {
       exit 1
     fi
     "${dir}/bench/bench_prepared_sweep" --out BENCH_pr2.json
+    # Concurrency smoke: the mixed query set through the batch executor vs
+    # one-at-a-time, cross-checked result by result. Emits BENCH_pr3.json
+    # (sequential vs batch seconds + speedup per stand-in).
+    echo "==== [${name}] bench smoke (concurrent queries) ===="
+    if [ ! -x "${dir}/bench/bench_concurrent_queries" ]; then
+      echo "bench_concurrent_queries not built (is C3_BUILD_BENCH off?)" >&2
+      exit 1
+    fi
+    "${dir}/bench/bench_concurrent_queries" --out BENCH_pr3.json
   fi
 }
 
@@ -48,7 +67,9 @@ for config in "${configs[@]}"; do
     release) run_config release -DCMAKE_BUILD_TYPE=Release -DC3_WERROR=ON ;;
     asan)    run_config asan -DCMAKE_BUILD_TYPE=Debug -DC3_SANITIZE=ON -DC3_WERROR=ON ;;
     serial)  run_config serial -DCMAKE_BUILD_TYPE=Release -DC3_ENABLE_OPENMP=OFF -DC3_WERROR=ON ;;
-    *) echo "unknown config '${config}' (expected: release asan serial)" >&2; exit 2 ;;
+    tsan)    run_config tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DC3_SANITIZE_THREAD=ON \
+                        -DC3_ENABLE_OPENMP=OFF -DC3_WERROR=ON ;;
+    *) echo "unknown config '${config}' (expected: release asan serial tsan)" >&2; exit 2 ;;
   esac
 done
 

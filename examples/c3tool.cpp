@@ -6,6 +6,8 @@
 //   c3tool sweep    --in g.txt [--kmin 3 --kmax 0] [--alg A]   (prepare once,
 //                   query every k; kmax 0 = up to the clique number)
 //   c3tool maxclique --in g.txt
+//   c3tool batch    --in g.txt --queries q.txt [--alg A] [--concurrency N]
+//                   (prepare once, run a mixed query file through QueryBatch)
 //   c3tool convert  --in g.txt --out g.metis
 //
 // Input format is chosen by extension (.txt/.mtx/.metis/.graph/.bin); see
@@ -13,7 +15,10 @@
 // bio, er, rmat, ba, hypercube, complete.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "c3list.hpp"
 #include "util/cli.hpp"
@@ -143,6 +148,134 @@ int cmd_sweep(const CommandLine& cli) {
   return 0;
 }
 
+/// Parses one query-file line into a BatchQuery. Grammar (one query per
+/// line; blank lines and everything from '#' to end of line are skipped):
+///   count K | hasclique K | findclique K | vertexcounts K | edgecounts K
+///   | spectrum [KMAX] | maxclique
+/// Malformed arguments and trailing garbage are hard errors (exit 2), not
+/// silently ignored — a typo must not degrade into a different (possibly
+/// far more expensive) query.
+bool parse_query_line(const std::string& line, BatchQuery& out) {
+  std::istringstream in(line.substr(0, line.find('#')));
+  std::string kind;
+  if (!(in >> kind)) return false;
+
+  const auto fail = [&line]() {
+    std::fprintf(stderr, "c3tool batch: cannot parse query line '%s'\n", line.c_str());
+    std::exit(2);
+  };
+  const auto end_of_line = [&in]() {
+    std::string tail;
+    return !(in >> tail);
+  };
+
+  int k = 0;
+  if (kind == "count" && (in >> k) && k > 0) {
+    out = {QueryKind::Count, k, 0};
+  } else if (kind == "hasclique" && (in >> k) && k > 0) {
+    out = {QueryKind::HasClique, k, 0};
+  } else if (kind == "findclique" && (in >> k) && k > 0) {
+    out = {QueryKind::FindClique, k, 0};
+  } else if (kind == "vertexcounts" && (in >> k) && k > 0) {
+    out = {QueryKind::PerVertexCounts, k, 0};
+  } else if (kind == "edgecounts" && (in >> k) && k > 0) {
+    out = {QueryKind::PerEdgeCounts, k, 0};
+  } else if (kind == "spectrum") {
+    int kmax = 0;
+    std::string arg;
+    if (in >> arg) {  // optional KMAX; if present it must be all digits
+      if (arg.find_first_not_of("0123456789") != std::string::npos) fail();
+      try {
+        kmax = std::stoi(arg);
+      } catch (const std::exception&) {
+        fail();  // out of int range
+      }
+    }
+    out = {QueryKind::Spectrum, 0, kmax};
+  } else if (kind == "maxclique") {
+    out = {QueryKind::MaxClique, 0, 0};
+  } else {
+    fail();
+  }
+  if (!end_of_line()) fail();
+  return true;
+}
+
+int cmd_batch(const CommandLine& cli) {
+  const Graph g = read_graph_any(cli.get_string("in", "graph.txt"));
+  const std::string queries_path = cli.get_string("queries", "");
+  if (queries_path.empty()) {
+    std::fprintf(stderr, "c3tool batch: --queries FILE is required\n");
+    return 2;
+  }
+  std::ifstream in(queries_path);
+  if (!in) {
+    std::fprintf(stderr, "c3tool batch: cannot read %s\n", queries_path.c_str());
+    return 2;
+  }
+  CliqueOptions opts;
+  opts.algorithm = parse_algorithm(cli.get_string("alg", "c3list"));
+
+  const PreparedGraph engine(g, opts);
+  QueryBatch batch(engine);
+  std::string line;
+  while (std::getline(in, line)) {
+    BatchQuery q;
+    if (parse_query_line(line, q)) (void)batch.add(q);
+  }
+  if (batch.size() == 0) {
+    std::fprintf(stderr, "c3tool batch: %s holds no queries\n", queries_path.c_str());
+    return 2;
+  }
+
+  WallTimer prep_timer;
+  engine.prepare();
+  const double prep = prep_timer.seconds();
+  WallTimer batch_timer;
+  const std::vector<BatchResult> results =
+      batch.run(static_cast<int>(cli.get_int("concurrency", 0)));
+  const double total = batch_timer.seconds();
+
+  Table t({"#", "query", "k", "result", "time[s]"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BatchResult& r = results[i];
+    std::string result;
+    switch (r.kind) {
+      case QueryKind::Count:
+        result = with_commas(r.count) + " cliques";
+        break;
+      case QueryKind::HasClique:
+        result = r.found ? "yes" : "no";
+        break;
+      case QueryKind::FindClique:
+        result = r.found ? strfmt("witness of %zu", r.witness.size()) : "none";
+        break;
+      case QueryKind::PerVertexCounts:
+      case QueryKind::PerEdgeCounts: {
+        count_t nonzero = 0;
+        for (const count_t c : r.per_counts) nonzero += c > 0 ? 1 : 0;
+        result = strfmt("%zu entries, %llu nonzero", r.per_counts.size(),
+                        static_cast<unsigned long long>(nonzero));
+        break;
+      }
+      case QueryKind::Spectrum:
+        result = strfmt("omega %u, %zu sizes", r.spectrum.omega, r.spectrum.counts.size());
+        break;
+      case QueryKind::MaxClique:
+        result = strfmt("omega %u", r.omega);
+        break;
+    }
+    t.add_row({std::to_string(i), query_kind_name(r.kind),
+               r.kind == QueryKind::Spectrum ? std::to_string(batch.queries()[i].kmax)
+                                             : std::to_string(r.k),
+               result, strfmt("%.3f", r.seconds)});
+  }
+  t.print();
+  std::printf("%zu queries in %.3f s wall (prepare %.3f s, %s)\n", results.size(), total, prep,
+              algorithm_name(opts.algorithm));
+  return 0;
+}
+
 int cmd_maxclique(const CommandLine& cli) {
   const Graph g = read_graph_any(cli.get_string("in", "graph.txt"));
   WallTimer timer;
@@ -164,12 +297,15 @@ int cmd_convert(const CommandLine& cli) {
 
 void usage() {
   std::puts(
-      "usage: c3tool <gen|stats|count|sweep|maxclique|convert> [--flags]\n"
+      "usage: c3tool <gen|stats|count|sweep|maxclique|batch|convert> [--flags]\n"
       "  gen       --kind K --n N [--m M --seed S] --out FILE\n"
       "  stats     --in FILE\n"
       "  count     --in FILE --k K [--alg A] [--triangle-growth] [--no-prune]\n"
       "  sweep     --in FILE [--kmin 3] [--kmax 0] [--alg A]  (prepare once, all k)\n"
       "  maxclique --in FILE\n"
+      "  batch     --in FILE --queries FILE [--alg A] [--concurrency N]\n"
+      "            query file lines: count K | hasclique K | findclique K |\n"
+      "            vertexcounts K | edgecounts K | spectrum [KMAX] | maxclique\n"
       "  convert   --in FILE --out FILE");
 }
 
@@ -188,6 +324,7 @@ int main(int argc, char** argv) {
     if (command == "count") return cmd_count(cli);
     if (command == "sweep") return cmd_sweep(cli);
     if (command == "maxclique") return cmd_maxclique(cli);
+    if (command == "batch") return cmd_batch(cli);
     if (command == "convert") return cmd_convert(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "c3tool: %s\n", e.what());

@@ -8,7 +8,10 @@
 //   Triangles/communities   triangle/triangle_count.hpp, triangle/communities.hpp
 //   Clique counting         clique/api.hpp (count_cliques / list_cliques)
 //   Prepared queries        clique/engine.hpp (PreparedGraph: prepare once,
-//                           answer many count/list/spectrum/max queries)
+//                           answer many count/list/spectrum/max queries,
+//                           concurrently from any number of threads)
+//   Batched queries         clique/batch.hpp (QueryBatch: schedule a mixed
+//                           query set across the worker pool)
 //   Individual algorithms   clique/c3list.hpp, clique/c3list_cd.hpp,
 //                           clique/hybrid.hpp, clique/kclist.hpp,
 //                           clique/arbcount.hpp, clique/bruteforce.hpp
@@ -21,6 +24,7 @@
 
 #include "clique/api.hpp"
 #include "clique/arbcount.hpp"
+#include "clique/batch.hpp"
 #include "clique/bron_kerbosch.hpp"
 #include "clique/bruteforce.hpp"
 #include "clique/c3list.hpp"

@@ -84,7 +84,7 @@ count_t arb_rec(const Env& env, CliqueScratch& w, const std::uint64_t* mask, int
 }  // namespace
 
 CliqueResult arbcount_search(const Digraph& dag, int k, const CliqueCallback* callback,
-                             const CliqueOptions& opts, PerWorker<CliqueScratch>& workers) {
+                             const CliqueOptions& opts, QueryScratch& scratch) {
   (void)opts;
   CliqueResult result;
   result.stats.order_quality = dag.max_out_degree();
@@ -93,8 +93,8 @@ CliqueResult arbcount_search(const Digraph& dag, int k, const CliqueCallback* ca
   WallTimer search_timer;
   const node_t n = dag.num_nodes();
   result.stats.top_level_tasks = n;
-  reset_scratch_pool(workers);
-  std::atomic<bool> stop{false};
+  scratch.reset_query();
+  std::atomic<bool>& stop = scratch.stop;
   Env env{callback};
 
   parallel_for_dynamic(
@@ -103,7 +103,7 @@ CliqueResult arbcount_search(const Digraph& dag, int k, const CliqueCallback* ca
         if (stop.load(std::memory_order_relaxed)) return;
         const auto members = dag.out_neighbors(static_cast<node_t>(u));
         if (static_cast<int>(members.size()) < k - 1) return;
-        CliqueScratch& w = workers.local();
+        CliqueScratch& w = scratch.local();
         w.ctx.callback = callback;
         w.ctx.stop = callback != nullptr ? &stop : nullptr;
 
@@ -128,7 +128,7 @@ CliqueResult arbcount_search(const Digraph& dag, int k, const CliqueCallback* ca
       },
       1);
 
-  merge_scratch_pool(workers, result);
+  scratch.merge_into(result);
   result.stats.search_seconds = search_timer.seconds();
   return result;
 }

@@ -1,0 +1,233 @@
+#include "clique/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "parallel/parallel.hpp"
+#include "util/timer.hpp"
+
+namespace c3 {
+namespace {
+
+/// Small queries go through the concurrent phase; everything that fans out
+/// internally (many k values, long witness searches, whole-graph tallies)
+/// keeps the full worker pool in the sequential phase.
+bool is_light(QueryKind kind) noexcept {
+  switch (kind) {
+    case QueryKind::Count:
+    case QueryKind::HasClique:
+    case QueryKind::FindClique:
+      return true;
+    case QueryKind::PerVertexCounts:
+    case QueryKind::PerEdgeCounts:
+    case QueryKind::Spectrum:
+    case QueryKind::MaxClique:
+      return false;
+  }
+  return false;
+}
+
+/// Whether a query can touch the prepared artifacts. Trivial sizes (k <= 2
+/// everywhere, spectra clamped to kmax <= 2) are answered from the graph
+/// alone, so a batch of only those must not trigger preparation.
+bool needs_artifacts(const BatchQuery& q) noexcept {
+  switch (q.kind) {
+    case QueryKind::Count:
+    case QueryKind::HasClique:
+    case QueryKind::FindClique:
+    case QueryKind::PerVertexCounts:
+    case QueryKind::PerEdgeCounts:
+      return q.k > 2;
+    case QueryKind::Spectrum:
+      return q.kmax <= 0 || q.kmax > 2;
+    case QueryKind::MaxClique:
+      return true;
+  }
+  return true;
+}
+
+BatchResult execute_one(const PreparedGraph& engine, const BatchQuery& q) {
+  BatchResult out;
+  out.kind = q.kind;
+  out.k = q.k;
+  WallTimer timer;
+  switch (q.kind) {
+    case QueryKind::Count: {
+      const CliqueResult r = engine.count(q.k);
+      out.count = r.count;
+      out.stats = r.stats;
+      break;
+    }
+    case QueryKind::HasClique:
+      out.found = engine.has_clique(q.k);
+      break;
+    case QueryKind::FindClique: {
+      auto witness = engine.find_clique(q.k);
+      out.found = witness.has_value();
+      if (witness.has_value()) out.witness = std::move(*witness);
+      break;
+    }
+    case QueryKind::PerVertexCounts:
+      out.per_counts = engine.per_vertex_counts(q.k);
+      break;
+    case QueryKind::PerEdgeCounts:
+      out.per_counts = engine.per_edge_counts(q.k);
+      break;
+    case QueryKind::Spectrum:
+      out.spectrum = engine.spectrum(q.kmax);
+      out.omega = out.spectrum.omega;
+      break;
+    case QueryKind::MaxClique:
+      out.witness = engine.max_clique();
+      out.omega = static_cast<node_t>(out.witness.size());
+      out.found = !out.witness.empty();
+      break;
+  }
+  out.seconds = timer.seconds();
+  return out;
+}
+
+/// The executor fan-out of QueryBatch::run's concurrent phase: `threads`
+/// std::threads pull light-query indices off a shared cursor with the
+/// worker cap split between them. The caller holds the process-wide cap
+/// mutex; the cap is restored on every exit path.
+void run_light_concurrent(const PreparedGraph& engine, const std::vector<BatchQuery>& queries,
+                          const std::vector<std::size_t>& light, std::size_t threads, int pool,
+                          std::vector<BatchResult>& results) {
+  const int old_cap = set_num_workers(std::max(1, pool / static_cast<int>(threads)));
+  std::atomic<std::size_t> cursor{0};
+  std::exception_ptr first_error;
+  std::mutex error_guard;
+  std::vector<std::thread> executors;
+  executors.reserve(threads);
+  try {
+    for (std::size_t t = 0; t < threads; ++t) {
+      executors.emplace_back([&] {
+        for (;;) {
+          const std::size_t slot = cursor.fetch_add(1, std::memory_order_relaxed);
+          if (slot >= light.size()) return;
+          const std::size_t i = light[slot];
+          try {
+            results[i] = execute_one(engine, queries[i]);
+          } catch (...) {
+            const std::lock_guard<std::mutex> lock(error_guard);
+            if (first_error == nullptr) first_error = std::current_exception();
+          }
+        }
+      });
+    }
+  } catch (...) {
+    // Thread spawn failed (e.g. EAGAIN): stop handing out work, join the
+    // executors that did start, and restore the cap — the failure
+    // surfaces as a catchable exception instead of std::terminate.
+    cursor.store(light.size(), std::memory_order_relaxed);
+    for (std::thread& th : executors) th.join();
+    set_num_workers(old_cap);
+    throw;
+  }
+  for (std::thread& th : executors) th.join();
+  set_num_workers(old_cap);
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
+int QueryBatch::add(const BatchQuery& query) {
+  queries_.push_back(query);
+  return static_cast<int>(queries_.size()) - 1;
+}
+
+std::vector<BatchResult> QueryBatch::run(int concurrency) const {
+  const PreparedGraph& engine = *engine_;
+  std::vector<BatchResult> results(queries_.size());
+  if (queries_.empty()) return results;
+
+  // Force the artifacts before any executor thread starts — but only if
+  // some query can use them — so per-query seconds measure search only and
+  // no thread stalls on the prepare latch. Spectrum and max-clique queries
+  // additionally consult the clique-number upper bound, which for some
+  // configurations (BruteForce: the exact degeneracy) is an artifact
+  // prepare() alone does not build — force it too whenever such a query is
+  // in the batch.
+  bool any_artifacts = false;
+  bool any_upper_bound = false;
+  for (const BatchQuery& q : queries_) {
+    any_artifacts = any_artifacts || needs_artifacts(q);
+    any_upper_bound = any_upper_bound || ((q.kind == QueryKind::Spectrum && needs_artifacts(q)) ||
+                                          q.kind == QueryKind::MaxClique);
+  }
+  if (any_artifacts) engine.prepare();
+  if (any_upper_bound) (void)engine.clique_number_upper_bound();
+
+  std::vector<std::size_t> light, heavy;
+  for (std::size_t i = 0; i < queries_.size(); ++i) {
+    (is_light(queries_[i].kind) ? light : heavy).push_back(i);
+  }
+
+  bool light_done = false;
+  if (concurrency != 1 && light.size() > 1) {
+    // Concurrent phase: split the worker cap so `threads` simultaneous
+    // queries together use about one pool's worth of workers, then hand
+    // each executor thread queries off a shared cursor. The cap is process
+    // global, so the save/split/restore must not interleave with another
+    // batch's — concurrent phases of different batches serialize on one
+    // process-wide mutex (each wants the whole machine anyway), and the
+    // pool is read only under it so one batch's temporary split can never
+    // leak into another's sizing. Other engines in the process see the
+    // reduced value for the duration of this phase — the price of keeping
+    // the loop substrate configuration-free; restored before the heavy
+    // phase. A 1-worker pool falls through to the shared serial path.
+    static std::mutex cap_mutex;
+    std::unique_lock<std::mutex> cap_lock(cap_mutex);
+    const int pool = num_workers();
+    const int want = concurrency > 0 ? concurrency : pool;
+    const auto threads = static_cast<std::size_t>(
+        std::clamp(want, 1, static_cast<int>(light.size())));
+    if (threads > 1) {
+      run_light_concurrent(engine, queries_, light, threads, pool, results);
+      light_done = true;
+    }
+  }
+  if (!light_done) {
+    for (const std::size_t i : light) results[i] = execute_one(engine, queries_[i]);
+  }
+
+  // Sequential phase: heavy queries keep the full pool for their internal
+  // parallelism.
+  for (const std::size_t i : heavy) results[i] = execute_one(engine, queries_[i]);
+  return results;
+}
+
+std::vector<BatchResult> run_query_batch(const PreparedGraph& engine,
+                                         const std::vector<BatchQuery>& queries,
+                                         int concurrency) {
+  QueryBatch batch(engine);
+  for (const BatchQuery& q : queries) (void)batch.add(q);
+  return batch.run(concurrency);
+}
+
+const char* query_kind_name(QueryKind kind) noexcept {
+  switch (kind) {
+    case QueryKind::Count:
+      return "count";
+    case QueryKind::HasClique:
+      return "hasclique";
+    case QueryKind::FindClique:
+      return "findclique";
+    case QueryKind::PerVertexCounts:
+      return "vertexcounts";
+    case QueryKind::PerEdgeCounts:
+      return "edgecounts";
+    case QueryKind::Spectrum:
+      return "spectrum";
+    case QueryKind::MaxClique:
+      return "maxclique";
+  }
+  return "?";
+}
+
+}  // namespace c3

@@ -1,0 +1,109 @@
+// QueryBatch — schedule a heterogeneous set of clique queries against one
+// PreparedGraph.
+//
+// A serving layer rarely gets one query at a time: it gets a mixed bag of
+// counts, decision probes, spectra, and max-clique requests against the
+// same prepared graph. The batch executor runs such a set with two-level
+// parallelism:
+//
+//   * *across* queries — small queries (count / has_clique / find_clique)
+//     are issued concurrently from a pool of executor threads, each leasing
+//     its own QueryScratch from the engine, while the global worker cap is
+//     split between them so the machine is not oversubscribed;
+//   * *within* queries — large queries (spectrum, max_clique, per-vertex /
+//     per-edge counts, which internally fan out over many k or run long
+//     searches) run after the concurrent phase, one at a time, keeping the
+//     full worker pool for their internal parallelism.
+//
+// Results come back in submission order, each with its own payload, stats,
+// and wall-clock seconds. The engine's artifacts are forced once up front,
+// so no query in the batch pays preparation.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "clique/common.hpp"
+#include "clique/engine.hpp"
+#include "clique/spectrum.hpp"
+#include "graph/types.hpp"
+
+namespace c3 {
+
+enum class QueryKind {
+  Count,            ///< number of k-cliques
+  HasClique,        ///< does a k-clique exist?
+  FindClique,       ///< some k-clique, if any
+  PerVertexCounts,  ///< k-clique count per vertex
+  PerEdgeCounts,    ///< k-clique count per edge
+  Spectrum,         ///< counts for every k up to kmax (0 = clique number)
+  MaxClique,        ///< a maximum clique and its size
+};
+
+/// One query of a batch. `k` parameterizes the per-k kinds; `kmax` bounds a
+/// Spectrum (0 = up to the clique number). Unused fields are ignored.
+struct BatchQuery {
+  QueryKind kind = QueryKind::Count;
+  int k = 0;
+  int kmax = 0;
+};
+
+/// One query's outcome. Which fields are meaningful depends on `kind`:
+/// Count -> count + stats; HasClique -> found; FindClique -> found +
+/// witness; PerVertexCounts / PerEdgeCounts -> per_counts; Spectrum ->
+/// spectrum; MaxClique -> omega + witness. `seconds` is the query's wall
+/// time inside the batch.
+struct BatchResult {
+  QueryKind kind = QueryKind::Count;
+  int k = 0;
+  count_t count = 0;
+  bool found = false;
+  std::vector<node_t> witness;
+  std::vector<count_t> per_counts;
+  CliqueSpectrum spectrum;
+  node_t omega = 0;
+  CliqueStats stats;
+  double seconds = 0.0;
+};
+
+class QueryBatch {
+ public:
+  /// Binds the batch to `engine` (not copied — must outlive the batch).
+  explicit QueryBatch(const PreparedGraph& engine) : engine_(&engine) {}
+
+  // Each adder returns the query's index into run()'s result vector.
+  int add(const BatchQuery& query);
+  int add_count(int k) { return add({QueryKind::Count, k, 0}); }
+  int add_has_clique(int k) { return add({QueryKind::HasClique, k, 0}); }
+  int add_find_clique(int k) { return add({QueryKind::FindClique, k, 0}); }
+  int add_per_vertex_counts(int k) { return add({QueryKind::PerVertexCounts, k, 0}); }
+  int add_per_edge_counts(int k) { return add({QueryKind::PerEdgeCounts, k, 0}); }
+  int add_spectrum(int kmax = 0) { return add({QueryKind::Spectrum, 0, kmax}); }
+  int add_max_clique() { return add({QueryKind::MaxClique, 0, 0}); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return queries_.size(); }
+  [[nodiscard]] const std::vector<BatchQuery>& queries() const noexcept { return queries_; }
+
+  /// Executes every query and returns results in submission order.
+  /// `concurrency` caps how many small queries run at once (0 = one per
+  /// worker; 1 = fully serial). While the concurrent phase runs, the global
+  /// worker cap is divided among the executor threads and restored
+  /// afterwards. Rethrows the first query exception after all threads join.
+  /// Idempotent: run() may be called again (everything re-executes against
+  /// the already-warm engine).
+  [[nodiscard]] std::vector<BatchResult> run(int concurrency = 0) const;
+
+ private:
+  const PreparedGraph* engine_;
+  std::vector<BatchQuery> queries_;
+};
+
+/// Convenience one-call form: batch-execute `queries` against `engine`.
+[[nodiscard]] std::vector<BatchResult> run_query_batch(const PreparedGraph& engine,
+                                                       const std::vector<BatchQuery>& queries,
+                                                       int concurrency = 0);
+
+/// Human-readable query-kind name (tool/bench output).
+[[nodiscard]] const char* query_kind_name(QueryKind kind) noexcept;
+
+}  // namespace c3

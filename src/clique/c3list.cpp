@@ -14,7 +14,7 @@ namespace c3 {
 
 CliqueResult c3list_search(const Digraph& dag, const EdgeCommunities& comms, int k,
                            const CliqueCallback* callback, const CliqueOptions& opts,
-                           PerWorker<CliqueScratch>& workers) {
+                           QueryScratch& scratch) {
   CliqueResult result;
   result.stats.order_quality = dag.max_out_degree();
   result.stats.gamma = comms.max_size();
@@ -26,14 +26,14 @@ CliqueResult c3list_search(const Digraph& dag, const EdgeCommunities& comms, int
       dag.num_arcs(), [&](std::size_t e) { return comms.size(static_cast<edge_t>(e)) >= needed; });
   result.stats.top_level_tasks = tasks.size();
 
-  reset_scratch_pool(workers);
-  std::atomic<bool> stop{false};
+  scratch.reset_query();
+  std::atomic<bool>& stop = scratch.stop;
 
   parallel_for_dynamic(
       0, tasks.size(),
       [&](std::size_t t) {
         if (stop.load(std::memory_order_relaxed)) return;
-        CliqueScratch& w = workers.local();
+        CliqueScratch& w = scratch.local();
         const edge_t e = tasks[t];
         const auto members = comms.members(e);
 
@@ -70,7 +70,7 @@ CliqueResult c3list_search(const Digraph& dag, const EdgeCommunities& comms, int
       },
       1);
 
-  merge_scratch_pool(workers, result);
+  scratch.merge_into(result);
   result.stats.search_seconds = search_timer.seconds();
   return result;
 }

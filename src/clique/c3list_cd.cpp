@@ -48,7 +48,7 @@ void build_local_graph_cd(const Graph& g, std::span<const node_t> members,
 
 CliqueResult c3list_cd_search(const Graph& g, const EdgeOrderResult& order, int k,
                               const CliqueCallback* callback, const CliqueOptions& opts,
-                              PerWorker<CliqueScratch>& workers) {
+                              QueryScratch& scratch) {
   CliqueResult result;
   result.stats.order_quality = order.sigma;
 
@@ -66,14 +66,14 @@ CliqueResult c3list_cd_search(const Graph& g, const EdgeOrderResult& order, int 
   result.stats.gamma = gamma;
 
   const auto endpoints = g.endpoints();
-  reset_scratch_pool(workers);
-  std::atomic<bool> stop{false};
+  scratch.reset_query();
+  std::atomic<bool>& stop = scratch.stop;
 
   parallel_for_dynamic(
       0, tasks.size(),
       [&](std::size_t t) {
         if (stop.load(std::memory_order_relaxed)) return;
-        CliqueScratch& w = workers.local();
+        CliqueScratch& w = scratch.local();
         const edge_t e = tasks[t];
         const auto members = order.candidates(e);
         // Algorithm 3, line 4: V' <- community of e among later edges.
@@ -95,7 +95,7 @@ CliqueResult c3list_cd_search(const Graph& g, const EdgeOrderResult& order, int 
       },
       1);
 
-  merge_scratch_pool(workers, result);
+  scratch.merge_into(result);
   result.stats.search_seconds = search_timer.seconds();
   return result;
 }
@@ -109,8 +109,8 @@ CliqueResult c3list_cd_count_with_order(const Graph& g, int k, const EdgeOrderRe
     result.stats.order_quality = order.sigma;
     return result;
   }
-  PerWorker<CliqueScratch> workers;
-  return c3list_cd_search(g, order, k, nullptr, opts, workers);
+  QueryScratch scratch;
+  return c3list_cd_search(g, order, k, nullptr, opts, scratch);
 }
 
 CliqueResult c3list_cd_count(const Graph& g, int k, const CliqueOptions& opts) {

@@ -101,6 +101,16 @@ struct LocalCounters {
   }
 };
 
+/// Folds one worker's per-query accumulators — its clique count and counter
+/// block — into a result. The single merge point for every search half (the
+/// lease's merge_into drains all worker slots through it), so the stats
+/// contract lives in exactly one place.
+inline void merge_stats(CliqueResult& result, count_t count, const LocalCounters& ctr) noexcept {
+  result.count += count;
+  ctr.merge_into(result.stats);
+  result.stats.cliques = result.count;
+}
+
 /// Listing callback: receives the k vertices of each clique (original vertex
 /// ids, unspecified order). Return true to continue the enumeration, false
 /// to stop early (used by the decision/witness queries). May be invoked

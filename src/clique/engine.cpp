@@ -15,6 +15,7 @@
 #include "order/approx_degeneracy.hpp"
 #include "order/degeneracy.hpp"
 #include "parallel/parallel.hpp"
+#include "parallel/scratch_pool.hpp"
 #include "util/timer.hpp"
 
 namespace c3 {
@@ -35,6 +36,7 @@ bool trivial_k(const Graph& g, int k, const CliqueCallback* callback, CliqueResu
         if (!(*callback)(clique)) break;
       }
     }
+    out.stats.cliques = out.count;
     return true;
   }
   out.count = g.num_edges();
@@ -46,16 +48,63 @@ bool trivial_k(const Graph& g, int k, const CliqueCallback* callback, CliqueResu
       if (!(*callback)(clique)) break;
     }
   }
+  out.stats.cliques = out.count;
   return true;
 }
 
 }  // namespace
 
-PreparedGraph::PreparedGraph(const Graph& g, const CliqueOptions& opts) : g_(&g), opts_(opts) {}
+// Thread-safety of lazy preparation: each artifact is guarded by its own
+// std::once_flag. The first query to need it runs the build inside
+// call_once while concurrent queries block on the latch; the optional is
+// written only inside the latched region and read only after it, so reads
+// need no further synchronization. Timing: the builder adds the elapsed
+// seconds to the engine-wide total *and* to its own query's `prep`
+// accumulator — waiting queries report 0, preserving the "preprocess cost
+// is attributed to the query that paid it" contract under concurrency.
+struct PreparedGraph::Memo {
+  std::once_flag dag_once, comms_once, edge_order_once, degeneracy_once;
+  std::optional<Digraph> dag;
+  std::optional<EdgeCommunities> comms;
+  std::optional<EdgeOrderResult> edge_order;
+  std::optional<node_t> exact_degeneracy;
+  std::atomic<double> prepare_seconds{0.0};
+  std::atomic<int> artifacts_built{0};
+  ScratchPool<QueryScratch> pool;
 
-const Digraph& PreparedGraph::dag() const {
-  if (!dag_.has_value()) {
-    WallTimer timer;
+  /// Runs `build` at most once behind `flag`, with the accounting contract
+  /// in one place: the builder's elapsed time lands in the engine-wide
+  /// total, the artifact counter, and the building query's `prep`.
+  template <typename Build>
+  void build_once(std::once_flag& flag, double& prep, Build&& build) {
+    std::call_once(flag, [&] {
+      WallTimer timer;
+      build();
+      const double s = timer.seconds();
+      prepare_seconds.fetch_add(s, std::memory_order_relaxed);
+      artifacts_built.fetch_add(1, std::memory_order_relaxed);
+      prep += s;
+    });
+  }
+};
+
+PreparedGraph::PreparedGraph(const Graph& g, const CliqueOptions& opts)
+    : g_(&g), opts_(opts), memo_(std::make_unique<Memo>()) {}
+
+PreparedGraph::PreparedGraph(PreparedGraph&&) noexcept = default;
+PreparedGraph& PreparedGraph::operator=(PreparedGraph&&) noexcept = default;
+PreparedGraph::~PreparedGraph() = default;
+
+double PreparedGraph::prepare_seconds() const noexcept {
+  return memo_->prepare_seconds.load(std::memory_order_relaxed);
+}
+
+int PreparedGraph::artifacts_built() const noexcept {
+  return memo_->artifacts_built.load(std::memory_order_relaxed);
+}
+
+const Digraph& PreparedGraph::dag(double& prep) const {
+  memo_->build_once(memo_->dag_once, prep, [&] {
     std::vector<node_t> order;
     switch (opts_.algorithm) {
       case Algorithm::ArbCount:
@@ -74,108 +123,107 @@ const Digraph& PreparedGraph::dag() const {
                                   VertexOrderKind::ExactDegeneracy, opts_.order_seed);
         break;
     }
-    dag_.emplace(Digraph::orient(*g_, order));
-    prepare_seconds_ += timer.seconds();
-  }
-  return *dag_;
+    memo_->dag.emplace(Digraph::orient(*g_, order));
+  });
+  return *memo_->dag;
 }
 
-const EdgeCommunities& PreparedGraph::communities() const {
-  const Digraph& d = dag();  // built (and timed) first
-  if (!comms_.has_value()) {
-    WallTimer timer;
-    comms_.emplace(EdgeCommunities::build(d));
-    prepare_seconds_ += timer.seconds();
-  }
-  return *comms_;
+const EdgeCommunities& PreparedGraph::communities(double& prep) const {
+  const Digraph& d = dag(prep);  // built (and attributed) first
+  memo_->build_once(memo_->comms_once, prep,
+                    [&] { memo_->comms.emplace(EdgeCommunities::build(d)); });
+  return *memo_->comms;
 }
 
-const EdgeOrderResult& PreparedGraph::edge_order() const {
-  if (!edge_order_.has_value()) {
-    WallTimer timer;
-    edge_order_.emplace(opts_.edge_order == EdgeOrderKind::ExactCommunityDegeneracy
-                            ? community_degeneracy_order(*g_)
-                            : approx_community_degeneracy_order(*g_, opts_.eps));
-    prepare_seconds_ += timer.seconds();
-  }
-  return *edge_order_;
+const EdgeOrderResult& PreparedGraph::edge_order(double& prep) const {
+  memo_->build_once(memo_->edge_order_once, prep, [&] {
+    memo_->edge_order.emplace(opts_.edge_order == EdgeOrderKind::ExactCommunityDegeneracy
+                                  ? community_degeneracy_order(*g_)
+                                  : approx_community_degeneracy_order(*g_, opts_.eps));
+  });
+  return *memo_->edge_order;
 }
 
-node_t PreparedGraph::exact_degeneracy() const {
-  if (!exact_degeneracy_.has_value()) {
-    WallTimer timer;
-    exact_degeneracy_ = degeneracy_order(*g_).degeneracy;
-    prepare_seconds_ += timer.seconds();
-  }
-  return *exact_degeneracy_;
-}
-
-PerWorker<CliqueScratch>& PreparedGraph::scratch() const {
-  // Rebuilt only if the worker pool *grew* past the slot count, so local()
-  // never indexes out of bounds; a shrunken pool keeps its warm buffers
-  // (surplus slots are reset and merge as zero).
-  if (scratch_ == nullptr || scratch_workers_ < num_workers()) {
-    scratch_ = std::make_unique<PerWorker<CliqueScratch>>();
-    scratch_workers_ = num_workers();
-  }
-  return *scratch_;
+node_t PreparedGraph::exact_degeneracy(double& prep) const {
+  memo_->build_once(memo_->degeneracy_once, prep,
+                    [&] { memo_->exact_degeneracy = degeneracy_order(*g_).degeneracy; });
+  return *memo_->exact_degeneracy;
 }
 
 void PreparedGraph::prepare() const {
+  double prep = 0.0;
   switch (opts_.algorithm) {
     case Algorithm::C3List:
-      (void)communities();
+      (void)communities(prep);
       break;
     case Algorithm::C3ListCD:
-      (void)edge_order();
+      (void)edge_order(prep);
       break;
     case Algorithm::Hybrid:
     case Algorithm::KCList:
     case Algorithm::ArbCount:
-      (void)dag();
+      (void)dag(prep);
       break;
     case Algorithm::BruteForce:
       break;
   }
 }
 
-node_t PreparedGraph::clique_number_upper_bound() const {
+node_t PreparedGraph::upper_bound(double& prep) const {
   if (g_->num_nodes() == 0) return 0;
   if (g_->num_edges() == 0) return 1;
   switch (opts_.algorithm) {
     case Algorithm::C3List:
       // A k-clique needs a community of k-2 (Observation 1).
-      return communities().max_size() + 2;
+      return communities(prep).max_size() + 2;
     case Algorithm::C3ListCD:
       // Its lowest-ordered edge has the remaining k-2 vertices in V'(e).
-      return edge_order().sigma + 2;
+      return edge_order(prep).sigma + 2;
     case Algorithm::Hybrid:
     case Algorithm::KCList:
     case Algorithm::ArbCount:
       // The clique's lowest-ranked vertex sees the rest in N+(v).
-      return dag().max_out_degree() + 1;
+      return dag(prep).max_out_degree() + 1;
     case Algorithm::BruteForce:
       break;
   }
   // omega <= s + 1 for an s-degenerate graph.
-  return exact_degeneracy() + 1;
+  return exact_degeneracy(prep) + 1;
 }
 
-CliqueResult PreparedGraph::dispatch(int k, const CliqueCallback* callback) const {
+node_t PreparedGraph::clique_number_upper_bound() const {
+  double prep = 0.0;  // cost still accrues to prepare_seconds()
+  return upper_bound(prep);
+}
+
+CliqueResult PreparedGraph::dispatch(int k, const CliqueCallback* callback, double& prep) const {
   switch (opts_.algorithm) {
     case Algorithm::C3List: {
-      const Digraph& d = dag();
-      const EdgeCommunities& c = communities();
-      return c3list_search(d, c, k, callback, opts_, scratch());
+      const Digraph& d = dag(prep);
+      const EdgeCommunities& c = communities(prep);
+      const ScratchLease lease = memo_->pool.acquire();
+      return c3list_search(d, c, k, callback, opts_, *lease);
     }
-    case Algorithm::C3ListCD:
-      return c3list_cd_search(*g_, edge_order(), k, callback, opts_, scratch());
-    case Algorithm::Hybrid:
-      return hybrid_search(dag(), k, callback, opts_, scratch());
-    case Algorithm::KCList:
-      return kclist_search(dag(), k, callback, opts_, scratch());
-    case Algorithm::ArbCount:
-      return arbcount_search(dag(), k, callback, opts_, scratch());
+    case Algorithm::C3ListCD: {
+      const EdgeOrderResult& order = edge_order(prep);
+      const ScratchLease lease = memo_->pool.acquire();
+      return c3list_cd_search(*g_, order, k, callback, opts_, *lease);
+    }
+    case Algorithm::Hybrid: {
+      const Digraph& d = dag(prep);
+      const ScratchLease lease = memo_->pool.acquire();
+      return hybrid_search(d, k, callback, opts_, *lease);
+    }
+    case Algorithm::KCList: {
+      const Digraph& d = dag(prep);
+      const ScratchLease lease = memo_->pool.acquire();
+      return kclist_search(d, k, callback, opts_, *lease);
+    }
+    case Algorithm::ArbCount: {
+      const Digraph& d = dag(prep);
+      const ScratchLease lease = memo_->pool.acquire();
+      return arbcount_search(d, k, callback, opts_, *lease);
+    }
     case Algorithm::BruteForce: {
       CliqueResult r;
       WallTimer timer;
@@ -190,11 +238,12 @@ CliqueResult PreparedGraph::dispatch(int k, const CliqueCallback* callback) cons
 }
 
 CliqueResult PreparedGraph::run(int k, const CliqueCallback* callback) const {
-  const double before = prepare_seconds_;
+  double prep = 0.0;
   CliqueResult result;
-  if (!trivial_k(*g_, k, callback, result)) result = dispatch(k, callback);
-  // Only preparation performed during *this* query; 0 on reuse.
-  result.stats.preprocess_seconds = prepare_seconds_ - before;
+  if (!trivial_k(*g_, k, callback, result)) result = dispatch(k, callback, prep);
+  // Only preparation performed during *this* query; 0 on reuse or when
+  // another query built the artifacts while we waited.
+  result.stats.preprocess_seconds = prep;
   return result;
 }
 
@@ -210,21 +259,24 @@ CliqueSpectrum PreparedGraph::spectrum(int kmax) const {
   if (g_->num_nodes() == 0) return out;
   out.counts[1] = g_->num_nodes();
   out.omega = 1;
-  if (g_->num_edges() == 0) return out;
+  // kmax clamps the trivial sizes too ("every k = 1..min(kmax, omega)").
+  if (g_->num_edges() == 0 || kmax == 1) return out;
   out.counts.push_back(g_->num_edges());
   out.omega = 2;
+  // The k >= 3 loop below could never run; don't build artifacts for it.
+  if (kmax == 2) return out;
 
-  const double before = prepare_seconds_;
-  const auto ub = static_cast<int>(clique_number_upper_bound());
+  double prep = 0.0;
+  const auto ub = static_cast<int>(upper_bound(prep));
   const int limit = kmax > 0 ? std::min(kmax, ub) : ub;
   for (int k = 3; k <= limit; ++k) {
-    const CliqueResult r = dispatch(k, nullptr);
+    const CliqueResult r = dispatch(k, nullptr, prep);
     out.search_seconds += r.stats.search_seconds;
     if (r.count == 0) break;
     out.counts.push_back(r.count);
     out.omega = static_cast<node_t>(k);
   }
-  out.preprocess_seconds = prepare_seconds_ - before;
+  out.preprocess_seconds = prep;
   return out;
 }
 

@@ -1,4 +1,5 @@
-// Plan/execute query engine: prepare the graph once, answer many queries.
+// Plan/execute query engine: prepare the graph once, answer many queries —
+// from many threads at once.
 //
 // Every clique algorithm factors into a *query-independent* prepare half —
 // the total vertex order and the oriented DAG (Section 4), the sorted edge
@@ -8,7 +9,7 @@
 // artifact at most once (lazily, on first use) and serves any number of
 // queries from it: counts and listings for any k, the full clique spectrum,
 // per-vertex/per-edge local counts, and maximum-clique searches. It also
-// owns the per-worker scratch pool (local bitset subgraphs, recursion
+// owns a ScratchPool of per-query state (local bitset subgraphs, recursion
 // stacks, label arrays), so repeated queries reuse warm buffers instead of
 // reallocating.
 //
@@ -19,8 +20,14 @@
 //  * Each query's CliqueStats.preprocess_seconds reports only the
 //    preparation performed *during that query* — 0 once the artifacts exist
 //    (the reuse guarantee; prepare() forces them eagerly).
-//  * Queries parallelize internally but the engine is not reentrant: issue
-//    one query at a time per PreparedGraph.
+//  * Queries are safe to issue concurrently from any number of threads.
+//    Lazy preparation is latched per artifact (the first query to need one
+//    builds it exactly once while concurrent queries wait, and only the
+//    building query's stats report the cost), and every in-flight query
+//    leases its own QueryScratch from the engine's pool, so no mutable
+//    state is shared between queries. Queries still parallelize internally
+//    across the worker pool. For scheduling a whole set of queries, see
+//    QueryBatch (batch.hpp).
 #pragma once
 
 #include <memory>
@@ -33,7 +40,6 @@
 #include "graph/digraph.hpp"
 #include "graph/graph.hpp"
 #include "order/community_degeneracy.hpp"
-#include "parallel/padded.hpp"
 #include "triangle/communities.hpp"
 
 namespace c3 {
@@ -44,8 +50,9 @@ class PreparedGraph {
   /// fixes the algorithm and its options. No artifact is built yet.
   explicit PreparedGraph(const Graph& g, const CliqueOptions& opts = {});
 
-  PreparedGraph(PreparedGraph&&) noexcept = default;
-  PreparedGraph& operator=(PreparedGraph&&) noexcept = default;
+  PreparedGraph(PreparedGraph&&) noexcept;
+  PreparedGraph& operator=(PreparedGraph&&) noexcept;
+  ~PreparedGraph();
 
   // ------------------------------------------------------------- queries
 
@@ -81,11 +88,17 @@ class PreparedGraph {
   // ---------------------------------------------- plan control / inspection
 
   /// Forces the algorithm's artifacts to exist now, so later queries report
-  /// preprocess_seconds == 0. Idempotent.
+  /// preprocess_seconds == 0. Idempotent and safe to race with queries.
   void prepare() const;
 
   /// Cumulative seconds spent building artifacts so far.
-  [[nodiscard]] double prepare_seconds() const noexcept { return prepare_seconds_; }
+  [[nodiscard]] double prepare_seconds() const noexcept;
+
+  /// How many artifacts (vertex order + DAG, communities, edge order, exact
+  /// degeneracy) have been built so far. Each is built at most once no
+  /// matter how many queries race for it — the build-exactly-once guarantee
+  /// the concurrency tests assert.
+  [[nodiscard]] int artifacts_built() const noexcept;
 
   /// An upper bound on the clique number derived from the prepared
   /// artifacts: gamma + 2 (c3List), sigma + 2 (c3List-CD), max out-degree
@@ -96,27 +109,27 @@ class PreparedGraph {
   [[nodiscard]] const CliqueOptions& options() const noexcept { return opts_; }
 
  private:
+  // All lazily memoized state lives behind one pointer: the once-latches
+  // that serialize artifact construction, the artifacts themselves, the
+  // prepare-time accounting, and the per-query scratch pool. Heap-held so
+  // the engine stays movable (std::once_flag is not) and so in-flight
+  // queries on other threads keep a stable address.
+  struct Memo;
+
+  // The `prep` out-parameters accumulate seconds of preparation performed by
+  // *this call* — the building query; threads that merely wait on the latch
+  // add nothing. run() forwards the sum into stats.preprocess_seconds.
   [[nodiscard]] CliqueResult run(int k, const CliqueCallback* callback) const;
-  [[nodiscard]] CliqueResult dispatch(int k, const CliqueCallback* callback) const;
-  [[nodiscard]] const Digraph& dag() const;
-  [[nodiscard]] const EdgeCommunities& communities() const;
-  [[nodiscard]] const EdgeOrderResult& edge_order() const;
-  [[nodiscard]] node_t exact_degeneracy() const;
-  [[nodiscard]] PerWorker<CliqueScratch>& scratch() const;
+  [[nodiscard]] CliqueResult dispatch(int k, const CliqueCallback* callback, double& prep) const;
+  [[nodiscard]] const Digraph& dag(double& prep) const;
+  [[nodiscard]] const EdgeCommunities& communities(double& prep) const;
+  [[nodiscard]] const EdgeOrderResult& edge_order(double& prep) const;
+  [[nodiscard]] node_t exact_degeneracy(double& prep) const;
+  [[nodiscard]] node_t upper_bound(double& prep) const;
 
   const Graph* g_;
   CliqueOptions opts_;
-
-  // Artifacts are memoized on first use; `mutable` because queries are
-  // logically const. prepare_seconds_ accumulates the build times, letting
-  // run() report per-query preparation as a delta.
-  mutable std::optional<Digraph> dag_;
-  mutable std::optional<EdgeCommunities> comms_;
-  mutable std::optional<EdgeOrderResult> edge_order_;
-  mutable std::optional<node_t> exact_degeneracy_;
-  mutable double prepare_seconds_ = 0.0;
-  mutable std::unique_ptr<PerWorker<CliqueScratch>> scratch_;
-  mutable int scratch_workers_ = 0;
+  std::unique_ptr<Memo> memo_;
 };
 
 }  // namespace c3

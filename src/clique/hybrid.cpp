@@ -82,7 +82,7 @@ void local_degeneracy_order(const LocalGraph& lg, std::vector<int>& order,
 }  // namespace
 
 CliqueResult hybrid_search(const Digraph& dag, int k, const CliqueCallback* callback,
-                           const CliqueOptions& opts, PerWorker<CliqueScratch>& workers) {
+                           const CliqueOptions& opts, QueryScratch& scratch) {
   CliqueResult result;
   result.stats.order_quality = dag.max_out_degree();
   result.stats.gamma = result.stats.order_quality;
@@ -90,8 +90,8 @@ CliqueResult hybrid_search(const Digraph& dag, int k, const CliqueCallback* call
   WallTimer search_timer;
   const node_t n = dag.num_nodes();
   result.stats.top_level_tasks = n;
-  reset_scratch_pool(workers);
-  std::atomic<bool> stop{false};
+  scratch.reset_query();
+  std::atomic<bool>& stop = scratch.stop;
 
   parallel_for_dynamic(
       0, n,
@@ -99,7 +99,7 @@ CliqueResult hybrid_search(const Digraph& dag, int k, const CliqueCallback* call
         if (stop.load(std::memory_order_relaxed)) return;
         const auto members = dag.out_neighbors(static_cast<node_t>(v));
         if (static_cast<int>(members.size()) < k - 1) return;
-        CliqueScratch& w = workers.local();
+        CliqueScratch& w = scratch.local();
 
         // Induce G[N+(v)] in approximate-rank space...
         build_local_graph(dag, members, w.lg_aux);
@@ -142,7 +142,7 @@ CliqueResult hybrid_search(const Digraph& dag, int k, const CliqueCallback* call
       },
       1);
 
-  merge_scratch_pool(workers, result);
+  scratch.merge_into(result);
   result.stats.search_seconds = search_timer.seconds();
   return result;
 }

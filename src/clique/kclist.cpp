@@ -76,7 +76,7 @@ count_t kclist_rec(const Env& env, CliqueScratch& w, int l) {
 }  // namespace
 
 CliqueResult kclist_search(const Digraph& dag, int k, const CliqueCallback* callback,
-                           const CliqueOptions& opts, PerWorker<CliqueScratch>& workers) {
+                           const CliqueOptions& opts, QueryScratch& scratch) {
   (void)opts;
   if (k > 255) throw std::invalid_argument("kclist: k too large");
   CliqueResult result;
@@ -86,36 +86,43 @@ CliqueResult kclist_search(const Digraph& dag, int k, const CliqueCallback* call
   WallTimer search_timer;
   const node_t n = dag.num_nodes();
   result.stats.top_level_tasks = n;
-  reset_scratch_pool(workers);
-  std::atomic<bool> stop{false};
+  scratch.reset_query();
+  std::atomic<bool>& stop = scratch.stop;
   Env env{&dag, callback};
 
-  parallel_for_dynamic(
-      0, n,
-      [&](std::size_t u) {
-        if (stop.load(std::memory_order_relaxed)) return;
-        CliqueScratch& w = workers.local();
-        w.ctx.callback = callback;
-        w.ctx.stop = callback != nullptr ? &stop : nullptr;
-        if (w.label.size() < static_cast<std::size_t>(n)) w.label.assign(n, 0);
-        if (w.levels.size() < static_cast<std::size_t>(k))
-          w.levels.resize(static_cast<std::size_t>(k));
-        const auto out = dag.out_neighbors(static_cast<node_t>(u));
-        if (static_cast<int>(out.size()) < k - 1) return;
+  try {
+    parallel_for_dynamic(
+        0, n,
+        [&](std::size_t u) {
+          if (stop.load(std::memory_order_relaxed)) return;
+          CliqueScratch& w = scratch.local();
+          w.ctx.callback = callback;
+          w.ctx.stop = callback != nullptr ? &stop : nullptr;
+          if (w.label.size() < static_cast<std::size_t>(n)) w.label.assign(n, 0);
+          if (w.levels.size() < static_cast<std::size_t>(k))
+            w.levels.resize(static_cast<std::size_t>(k));
+          const auto out = dag.out_neighbors(static_cast<node_t>(u));
+          if (static_cast<int>(out.size()) < k - 1) return;
 
-        std::vector<node_t>& top = w.levels[static_cast<std::size_t>(k - 1)];
-        top.assign(out.begin(), out.end());
-        for (const node_t x : top) w.label[x] = k - 1;
-        if (callback != nullptr) {
-          w.clique_stack.clear();
-          w.clique_stack.push_back(dag.original_id(static_cast<node_t>(u)));
-        }
-        w.count += kclist_rec(env, w, k - 1);
-        for (const node_t x : top) w.label[x] = 0;
-      },
-      1);
+          std::vector<node_t>& top = w.levels[static_cast<std::size_t>(k - 1)];
+          top.assign(out.begin(), out.end());
+          for (const node_t x : top) w.label[x] = k - 1;
+          if (callback != nullptr) {
+            w.clique_stack.clear();
+            w.clique_stack.push_back(dag.original_id(static_cast<node_t>(u)));
+          }
+          w.count += kclist_rec(env, w, k - 1);
+          for (const node_t x : top) w.label[x] = 0;
+        },
+        1);
+  } catch (...) {
+    // The unwind skipped the label backtracking above; flag the lease so
+    // the next query's reset_query re-zeroes before trusting the invariant.
+    scratch.labels_dirty = true;
+    throw;
+  }
 
-  merge_scratch_pool(workers, result);
+  scratch.merge_into(result);
   result.stats.search_seconds = search_timer.seconds();
   return result;
 }

@@ -29,9 +29,10 @@ namespace c3 {
                                        const CliqueOptions& opts = {});
 
 /// Search half on a prepared orientation: requires k >= 3. `callback` may be
-/// null (counting).
+/// null (counting). `scratch` is this query's leased state (see
+/// c3list_search).
 [[nodiscard]] CliqueResult kclist_search(const Digraph& dag, int k,
                                          const CliqueCallback* callback, const CliqueOptions& opts,
-                                         PerWorker<CliqueScratch>& workers);
+                                         QueryScratch& scratch);
 
 }  // namespace c3

@@ -1,21 +1,29 @@
-// Per-worker scratch shared by the search halves of all clique algorithms.
+// Per-query scratch leased by the search halves of all clique algorithms.
 //
 // Every algorithm's inner loop re-represents a small subproblem (a community,
 // a candidate set, an out-neighborhood) in worker-local storage. One
-// CliqueScratch is the union of those worker states, so a PreparedGraph can
-// own a single PerWorker<CliqueScratch> pool and reuse the warm buffers —
-// bitset rows, recursion stacks, label arrays, mask pools — across many
-// queries instead of reallocating them per call. Fields unused by a given
+// CliqueScratch is the union of those worker states; one QueryScratch is a
+// full query's mutable state — a CliqueScratch per worker plus the shared
+// early-stop flag — so nothing a search touches outlives or escapes the
+// query. A PreparedGraph owns a ScratchPool<QueryScratch> and checks one
+// QueryScratch out per in-flight query (ScratchLease): sequential queries
+// reuse the same warm buffers, concurrent queries each get their own, and
+// the pool grows only under actual contention. Fields unused by a given
 // algorithm stay empty and cost nothing.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
+#include "clique/common.hpp"
 #include "clique/local_graph.hpp"
 #include "clique/recursive.hpp"
 #include "graph/types.hpp"
 #include "parallel/padded.hpp"
+#include "parallel/parallel.hpp"
+#include "parallel/scratch_pool.hpp"
 
 namespace c3 {
 
@@ -25,10 +33,9 @@ struct LocalDegeneracyScratch {
   std::vector<int> adj_offsets, adj, degree, bin, verts, pos;
 };
 
-/// One worker's reusable state for a sequence of clique searches. Owned per
-/// engine (PerWorker<CliqueScratch>) and handed to the *_search functions;
-/// reset_query() clears the per-query accumulators while keeping the
-/// capacity of every buffer.
+/// One worker's reusable state for a sequence of clique searches; handed to
+/// the *_search functions inside a QueryScratch. reset_query() clears the
+/// per-query accumulators while keeping the capacity of every buffer.
 struct CliqueScratch {
   // Shared by the community-centric searches (c3List, c3List-CD, hybrid).
   LocalGraph lg;
@@ -68,20 +75,49 @@ struct CliqueScratch {
   }
 };
 
-/// Prepares every slot of a scratch pool for a new query. Called by the
-/// *_search functions; slots touched by previous queries keep their warm
-/// buffers.
-inline void reset_scratch_pool(PerWorker<CliqueScratch>& pool) noexcept {
-  for (std::size_t i = 0; i < pool.size(); ++i) pool.slot(i).reset_query();
-}
+/// One query's complete mutable state: a warm CliqueScratch per worker and
+/// the stop flag shared by that query's workers (and nobody else's). The
+/// search halves receive exactly one QueryScratch and touch nothing outside
+/// it, which is what makes queries against one PreparedGraph safe to issue
+/// from many threads at once.
+struct QueryScratch {
+  PerWorker<CliqueScratch> workers;
+  std::atomic<bool> stop{false};
 
-/// Merges every slot's count and counters into `result` after a search.
-inline void merge_scratch_pool(const PerWorker<CliqueScratch>& pool, CliqueResult& result) {
-  for (std::size_t i = 0; i < pool.size(); ++i) {
-    result.count += pool.slot(i).count;
-    pool.slot(i).ctr.merge_into(result.stats);
+  /// Set by a search half whose traversal unwound via an exception (a
+  /// throwing listing callback): backtracking was skipped, so invariants
+  /// like kcList's all-zeros label array may be broken in the returned
+  /// lease. reset_query repairs them, and only then — the common path pays
+  /// nothing.
+  bool labels_dirty = false;
+
+  /// Prepares every slot for a new query: rebuilds the slot array if the
+  /// worker pool grew past it (so local() never clamps), resets the
+  /// accumulators, clears the stop flag, repairs exception-dirtied labels.
+  /// Warm buffers survive.
+  void reset_query() {
+    if (workers.size() < static_cast<std::size_t>(num_workers()))
+      workers = PerWorker<CliqueScratch>();
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      CliqueScratch& w = workers.slot(i);
+      w.reset_query();
+      if (labels_dirty) std::fill(w.label.begin(), w.label.end(), 0);
+    }
+    labels_dirty = false;
+    stop.store(false, std::memory_order_relaxed);
   }
-  result.stats.cliques = result.count;
-}
+
+  /// The calling worker's scratch.
+  [[nodiscard]] CliqueScratch& local() noexcept { return workers.local(); }
+
+  /// Drains every slot's count and counters into `result` after a search.
+  void merge_into(CliqueResult& result) const {
+    for (std::size_t i = 0; i < workers.size(); ++i)
+      merge_stats(result, workers.slot(i).count, workers.slot(i).ctr);
+  }
+};
+
+/// RAII checkout of one QueryScratch from an engine's pool.
+using ScratchLease = ScratchPool<QueryScratch>::Lease;
 
 }  // namespace c3

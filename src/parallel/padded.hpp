@@ -25,14 +25,27 @@ struct alignas(kCacheLineSize) Padded {
 };
 
 /// One padded slot per worker, with a combining reduction.
+///
+/// Sized to max_workers() — the cap's high-water mark, not its current value
+/// — so a set_num_workers increase *back up to* any previously seen cap
+/// cannot push worker_id() past the slot count. A cap raised above every
+/// previous value after construction is caught by the bounds clamp in
+/// local(), which turns what used to be an out-of-bounds access into
+/// sharing the last slot. Sharing is only race-free for atomic payloads;
+/// raising the cap while a loop over a non-atomic PerWorker is in flight
+/// remains unsupported (as all mid-loop cap changes are) — rebuild the
+/// PerWorker after growing the pool, as QueryScratch::reset_query does.
 template <typename T>
 class PerWorker {
  public:
-  PerWorker() : slots_(static_cast<std::size_t>(num_workers())) {}
-  explicit PerWorker(const T& init) : slots_(static_cast<std::size_t>(num_workers()), Padded<T>{init}) {}
+  PerWorker() : slots_(static_cast<std::size_t>(max_workers())) {}
+  explicit PerWorker(const T& init) : slots_(static_cast<std::size_t>(max_workers()), Padded<T>{init}) {}
 
-  /// The calling worker's slot.
-  [[nodiscard]] T& local() noexcept { return slots_[static_cast<std::size_t>(worker_id())].value; }
+  /// The calling worker's slot (the last slot for out-of-range ids).
+  [[nodiscard]] T& local() noexcept {
+    const auto id = static_cast<std::size_t>(worker_id());
+    return slots_[id < slots_.size() ? id : slots_.size() - 1].value;
+  }
 
   [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
   [[nodiscard]] T& slot(std::size_t i) noexcept { return slots_[i].value; }

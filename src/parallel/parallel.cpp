@@ -15,6 +15,9 @@ namespace {
 // it concurrently.
 std::atomic<int> g_workers{0};
 
+// High-water mark of the cap (0 = "nothing above the default yet").
+std::atomic<int> g_max_workers{0};
+
 #if defined(_OPENMP)
 int default_workers() noexcept { return std::max(1, omp_get_max_threads()); }
 #else
@@ -30,11 +33,21 @@ int num_workers() noexcept {
 
 int set_num_workers(int workers) noexcept {
   const int clamped = std::max(1, workers);
+  // Raise the high-water mark first, so a PerWorker constructed after this
+  // call returns can never observe a cap above max_workers().
+  int seen = g_max_workers.load(std::memory_order_relaxed);
+  while (seen < clamped &&
+         !g_max_workers.compare_exchange_weak(seen, clamped, std::memory_order_relaxed)) {
+  }
   // Atomic swap so concurrent set/restore pairs cannot lose an update. The
   // raw slot value 0 means "unset"; report it as the effective default so the
   // returned value always round-trips through set_num_workers.
   const int old = g_workers.exchange(clamped, std::memory_order_relaxed);
   return old > 0 ? old : default_workers();
+}
+
+int max_workers() noexcept {
+  return std::max(g_max_workers.load(std::memory_order_relaxed), default_workers());
 }
 
 #if defined(_OPENMP)

@@ -28,6 +28,14 @@ namespace c3 {
 /// round-trips even under concurrent callers.
 int set_num_workers(int workers) noexcept;
 
+/// High-water mark of the worker cap: the largest value num_workers() has
+/// been able to return so far (the pool default, raised by every
+/// set_num_workers call). Per-worker structures sized to max_workers() stay
+/// in bounds across later set_num_workers *decreases and re-increases*; only
+/// a cap raised above every previous value can outgrow them (PerWorker
+/// bounds-clamps for that case).
+[[nodiscard]] int max_workers() noexcept;
+
 /// Identifier of the calling worker in [0, num_workers()).
 [[nodiscard]] int worker_id() noexcept;
 

@@ -1,0 +1,115 @@
+// Checkout/return pool of reusable scratch objects.
+//
+// A ScratchPool<T> hands each in-flight task its own T through an RAII
+// Lease: acquire() pops a warm object off the free list (or default-
+// constructs a fresh one when every object is checked out — the pool grows
+// under contention and never blocks), and the lease returns it on
+// destruction. Objects keep their internal buffers across checkouts, so a
+// steady-state pool serves any number of sequential or concurrent tasks
+// without allocating.
+//
+// This is the substrate for per-query engine state: one PreparedGraph owns
+// one pool, every query leases one object, and concurrent queries therefore
+// never share mutable scratch (see clique/scratch.hpp and DESIGN.md §2.5).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace c3 {
+
+template <typename T>
+class ScratchPool {
+ public:
+  /// Exclusive ownership of one pooled T for the lease's lifetime; the
+  /// object returns to the pool (warm) on destruction. Movable, not
+  /// copyable.
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept
+        : pool_(std::exchange(other.pool_, nullptr)), item_(std::move(other.item_)) {}
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = std::exchange(other.pool_, nullptr);
+        item_ = std::move(other.item_);
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    [[nodiscard]] T& operator*() const noexcept { return *item_; }
+    [[nodiscard]] T* operator->() const noexcept { return item_.get(); }
+    [[nodiscard]] T* get() const noexcept { return item_.get(); }
+
+    /// Returns the object to the pool early; the lease becomes empty.
+    void release() noexcept {
+      if (pool_ != nullptr && item_ != nullptr) pool_->put(std::move(item_));
+      pool_ = nullptr;
+      item_ = nullptr;
+    }
+
+   private:
+    friend class ScratchPool;
+    Lease(ScratchPool* pool, std::unique_ptr<T> item) noexcept
+        : pool_(pool), item_(std::move(item)) {}
+
+    ScratchPool* pool_ = nullptr;
+    std::unique_ptr<T> item_;
+  };
+
+  ScratchPool() = default;
+  ScratchPool(const ScratchPool&) = delete;
+  ScratchPool& operator=(const ScratchPool&) = delete;
+
+  /// Checks out one object. Reuses a warm one when available; otherwise
+  /// default-constructs (growing the pool's eventual size by one). Never
+  /// blocks on other leases.
+  [[nodiscard]] Lease acquire() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!free_.empty()) {
+        // Reserve room for every outstanding object before counting this
+        // checkout, so (a) the noexcept put() on lease return can
+        // push_back without ever allocating and (b) a throwing reserve
+        // leaves the accounting untouched.
+        free_.reserve(free_.size() + outstanding_ + 1);
+        ++outstanding_;
+        std::unique_ptr<T> item = std::move(free_.back());
+        free_.pop_back();
+        return Lease(this, std::move(item));
+      }
+    }
+    // Construct outside the lock and before the checkout is counted: if
+    // T's constructor throws, no lease exists and nothing leaks.
+    std::unique_ptr<T> item = std::make_unique<T>();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    free_.reserve(free_.size() + outstanding_ + 1);
+    ++outstanding_;
+    return Lease(this, std::move(item));
+  }
+
+  /// Number of objects currently parked in the pool (not leased out).
+  [[nodiscard]] std::size_t idle() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return free_.size();
+  }
+
+ private:
+  void put(std::unique_ptr<T> item) noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    --outstanding_;
+    free_.push_back(std::move(item));  // capacity guaranteed by acquire()
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<T>> free_;
+  std::size_t outstanding_ = 0;
+};
+
+}  // namespace c3

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "clique/api.hpp"
 #include "clique/bruteforce.hpp"
@@ -13,6 +14,7 @@
 #include "clique/spectrum.hpp"
 #include "clique/vertex_counts.hpp"
 #include "graph/gen/generators.hpp"
+#include "parallel/parallel.hpp"
 #include "test_helpers.hpp"
 
 namespace c3 {
@@ -183,6 +185,49 @@ TEST(Engine, TrivialSizesAndEmptyGraphs) {
   EXPECT_EQ(none.max_clique_size(), 0u);
   EXPECT_TRUE(none.max_clique().empty());
   EXPECT_EQ(none.spectrum().omega, 0u);
+}
+
+TEST(Engine, ThrowingCallbackLeavesEngineUsable) {
+  // A callback that throws mid-enumeration unwinds past the searches'
+  // backtracking restores; the leased scratch must come back clean (e.g.
+  // kcList's label array re-zeroed) so later queries on the same engine
+  // still count correctly. Run at 1 worker: the serial loop is the only
+  // configuration where an exception can legally unwind (OpenMP regions
+  // would terminate), and it maximizes the dirtied state.
+  const Graph g = erdos_renyi(80, 600, 3);
+  for (const Algorithm alg : kPreparedAlgorithms) {
+    CliqueOptions opts;
+    opts.algorithm = alg;
+    const PreparedGraph engine(g, opts);
+    const count_t expect = engine.count(4).count;
+    ASSERT_GT(expect, 0u) << algorithm_name(alg);
+
+    const int old = set_num_workers(1);
+    int seen = 0;
+    const CliqueCallback bomb = [&](std::span<const node_t>) -> bool {
+      if (++seen == 2) throw std::runtime_error("callback failure");
+      return true;
+    };
+    EXPECT_THROW((void)engine.list(4, bomb), std::runtime_error) << algorithm_name(alg);
+    set_num_workers(old);
+
+    EXPECT_EQ(engine.count(4).count, expect) << algorithm_name(alg);
+    EXPECT_EQ(engine.count(3).count, count_cliques(g, 3, opts).count) << algorithm_name(alg);
+  }
+}
+
+TEST(Engine, SpectrumHonorsKmaxForTrivialSizes) {
+  const Graph g = erdos_renyi(40, 120, 17);
+  const PreparedGraph engine(g, {});
+  const CliqueSpectrum s1 = engine.spectrum(1);
+  EXPECT_EQ(s1.omega, 1u);
+  EXPECT_EQ(s1.counts.size(), 2u);  // entries for k = 0, 1 only
+  const CliqueSpectrum s2 = engine.spectrum(2);
+  EXPECT_EQ(s2.omega, 2u);
+  EXPECT_EQ(s2.counts.size(), 3u);
+  EXPECT_EQ(s2.counts[2], 120u);
+  // Trivial-size spectra need no artifacts.
+  EXPECT_EQ(engine.artifacts_built(), 0);
 }
 
 TEST(Engine, UpperBoundIsValid) {

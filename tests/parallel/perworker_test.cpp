@@ -1,0 +1,74 @@
+// Regression tests for the PerWorker sizing hazard: a PerWorker constructed
+// while the worker cap was low used to size its slot array to that snapshot,
+// so a later set_num_workers increase made worker_id() index out of range.
+// PerWorker now sizes to max_workers() (the cap's high-water mark) and
+// bounds-clamps in local(), so accumulation stays in bounds across any
+// save/lower/restore of the cap.
+#include "parallel/padded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+
+#include "parallel/parallel.hpp"
+
+namespace c3 {
+namespace {
+
+TEST(PerWorker, SizedToHighWaterMarkNotCurrentCap) {
+  const int old = set_num_workers(1);
+  const PerWorker<int> pw;  // constructed while the cap is 1...
+  // ...but sized to the high-water mark, which is at least the default pool.
+  EXPECT_GE(pw.size(), static_cast<std::size_t>(1));
+  EXPECT_EQ(pw.size(), static_cast<std::size_t>(max_workers()));
+  set_num_workers(old);
+}
+
+TEST(PerWorker, SurvivesWorkerIncreaseAfterConstruction) {
+  const int old = set_num_workers(1);
+  // The hazard: constructed under a 1-worker cap, used under a wider one.
+  PerWorker<std::atomic<long>> pw;
+  set_num_workers(8);
+
+  constexpr std::size_t kIters = 100'000;
+  parallel_for(
+      0, kIters, [&](std::size_t) { pw.local().fetch_add(1, std::memory_order_relaxed); }, 1);
+
+  long total = 0;
+  for (std::size_t i = 0; i < pw.size(); ++i) total += pw.slot(i).load(std::memory_order_relaxed);
+  // Every increment landed in a valid slot (pre-fix this indexed out of
+  // bounds — caught by ASan — and lost or corrupted counts).
+  EXPECT_EQ(total, static_cast<long>(kIters));
+  set_num_workers(old);
+}
+
+TEST(PerWorker, LocalClampsOutOfRangeIds) {
+  // Raise the cap beyond any previously seen value *after* construction:
+  // the clamp must keep local() inside the slot array.
+  const int old = set_num_workers(1);
+  PerWorker<std::atomic<long>> pw;
+  set_num_workers(max_workers() * 2);
+
+  constexpr std::size_t kIters = 50'000;
+  parallel_for(
+      0, kIters, [&](std::size_t) { pw.local().fetch_add(1, std::memory_order_relaxed); }, 1);
+
+  long total = 0;
+  for (std::size_t i = 0; i < pw.size(); ++i) total += pw.slot(i).load(std::memory_order_relaxed);
+  EXPECT_EQ(total, static_cast<long>(kIters));
+  set_num_workers(old);
+}
+
+TEST(PerWorker, ReduceStillFoldsEverySlot) {
+  const int old = set_num_workers(2);
+  PerWorker<long> pw;
+  for (std::size_t i = 0; i < pw.size(); ++i) pw.slot(i) = static_cast<long>(i + 1);
+  const long sum = pw.reduce(0L, [](long acc, long v) { return acc + v; });
+  const auto n = static_cast<long>(pw.size());
+  EXPECT_EQ(sum, n * (n + 1) / 2);
+  set_num_workers(old);
+}
+
+}  // namespace
+}  // namespace c3
