@@ -4,9 +4,10 @@
 #   2. Debug + ASan/UBSan          (memory + UB coverage for the parallel paths)
 #   3. Release, OpenMP disabled    (the exactly-deterministic serial fallback)
 #   4. TSan, OpenMP disabled       (data-race coverage for the concurrent
-#      query engine: clique + parallel labels only. OpenMP stays off because
-#      libgomp is not TSan-instrumented and would drown the report in false
-#      positives; the concurrency under test comes from std::threads.)
+#      query engine: clique + parallel + snapshot labels only. OpenMP stays
+#      off because libgomp is not TSan-instrumented and would drown the
+#      report in false positives; the concurrency under test comes from
+#      std::threads.)
 #
 # Each config runs the full ctest suite (tsan: the clique|parallel labels):
 #   cmake -B <dir> -S . && cmake --build <dir> -j && ctest --test-dir <dir>
@@ -29,9 +30,10 @@ run_config() {
   local dir="build-ci-${name}"
   local label_args=()
   if [ "${name}" = "tsan" ]; then
-    # The race-sensitive surfaces: the concurrent engine/batch suites and
-    # the parallel substrate.
-    label_args=(-L "clique|parallel")
+    # The race-sensitive surfaces: the concurrent engine/batch suites, the
+    # parallel substrate, and concurrent queries over snapshot-loaded
+    # engines.
+    label_args=(-L "clique|parallel|snapshot")
   fi
   echo "==== [${name}] configure ===="
   cmake -B "${dir}" -S . "$@"
@@ -59,6 +61,15 @@ run_config() {
       exit 1
     fi
     "${dir}/bench/bench_concurrent_queries" --out BENCH_pr3.json
+    # Snapshot smoke: cold prepare vs mmap open per smoke graph, counts
+    # cross-checked cold vs loaded. Emits BENCH_pr4.json (open/prepare
+    # speedup — the acceptance bar is >= 10x on the largest graph).
+    echo "==== [${name}] bench smoke (snapshot) ===="
+    if [ ! -x "${dir}/bench/bench_snapshot" ]; then
+      echo "bench_snapshot not built (is C3_BUILD_BENCH off?)" >&2
+      exit 1
+    fi
+    "${dir}/bench/bench_snapshot" --out BENCH_pr4.json
   fi
 }
 

@@ -2,6 +2,8 @@
 //
 //   c3tool gen      --kind social --n 10000 --m 80000 --seed 1 --out g.txt
 //   c3tool stats    --in g.txt
+//   c3tool prepare  --in g.txt --out g.c3snap [--alg A]   (build the engine's
+//                   artifacts offline and serialize them into a snapshot)
 //   c3tool count    --in g.txt --k 7 [--alg c3list|cd|hybrid|kclist|arbcount]
 //   c3tool sweep    --in g.txt [--kmin 3 --kmax 0] [--alg A]   (prepare once,
 //                   query every k; kmax 0 = up to the clique number)
@@ -10,12 +12,18 @@
 //                   (prepare once, run a mixed query file through QueryBatch)
 //   c3tool convert  --in g.txt --out g.metis
 //
-// Input format is chosen by extension (.txt/.mtx/.metis/.graph/.bin); see
-// graph/io.hpp. Generators: social, collab, topo, mesh, spectral, rating,
-// bio, er, rmat, ba, hypercube, complete.
+// count/sweep/maxclique/batch accept --snapshot g.c3snap in place of --in:
+// the engine is mmap-loaded from the snapshot (no preparation at startup);
+// --alg, if also given, must match the snapshot's fingerprint.
+//
+// Input format is chosen by extension (.txt/.mtx/.metis/.graph/.bin/
+// .c3snap); see graph/io.hpp. Generators: social, collab, topo, mesh,
+// spectral, rating, bio, er, rmat, ba, hypercube, complete.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -83,6 +91,59 @@ Algorithm parse_algorithm(const std::string& name) {
   std::exit(2);
 }
 
+CliqueOptions options_from_cli(const CommandLine& cli) {
+  CliqueOptions opts;
+  opts.algorithm = parse_algorithm(cli.get_string("alg", "c3list"));
+  opts.triangle_growth = cli.has_flag("triangle-growth");
+  if (cli.has_flag("no-prune")) opts.distance_pruning = false;
+  return opts;
+}
+
+/// Opens a snapshot for serving. The artifact fingerprint comes from the
+/// file; an explicit --alg must agree with it, and the runtime-only flags
+/// (--triangle-growth / --no-prune) apply on top without re-preparing.
+snapshot::Snapshot open_snapshot(const CommandLine& cli, const std::string& path) {
+  const auto alg = cli.get("alg");
+  const bool triangle_growth = cli.has_flag("triangle-growth");
+  const bool no_prune = cli.has_flag("no-prune");
+  // The common invocation adopts the snapshot's stored options wholesale —
+  // one open, one validation pass.
+  if (!alg.has_value() && !triangle_growth && !no_prune) return snapshot::Snapshot::open(path);
+  CliqueOptions expected = snapshot::inspect(path).options;
+  if (alg.has_value()) expected.algorithm = parse_algorithm(*alg);
+  if (triangle_growth) expected.triangle_growth = true;
+  if (no_prune) expected.distance_pruning = false;
+  return snapshot::Snapshot::open(path, expected);
+}
+
+/// The engine a serving command runs on: mmap-loaded from --snapshot
+/// (already prepared, O(1) startup) or built in-process from --in. Heap
+/// members so the PreparedGraph's graph reference stays stable across moves.
+struct EngineSource {
+  std::optional<snapshot::Snapshot> snap;
+  std::unique_ptr<Graph> graph;          // --in mode only
+  std::unique_ptr<PreparedGraph> local;  // --in mode only
+  double load_seconds = 0.0;
+
+  [[nodiscard]] const PreparedGraph& engine() const {
+    return snap.has_value() ? snap->engine() : *local;
+  }
+  [[nodiscard]] bool from_snapshot() const { return snap.has_value(); }
+};
+
+EngineSource make_engine(const CommandLine& cli) {
+  EngineSource src;
+  WallTimer timer;
+  if (const auto path = cli.get("snapshot")) {
+    src.snap.emplace(open_snapshot(cli, *path));
+  } else {
+    src.graph = std::make_unique<Graph>(read_graph_any(cli.get_string("in", "graph.txt")));
+    src.local = std::make_unique<PreparedGraph>(*src.graph, options_from_cli(cli));
+  }
+  src.load_seconds = timer.seconds();
+  return src;
+}
+
 int cmd_gen(const CommandLine& cli) {
   const Graph g = generate(cli);
   const std::string out = cli.get_string("out", "graph.txt");
@@ -105,38 +166,58 @@ int cmd_stats(const CommandLine& cli) {
   return 0;
 }
 
-int cmd_count(const CommandLine& cli) {
-  const Graph g = read_graph_any(cli.get_string("in", "graph.txt"));
-  const int k = static_cast<int>(cli.get_int("k", 5));
-  CliqueOptions opts;
-  opts.algorithm = parse_algorithm(cli.get_string("alg", "c3list"));
-  opts.triangle_growth = cli.has_flag("triangle-growth");
-  if (cli.has_flag("no-prune")) opts.distance_pruning = false;
+int cmd_prepare(const CommandLine& cli) {
+  const std::string in = cli.get_string("in", "graph.txt");
+  const std::string out = cli.get_string("out", "graph.c3snap");
+  const Graph g = read_graph_any(in);
+  const CliqueOptions opts = options_from_cli(cli);
+  const PreparedGraph engine(g, opts);
   WallTimer timer;
-  const CliqueResult r = count_cliques(g, k, opts);
-  std::printf("%llu %d-cliques in %.3f s (%s; prep %.3f s, gamma %u)\n",
+  snapshot::write(out, engine);  // forces preparation, then serializes
+  const double total = timer.seconds();
+  const snapshot::SnapshotInfo info = snapshot::inspect(out);
+  std::printf("prepared %s with %s in %.3f s (prepare %.3f s, %d artifacts)\n", in.c_str(),
+              algorithm_name(opts.algorithm), total, engine.prepare_seconds(),
+              engine.artifacts_built());
+  Table t({"section", "offset", "bytes", "elements"});
+  for (const snapshot::SectionInfo& s : info.sections) {
+    t.add_row({s.name, std::to_string(s.offset), with_commas(s.bytes), with_commas(s.count)});
+  }
+  t.print();
+  std::printf("wrote %s: %s bytes, %u vertices, %llu edges\n", out.c_str(),
+              with_commas(info.file_bytes).c_str(), g.num_nodes(),
+              static_cast<unsigned long long>(g.num_edges()));
+  return 0;
+}
+
+int cmd_count(const CommandLine& cli) {
+  const EngineSource src = make_engine(cli);
+  const PreparedGraph& engine = src.engine();
+  const int k = static_cast<int>(cli.get_int("k", 5));
+  WallTimer timer;
+  const CliqueResult r = engine.count(k);
+  std::printf("%llu %d-cliques in %.3f s (%s%s; prep %.3f s, gamma %u)\n",
               static_cast<unsigned long long>(r.count), k, timer.seconds(),
-              algorithm_name(opts.algorithm), r.stats.preprocess_seconds, r.stats.gamma);
+              algorithm_name(engine.options().algorithm),
+              src.from_snapshot() ? ", snapshot" : "", r.stats.preprocess_seconds, r.stats.gamma);
   return 0;
 }
 
 int cmd_sweep(const CommandLine& cli) {
-  const Graph g = read_graph_any(cli.get_string("in", "graph.txt"));
+  const EngineSource src = make_engine(cli);
+  const PreparedGraph& engine = src.engine();
   const int kmin = static_cast<int>(cli.get_int("kmin", 3));
   const int kmax = static_cast<int>(cli.get_int("kmax", 0));
-  CliqueOptions opts;
-  opts.algorithm = parse_algorithm(cli.get_string("alg", "c3list"));
-  opts.triangle_growth = cli.has_flag("triangle-growth");
-  if (cli.has_flag("no-prune")) opts.distance_pruning = false;
 
-  // Prepare once; every query below reuses the artifacts (its stats report
-  // zero preprocess seconds).
-  const PreparedGraph engine(g, opts);
+  // Prepare once (a no-op for a snapshot-loaded engine); every query below
+  // reuses the artifacts (its stats report zero preprocess seconds).
   WallTimer prep_timer;
   engine.prepare();
   const int hi = kmax > 0 ? kmax : static_cast<int>(engine.clique_number_upper_bound());
-  std::printf("%s prepared in %.3f s (omega <= %d)\n", algorithm_name(opts.algorithm),
-              prep_timer.seconds(), static_cast<int>(engine.clique_number_upper_bound()));
+  std::printf("%s %s in %.3f s (omega <= %d)\n", algorithm_name(engine.options().algorithm),
+              src.from_snapshot() ? "snapshot-loaded" : "prepared",
+              src.from_snapshot() ? src.load_seconds : prep_timer.seconds(),
+              static_cast<int>(engine.clique_number_upper_bound()));
 
   Table t({"k", "#cliques", "search[s]"});
   for (int k = kmin; k <= hi; ++k) {
@@ -202,7 +283,8 @@ bool parse_query_line(const std::string& line, BatchQuery& out) {
 }
 
 int cmd_batch(const CommandLine& cli) {
-  const Graph g = read_graph_any(cli.get_string("in", "graph.txt"));
+  const EngineSource src = make_engine(cli);
+  const PreparedGraph& engine = src.engine();
   const std::string queries_path = cli.get_string("queries", "");
   if (queries_path.empty()) {
     std::fprintf(stderr, "c3tool batch: --queries FILE is required\n");
@@ -213,10 +295,6 @@ int cmd_batch(const CommandLine& cli) {
     std::fprintf(stderr, "c3tool batch: cannot read %s\n", queries_path.c_str());
     return 2;
   }
-  CliqueOptions opts;
-  opts.algorithm = parse_algorithm(cli.get_string("alg", "c3list"));
-
-  const PreparedGraph engine(g, opts);
   QueryBatch batch(engine);
   std::string line;
   while (std::getline(in, line)) {
@@ -271,15 +349,16 @@ int cmd_batch(const CommandLine& cli) {
                result, strfmt("%.3f", r.seconds)});
   }
   t.print();
-  std::printf("%zu queries in %.3f s wall (prepare %.3f s, %s)\n", results.size(), total, prep,
-              algorithm_name(opts.algorithm));
+  std::printf("%zu queries in %.3f s wall (prepare %.3f s, %s%s)\n", results.size(), total, prep,
+              algorithm_name(engine.options().algorithm),
+              src.from_snapshot() ? ", snapshot" : "");
   return 0;
 }
 
 int cmd_maxclique(const CommandLine& cli) {
-  const Graph g = read_graph_any(cli.get_string("in", "graph.txt"));
+  const EngineSource src = make_engine(cli);
   WallTimer timer;
-  const auto witness = find_max_clique(g);
+  const auto witness = src.engine().max_clique();
   std::printf("omega = %zu (%.3f s); witness:", witness.size(), timer.seconds());
   for (const node_t v : witness) std::printf(" %u", v);
   std::printf("\n");
@@ -297,16 +376,31 @@ int cmd_convert(const CommandLine& cli) {
 
 void usage() {
   std::puts(
-      "usage: c3tool <gen|stats|count|sweep|maxclique|batch|convert> [--flags]\n"
+      "usage: c3tool <gen|stats|prepare|count|sweep|maxclique|batch|convert> [--flags]\n"
       "  gen       --kind K --n N [--m M --seed S] --out FILE\n"
       "  stats     --in FILE\n"
+      "  prepare   --in FILE --out FILE.c3snap [--alg A]  (build artifacts offline,\n"
+      "            serialize graph + prepared engine into an mmap-able snapshot)\n"
       "  count     --in FILE --k K [--alg A] [--triangle-growth] [--no-prune]\n"
       "  sweep     --in FILE [--kmin 3] [--kmax 0] [--alg A]  (prepare once, all k)\n"
       "  maxclique --in FILE\n"
       "  batch     --in FILE --queries FILE [--alg A] [--concurrency N]\n"
       "            query file lines: count K | hasclique K | findclique K |\n"
       "            vertexcounts K | edgecounts K | spectrum [KMAX] | maxclique\n"
-      "  convert   --in FILE --out FILE");
+      "  convert   --in FILE --out FILE\n"
+      "\n"
+      "count/sweep/maxclique/batch also take --snapshot FILE.c3snap instead of\n"
+      "--in: the prepared engine is mmap-loaded (zero preparation at startup);\n"
+      "an explicit --alg must match the snapshot's fingerprint.\n"
+      "\n"
+      "graph formats, by extension (read unless noted):\n"
+      "  .txt (or anything else)  whitespace edge list; '#'/'%' comments;\n"
+      "                           symmetrized + deduplicated (read/write)\n"
+      "  .mtx                     MatrixMarket coordinate, pattern symmetrized\n"
+      "  .metis | .graph          METIS adjacency; weights skipped (read/write)\n"
+      "  .bin                     c3 binary edge list (read/write)\n"
+      "  .c3snap                  engine snapshot; reading takes the graph\n"
+      "                           section (write via `c3tool prepare`)");
 }
 
 }  // namespace
@@ -321,6 +415,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "gen") return cmd_gen(cli);
     if (command == "stats") return cmd_stats(cli);
+    if (command == "prepare") return cmd_prepare(cli);
     if (command == "count") return cmd_count(cli);
     if (command == "sweep") return cmd_sweep(cli);
     if (command == "maxclique") return cmd_maxclique(cli);

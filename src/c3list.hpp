@@ -12,6 +12,8 @@
 //                           concurrently from any number of threads)
 //   Batched queries         clique/batch.hpp (QueryBatch: schedule a mixed
 //                           query set across the worker pool)
+//   Snapshots               snapshot/snapshot.hpp (serialize a prepared
+//                           engine offline, mmap it back at serve time)
 //   Individual algorithms   clique/c3list.hpp, clique/c3list_cd.hpp,
 //                           clique/hybrid.hpp, clique/kclist.hpp,
 //                           clique/arbcount.hpp, clique/bruteforce.hpp
@@ -49,5 +51,6 @@
 #include "order/community_degeneracy.hpp"
 #include "order/degeneracy.hpp"
 #include "parallel/parallel.hpp"
+#include "snapshot/snapshot.hpp"
 #include "triangle/communities.hpp"
 #include "triangle/triangle_count.hpp"

@@ -68,6 +68,11 @@ struct PreparedGraph::Memo {
   std::optional<EdgeCommunities> comms;
   std::optional<EdgeOrderResult> edge_order;
   std::optional<node_t> exact_degeneracy;
+  // Published state of each optional above (set with release after the value
+  // is written): lets the snapshot writer's *_if_built accessors read the
+  // artifacts without taking the latch, racing safely with builders.
+  std::atomic<bool> dag_ready{false}, comms_ready{false}, edge_order_ready{false},
+      degeneracy_ready{false};
   std::atomic<double> prepare_seconds{0.0};
   std::atomic<int> artifacts_built{0};
   ScratchPool<QueryScratch> pool;
@@ -76,20 +81,52 @@ struct PreparedGraph::Memo {
   /// in one place: the builder's elapsed time lands in the engine-wide
   /// total, the artifact counter, and the building query's `prep`.
   template <typename Build>
-  void build_once(std::once_flag& flag, double& prep, Build&& build) {
+  void build_once(std::once_flag& flag, std::atomic<bool>& ready, double& prep, Build&& build) {
     std::call_once(flag, [&] {
       WallTimer timer;
       build();
       const double s = timer.seconds();
+      ready.store(true, std::memory_order_release);
       prepare_seconds.fetch_add(s, std::memory_order_relaxed);
       artifacts_built.fetch_add(1, std::memory_order_relaxed);
       prep += s;
+    });
+  }
+
+  /// Installs an already-built artifact (the snapshot loader's path): fires
+  /// the latch with a plain move — no build, no time — so later queries see
+  /// it as prepared. Counts toward artifacts_built like a lazy build would.
+  template <typename T, typename Opt>
+  void install(std::once_flag& flag, std::atomic<bool>& ready, Opt& slot, T&& value) {
+    std::call_once(flag, [&] {
+      slot.emplace(std::forward<T>(value));
+      ready.store(true, std::memory_order_release);
+      artifacts_built.fetch_add(1, std::memory_order_relaxed);
     });
   }
 };
 
 PreparedGraph::PreparedGraph(const Graph& g, const CliqueOptions& opts)
     : g_(&g), opts_(opts), memo_(std::make_unique<Memo>()) {}
+
+PreparedGraph::PreparedGraph(const Graph& g, const CliqueOptions& opts, PreparedArtifacts loaded)
+    : PreparedGraph(g, opts) {
+  if (loaded.dag.has_value()) {
+    memo_->install(memo_->dag_once, memo_->dag_ready, memo_->dag, *std::move(loaded.dag));
+  }
+  if (loaded.communities.has_value()) {
+    memo_->install(memo_->comms_once, memo_->comms_ready, memo_->comms,
+                   *std::move(loaded.communities));
+  }
+  if (loaded.edge_order.has_value()) {
+    memo_->install(memo_->edge_order_once, memo_->edge_order_ready, memo_->edge_order,
+                   *std::move(loaded.edge_order));
+  }
+  if (loaded.exact_degeneracy.has_value()) {
+    memo_->install(memo_->degeneracy_once, memo_->degeneracy_ready, memo_->exact_degeneracy,
+                   *loaded.exact_degeneracy);
+  }
+}
 
 PreparedGraph::PreparedGraph(PreparedGraph&&) noexcept = default;
 PreparedGraph& PreparedGraph::operator=(PreparedGraph&&) noexcept = default;
@@ -103,8 +140,25 @@ int PreparedGraph::artifacts_built() const noexcept {
   return memo_->artifacts_built.load(std::memory_order_relaxed);
 }
 
+const Digraph* PreparedGraph::dag_if_built() const noexcept {
+  return memo_->dag_ready.load(std::memory_order_acquire) ? &*memo_->dag : nullptr;
+}
+
+const EdgeCommunities* PreparedGraph::communities_if_built() const noexcept {
+  return memo_->comms_ready.load(std::memory_order_acquire) ? &*memo_->comms : nullptr;
+}
+
+const EdgeOrderResult* PreparedGraph::edge_order_if_built() const noexcept {
+  return memo_->edge_order_ready.load(std::memory_order_acquire) ? &*memo_->edge_order : nullptr;
+}
+
+std::optional<node_t> PreparedGraph::exact_degeneracy_if_built() const noexcept {
+  if (!memo_->degeneracy_ready.load(std::memory_order_acquire)) return std::nullopt;
+  return memo_->exact_degeneracy;
+}
+
 const Digraph& PreparedGraph::dag(double& prep) const {
-  memo_->build_once(memo_->dag_once, prep, [&] {
+  memo_->build_once(memo_->dag_once, memo_->dag_ready, prep, [&] {
     std::vector<node_t> order;
     switch (opts_.algorithm) {
       case Algorithm::ArbCount:
@@ -130,13 +184,13 @@ const Digraph& PreparedGraph::dag(double& prep) const {
 
 const EdgeCommunities& PreparedGraph::communities(double& prep) const {
   const Digraph& d = dag(prep);  // built (and attributed) first
-  memo_->build_once(memo_->comms_once, prep,
+  memo_->build_once(memo_->comms_once, memo_->comms_ready, prep,
                     [&] { memo_->comms.emplace(EdgeCommunities::build(d)); });
   return *memo_->comms;
 }
 
 const EdgeOrderResult& PreparedGraph::edge_order(double& prep) const {
-  memo_->build_once(memo_->edge_order_once, prep, [&] {
+  memo_->build_once(memo_->edge_order_once, memo_->edge_order_ready, prep, [&] {
     memo_->edge_order.emplace(opts_.edge_order == EdgeOrderKind::ExactCommunityDegeneracy
                                   ? community_degeneracy_order(*g_)
                                   : approx_community_degeneracy_order(*g_, opts_.eps));
@@ -145,7 +199,7 @@ const EdgeOrderResult& PreparedGraph::edge_order(double& prep) const {
 }
 
 node_t PreparedGraph::exact_degeneracy(double& prep) const {
-  memo_->build_once(memo_->degeneracy_once, prep,
+  memo_->build_once(memo_->degeneracy_once, memo_->degeneracy_ready, prep,
                     [&] { memo_->exact_degeneracy = degeneracy_order(*g_).degeneracy; });
   return *memo_->exact_degeneracy;
 }

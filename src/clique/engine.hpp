@@ -44,11 +44,33 @@
 
 namespace c3 {
 
+/// A bundle of already-built artifacts handed to a PreparedGraph at
+/// construction — the snapshot loader's path (snapshot/snapshot.hpp). Each
+/// present artifact is installed with its preparation latch already fired,
+/// so no query ever rebuilds it: artifacts_built() counts it immediately and
+/// stays stable, and prepare_seconds() stays 0. Artifacts may be backed by
+/// borrowed (mmap-backed) memory; whatever owns that memory must outlive the
+/// engine.
+struct PreparedArtifacts {
+  std::optional<Digraph> dag;
+  std::optional<EdgeCommunities> communities;
+  std::optional<EdgeOrderResult> edge_order;
+  std::optional<node_t> exact_degeneracy;
+};
+
 class PreparedGraph {
  public:
   /// Binds the engine to `g` (not copied — must outlive the engine) and
   /// fixes the algorithm and its options. No artifact is built yet.
   explicit PreparedGraph(const Graph& g, const CliqueOptions& opts = {});
+
+  /// Loaded-artifact construction: installs every artifact present in
+  /// `loaded` as already prepared. The engine never rebuilds an installed
+  /// artifact; artifacts missing from `loaded` are still built lazily on
+  /// first use. Shape invariants (the artifacts describe `g` under `opts`)
+  /// are the caller's responsibility — the snapshot loader validates them
+  /// before constructing.
+  PreparedGraph(const Graph& g, const CliqueOptions& opts, PreparedArtifacts loaded);
 
   PreparedGraph(PreparedGraph&&) noexcept;
   PreparedGraph& operator=(PreparedGraph&&) noexcept;
@@ -99,6 +121,15 @@ class PreparedGraph {
   /// matter how many queries race for it — the build-exactly-once guarantee
   /// the concurrency tests assert.
   [[nodiscard]] int artifacts_built() const noexcept;
+
+  // The built-artifact views the snapshot writer serializes. nullptr /
+  // nullopt when the artifact has not been built (or installed) yet. Safe to
+  // call concurrently with queries: an artifact becomes visible only after
+  // its build completes. Call prepare() first to force the algorithm's set.
+  [[nodiscard]] const Digraph* dag_if_built() const noexcept;
+  [[nodiscard]] const EdgeCommunities* communities_if_built() const noexcept;
+  [[nodiscard]] const EdgeOrderResult* edge_order_if_built() const noexcept;
+  [[nodiscard]] std::optional<node_t> exact_degeneracy_if_built() const noexcept;
 
   /// An upper bound on the clique number derived from the prepared
   /// artifacts: gamma + 2 (c3List), sigma + 2 (c3List-CD), max out-degree

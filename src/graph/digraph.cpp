@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <utility>
 
 #include "parallel/parallel.hpp"
 #include "parallel/reduce.hpp"
@@ -27,6 +28,19 @@ edge_t Digraph::arc_id(node_t u, node_t v) const noexcept {
   const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
   if (it == nbrs.end() || *it != v) return static_cast<edge_t>(-1);
   return out_offsets_[u] + static_cast<edge_t>(it - nbrs.begin());
+}
+
+Digraph Digraph::from_parts(ArrayStore<edge_t> out_offsets, ArrayStore<node_t> out_adj,
+                            ArrayStore<edge_t> in_offsets, ArrayStore<node_t> in_adj,
+                            ArrayStore<node_t> arc_src, ArrayStore<node_t> rank_to_orig) {
+  Digraph dag;
+  dag.out_offsets_ = std::move(out_offsets);
+  dag.out_adj_ = std::move(out_adj);
+  dag.in_offsets_ = std::move(in_offsets);
+  dag.in_adj_ = std::move(in_adj);
+  dag.arc_src_ = std::move(arc_src);
+  dag.rank_to_orig_ = std::move(rank_to_orig);
+  return dag;
 }
 
 Digraph Digraph::orient(const Graph& g, std::span<const node_t> order) {

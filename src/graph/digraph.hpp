@@ -15,6 +15,7 @@
 
 #include "graph/graph.hpp"
 #include "graph/types.hpp"
+#include "util/array_store.hpp"
 
 namespace c3 {
 
@@ -73,18 +74,31 @@ class Digraph {
 
   [[nodiscard]] std::span<const edge_t> raw_out_offsets() const noexcept { return out_offsets_; }
   [[nodiscard]] std::span<const node_t> raw_out_adjacency() const noexcept { return out_adj_; }
+  [[nodiscard]] std::span<const edge_t> raw_in_offsets() const noexcept { return in_offsets_; }
+  [[nodiscard]] std::span<const node_t> raw_in_adjacency() const noexcept { return in_adj_; }
+  [[nodiscard]] std::span<const node_t> raw_arc_sources() const noexcept { return arc_src_; }
 
   /// Orients `g` by a total order. `order[i]` is the vertex placed at rank i;
   /// it must be a permutation of all vertices.
   [[nodiscard]] static Digraph orient(const Graph& g, std::span<const node_t> order);
 
+  /// Assembles a Digraph from complete prebuilt arrays without recomputation
+  /// (the snapshot loader's path; arrays may be ArrayStore views over mapped
+  /// memory). Invariants are the caller's responsibility.
+  [[nodiscard]] static Digraph from_parts(ArrayStore<edge_t> out_offsets,
+                                          ArrayStore<node_t> out_adj,
+                                          ArrayStore<edge_t> in_offsets, ArrayStore<node_t> in_adj,
+                                          ArrayStore<node_t> arc_src,
+                                          ArrayStore<node_t> rank_to_orig);
+
  private:
-  std::vector<edge_t> out_offsets_;  // n+1
-  std::vector<node_t> out_adj_;      // m, per-vertex sorted, targets > source
-  std::vector<edge_t> in_offsets_;   // n+1
-  std::vector<node_t> in_adj_;       // m, per-vertex sorted, sources < target
-  std::vector<node_t> arc_src_;      // m, source of each arc id
-  std::vector<node_t> rank_to_orig_; // n, rank -> original vertex id
+  // ArrayStore so a snapshot-loaded Digraph can borrow mmap-backed sections.
+  ArrayStore<edge_t> out_offsets_;  // n+1
+  ArrayStore<node_t> out_adj_;      // m, per-vertex sorted, targets > source
+  ArrayStore<edge_t> in_offsets_;   // n+1
+  ArrayStore<node_t> in_adj_;       // m, per-vertex sorted, sources < target
+  ArrayStore<node_t> arc_src_;      // m, source of each arc id
+  ArrayStore<node_t> rank_to_orig_; // n, rank -> original vertex id
 };
 
 }  // namespace c3

@@ -1,6 +1,7 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "parallel/parallel.hpp"
 #include "parallel/reduce.hpp"
@@ -22,6 +23,16 @@ Graph::Graph(std::vector<edge_t> offsets, std::vector<node_t> adj, std::vector<e
       }
     }
   });
+}
+
+Graph Graph::from_parts(ArrayStore<edge_t> offsets, ArrayStore<node_t> adj,
+                        ArrayStore<edge_t> edge_ids, ArrayStore<Edge> endpoints) {
+  Graph g;
+  g.offsets_ = std::move(offsets);
+  g.adj_ = std::move(adj);
+  g.edge_ids_ = std::move(edge_ids);
+  g.endpoints_ = std::move(endpoints);
+  return g;
 }
 
 bool Graph::has_edge(node_t u, node_t v) const noexcept {

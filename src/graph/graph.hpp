@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/types.hpp"
+#include "util/array_store.hpp"
 
 namespace c3 {
 
@@ -26,6 +27,13 @@ class Graph {
   /// undirected edge id in [0, m). Invariants are the builder's
   /// responsibility; use GraphBuilder unless you are a generator.
   Graph(std::vector<edge_t> offsets, std::vector<node_t> adj, std::vector<edge_t> edge_ids);
+
+  /// Assembles a graph from complete prebuilt arrays — including the
+  /// endpoint table — without any recomputation. Used by the snapshot loader
+  /// to sit a Graph over borrowed (mmap-backed) sections; every array may be
+  /// an ArrayStore view. Invariants are the caller's responsibility.
+  [[nodiscard]] static Graph from_parts(ArrayStore<edge_t> offsets, ArrayStore<node_t> adj,
+                                        ArrayStore<edge_t> edge_ids, ArrayStore<Edge> endpoints);
 
   [[nodiscard]] node_t num_nodes() const noexcept {
     return offsets_.empty() ? 0 : static_cast<node_t>(offsets_.size() - 1);
@@ -60,15 +68,19 @@ class Graph {
 
   [[nodiscard]] node_t max_degree() const noexcept;
 
-  /// Raw CSR access for algorithms that stream the whole structure.
+  /// Raw CSR access for algorithms that stream the whole structure (and for
+  /// the snapshot writer, which serializes these arrays verbatim).
   [[nodiscard]] std::span<const edge_t> raw_offsets() const noexcept { return offsets_; }
   [[nodiscard]] std::span<const node_t> raw_adjacency() const noexcept { return adj_; }
+  [[nodiscard]] std::span<const edge_t> raw_edge_ids() const noexcept { return edge_ids_; }
 
  private:
-  std::vector<edge_t> offsets_;   // n+1
-  std::vector<node_t> adj_;       // 2m, per-vertex sorted
-  std::vector<edge_t> edge_ids_;  // 2m, undirected edge id per slot
-  std::vector<Edge> endpoints_;   // m, {u, v} with u < v
+  // ArrayStore so a snapshot-loaded Graph can borrow mmap-backed sections;
+  // built graphs own their arrays as before.
+  ArrayStore<edge_t> offsets_;   // n+1
+  ArrayStore<node_t> adj_;       // 2m, per-vertex sorted
+  ArrayStore<edge_t> edge_ids_;  // 2m, undirected edge id per slot
+  ArrayStore<Edge> endpoints_;   // m, {u, v} with u < v
 };
 
 }  // namespace c3

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "graph/builder.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace c3 {
 namespace {
@@ -79,21 +80,49 @@ void write_graph_binary(const std::filesystem::path& path, const Graph& g) {
 }
 
 Graph read_graph_binary(const std::filesystem::path& path) {
+  // Validate the file shape up front — magic, header, and the edge-section
+  // bounds implied by the header — so a truncated or corrupt file fails with
+  // the offending offset instead of a huge allocation or garbage graph.
+  constexpr std::uint64_t kHeaderBytes = sizeof(kMagic) + 2 * sizeof(std::uint64_t);
+  constexpr std::uint64_t kEdgeBytes = 2 * sizeof(node_t);
+  std::error_code ec;
+  const std::uint64_t actual = std::filesystem::file_size(path, ec);
+  if (ec) fail(path, "cannot stat");
   std::ifstream in(path, std::ios::binary);
   if (!in) fail(path, "cannot open for reading");
+  if (actual < kHeaderBytes) {
+    fail(path, "truncated header: file holds " + std::to_string(actual) +
+                   " bytes, the binary-graph header needs " + std::to_string(kHeaderBytes));
+  }
   std::array<char, 8> magic{};
   in.read(magic.data(), magic.size());
-  if (!in || magic != kMagic) fail(path, "bad magic (not a c3list binary graph)");
+  if (!in || magic != kMagic) fail(path, "bad magic at offset 0 (not a c3list binary graph)");
   std::uint64_t n = 0, m = 0;
   in.read(reinterpret_cast<char*>(&n), sizeof n);
   in.read(reinterpret_cast<char*>(&m), sizeof m);
-  if (!in || n > kInvalidNode) fail(path, "corrupt header");
-  EdgeList edges(m);
-  for (std::uint64_t i = 0; i < m; ++i) {
-    in.read(reinterpret_cast<char*>(&edges[i].u), sizeof edges[i].u);
-    in.read(reinterpret_cast<char*>(&edges[i].v), sizeof edges[i].v);
+  if (!in) fail(path, "truncated header at offset 8");
+  if (n > kInvalidNode) {
+    fail(path, "corrupt header at offset 8: vertex count " + std::to_string(n) +
+                   " exceeds the node id range");
   }
+  if ((actual - kHeaderBytes) % kEdgeBytes != 0 || m != (actual - kHeaderBytes) / kEdgeBytes) {
+    fail(path, "edge section out of bounds: header at offset 16 records " + std::to_string(m) +
+                   " edges (" + std::to_string(kHeaderBytes + m * kEdgeBytes) +
+                   " bytes total), file holds " + std::to_string(actual));
+  }
+  EdgeList edges(m);
+  static_assert(sizeof(Edge) == kEdgeBytes);
+  in.read(reinterpret_cast<char*>(edges.data()),
+          static_cast<std::streamsize>(m * sizeof(Edge)));
   if (!in) fail(path, "truncated edge data");
+  for (std::uint64_t i = 0; i < m; ++i) {
+    if (edges[i].u >= n || edges[i].v >= n) {
+      fail(path, "edge " + std::to_string(i) + " at offset " +
+                     std::to_string(kHeaderBytes + i * kEdgeBytes) + " references vertex " +
+                     std::to_string(edges[i].u >= n ? edges[i].u : edges[i].v) +
+                     " outside the header's vertex count " + std::to_string(n));
+    }
+  }
   return build_graph(edges, static_cast<node_t>(n));
 }
 
@@ -222,6 +251,11 @@ Graph read_graph_any(const std::filesystem::path& path) {
   if (ext == ".mtx") return read_graph_matrix_market(path);
   if (ext == ".metis" || ext == ".graph") return read_graph_metis(path);
   if (ext == ".bin") return read_graph_binary(path);
+  if (ext == ".c3snap") {
+    // A snapshot's graph is backed by the mapping; copying detaches it so
+    // the returned Graph owns its arrays after the mapping unwinds.
+    return snapshot::Snapshot::open(path).graph();
+  }
   return read_graph(path);
 }
 

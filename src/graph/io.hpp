@@ -43,7 +43,9 @@ void write_graph_metis(const std::filesystem::path& path, const Graph& g);
 [[nodiscard]] Graph read_graph_matrix_market(const std::filesystem::path& path);
 
 /// Dispatches on the file extension: .mtx -> MatrixMarket, .metis/.graph ->
-/// METIS, .bin -> binary, anything else -> edge list.
+/// METIS, .bin -> binary, .c3snap -> the graph section of a prepared-engine
+/// snapshot (snapshot/snapshot.hpp; deep-copied out of the mapping),
+/// anything else -> edge list.
 [[nodiscard]] Graph read_graph_any(const std::filesystem::path& path);
 
 }  // namespace c3

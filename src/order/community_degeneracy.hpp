@@ -29,14 +29,17 @@
 
 #include "graph/graph.hpp"
 #include "graph/types.hpp"
+#include "util/array_store.hpp"
 
 namespace c3 {
 
+// Array members are ArrayStore (vector-compatible when built in memory) so a
+// snapshot-loaded order can borrow mmap-backed sections.
 struct EdgeOrderResult {
   /// order[i] = edge id removed i-th.
-  std::vector<edge_t> order;
+  ArrayStore<edge_t> order;
   /// pos[e] = position of edge e in the order (inverse of `order`).
-  std::vector<edge_t> pos;
+  ArrayStore<edge_t> pos;
   /// Exact sigma for the greedy order; the (3+eps)-approximate bound
   /// max |V'(e)| for Algorithm 4.
   node_t sigma = 0;
@@ -45,8 +48,8 @@ struct EdgeOrderResult {
   /// CSR of candidate sets: candidate_members[candidate_offsets[e] ..
   /// candidate_offsets[e+1]) are the vertices of V'(e), sorted ascending.
   /// Total size equals the number of triangles in the graph.
-  std::vector<edge_t> candidate_offsets;
-  std::vector<node_t> candidate_members;
+  ArrayStore<edge_t> candidate_offsets;
+  ArrayStore<node_t> candidate_members;
 
   [[nodiscard]] std::span<const node_t> candidates(edge_t e) const noexcept {
     return {candidate_members.data() + candidate_offsets[e],

@@ -1,0 +1,45 @@
+// Read-only file mapping for the snapshot loader.
+//
+// On POSIX this is mmap(PROT_READ, MAP_PRIVATE): opening a multi-GB snapshot
+// is O(1) — pages fault in on first touch and are shared, clean, and
+// evictable across every process serving the same file. On platforms without
+// mmap the file is read into a heap buffer instead (correct, not O(1)); the
+// rest of the subsystem never sees the difference.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <memory>
+
+namespace c3::snapshot {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+
+  /// Maps `path` read-only. Throws std::runtime_error on any failure (the
+  /// message names the path and the failing operation).
+  [[nodiscard]] static MappedFile map_readonly(const std::filesystem::path& path);
+
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  [[nodiscard]] const std::byte* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// True when the contents are an actual mmap (false: heap fallback).
+  [[nodiscard]] bool is_mapped() const noexcept { return mapped_; }
+
+ private:
+  void reset() noexcept;
+
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;                    // owns an mmap region
+  std::unique_ptr<std::byte[]> heap_;      // owns the fallback buffer
+};
+
+}  // namespace c3::snapshot

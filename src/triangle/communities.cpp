@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <utility>
 
 #include "parallel/parallel.hpp"
 #include "parallel/reduce.hpp"
@@ -46,6 +47,14 @@ EdgeCommunities EdgeCommunities::build(const Digraph& dag) {
     std::sort(out.members_.begin() + static_cast<std::ptrdiff_t>(out.offsets_[e]),
               out.members_.begin() + static_cast<std::ptrdiff_t>(out.offsets_[e + 1]));
   });
+  return out;
+}
+
+EdgeCommunities EdgeCommunities::from_parts(ArrayStore<edge_t> offsets,
+                                            ArrayStore<node_t> members) {
+  EdgeCommunities out;
+  out.offsets_ = std::move(offsets);
+  out.members_ = std::move(members);
   return out;
 }
 

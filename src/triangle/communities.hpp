@@ -17,6 +17,7 @@
 
 #include "graph/digraph.hpp"
 #include "graph/types.hpp"
+#include "util/array_store.hpp"
 
 namespace c3 {
 
@@ -28,6 +29,11 @@ class EdgeCommunities {
   /// triangle enumeration plus O(T log gamma) for the per-community sorts;
   /// polylog depth.
   [[nodiscard]] static EdgeCommunities build(const Digraph& dag);
+
+  /// Assembles from prebuilt arrays without recomputation (the snapshot
+  /// loader's path; arrays may be ArrayStore views over mapped memory).
+  [[nodiscard]] static EdgeCommunities from_parts(ArrayStore<edge_t> offsets,
+                                                  ArrayStore<node_t> members);
 
   /// Community of arc e, sorted ascending; all members lie strictly between
   /// the arc's endpoints in rank order.
@@ -50,9 +56,14 @@ class EdgeCommunities {
   /// Largest community size (the paper's gamma).
   [[nodiscard]] node_t max_size() const noexcept;
 
+  /// Raw arrays for the snapshot writer.
+  [[nodiscard]] std::span<const edge_t> raw_offsets() const noexcept { return offsets_; }
+  [[nodiscard]] std::span<const node_t> raw_members() const noexcept { return members_; }
+
  private:
-  std::vector<edge_t> offsets_;   // m+1
-  std::vector<node_t> members_;   // T, per-arc sorted
+  // ArrayStore so snapshot-loaded communities can borrow mapped sections.
+  ArrayStore<edge_t> offsets_;   // m+1
+  ArrayStore<node_t> members_;   // T, per-arc sorted
 };
 
 }  // namespace c3

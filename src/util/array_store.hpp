@@ -1,0 +1,158 @@
+// Owned-or-borrowed flat array storage for the prepared artifacts.
+//
+// Every artifact the snapshot subsystem serializes (Graph CSR, oriented
+// Digraph, EdgeCommunities, EdgeOrderResult) is a bundle of flat
+// trivially-copyable arrays. An ArrayStore<T> holds one such array in one of
+// two modes:
+//
+//   owned    — backed by a std::vector<T>, built in memory as before. The
+//              default; every mutating vector-style operation works.
+//   borrowed — a read-only view over memory someone else owns (a mapped
+//              snapshot section). Created via ArrayStore::view; zero-copy.
+//
+// Read access (size/data/operator[]/iteration/span conversion) is identical
+// in both modes, so the artifact classes work unchanged over either. The
+// vector facade (push_back/resize/assign/...) is only legal in owned mode —
+// borrowed stores are immutable by contract (the mapping is PROT_READ), and
+// mutating one is a programming error caught by assert in debug builds.
+// Copying an ArrayStore always deep-copies into owned storage, so copying a
+// snapshot-backed artifact detaches it from the mapping.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace c3 {
+
+template <typename T>
+class ArrayStore {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ArrayStore is for flat, snapshot-serializable element types");
+
+ public:
+  using value_type = T;
+
+  ArrayStore() = default;
+
+  /// Takes ownership of `v` (the usual construction path for built artifacts).
+  ArrayStore(std::vector<T> v) : owned_(std::move(v)) { sync(); }  // NOLINT(google-explicit-constructor)
+
+  /// A borrowed, read-only view over memory owned elsewhere (a mapped
+  /// snapshot). The memory must outlive the store and everything built on it.
+  [[nodiscard]] static ArrayStore view(std::span<const T> s) {
+    ArrayStore a;
+    a.data_ = s.data();
+    a.size_ = s.size();
+    a.borrowed_ = true;
+    return a;
+  }
+
+  // Copies re-own: the new store is always `owned`, even when the source is
+  // a borrowed view (this is how read_graph_any detaches a snapshot graph).
+  ArrayStore(const ArrayStore& other) : owned_(other.begin(), other.end()) { sync(); }
+  ArrayStore& operator=(const ArrayStore& other) {
+    if (this != &other) {
+      owned_.assign(other.begin(), other.end());
+      borrowed_ = false;
+      sync();
+    }
+    return *this;
+  }
+
+  ArrayStore(ArrayStore&& other) noexcept { *this = std::move(other); }
+  ArrayStore& operator=(ArrayStore&& other) noexcept {
+    if (this != &other) {
+      owned_ = std::move(other.owned_);
+      borrowed_ = other.borrowed_;
+      if (borrowed_) {
+        data_ = other.data_;
+        size_ = other.size_;
+      } else {
+        sync();
+      }
+      other.owned_.clear();
+      other.borrowed_ = false;
+      other.sync();
+    }
+    return *this;
+  }
+
+  ~ArrayStore() = default;
+
+  // ------------------------------------------------------------ read access
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] const T* begin() const noexcept { return data_; }
+  [[nodiscard]] const T* end() const noexcept { return data_ + size_; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+  [[nodiscard]] const T& front() const noexcept { return data_[0]; }
+  [[nodiscard]] const T& back() const noexcept { return data_[size_ - 1]; }
+
+  operator std::span<const T>() const noexcept { return {data_, size_}; }  // NOLINT
+  [[nodiscard]] std::span<const T> span() const noexcept { return {data_, size_}; }
+
+  /// True for a borrowed view (snapshot-backed); false for owned storage.
+  [[nodiscard]] bool is_view() const noexcept { return borrowed_; }
+
+  // ------------------------------------------- vector facade (owned only)
+
+  [[nodiscard]] T* data() noexcept {
+    assert(!borrowed_ && "mutating a borrowed (snapshot-backed) ArrayStore");
+    return owned_.data();
+  }
+  [[nodiscard]] T* begin() noexcept { return data(); }
+  [[nodiscard]] T* end() noexcept { return data() + size_; }
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data()[i]; }
+
+  void push_back(const T& v) {
+    assert(!borrowed_);
+    owned_.push_back(v);
+    sync();
+  }
+  void reserve(std::size_t n) {
+    assert(!borrowed_);
+    owned_.reserve(n);
+    sync();
+  }
+  void resize(std::size_t n, const T& v = T()) {
+    assert(!borrowed_);
+    owned_.resize(n, v);
+    sync();
+  }
+  void assign(std::size_t n, const T& v) {
+    assert(!borrowed_);
+    owned_.assign(n, v);
+    sync();
+  }
+  template <typename It>
+  void assign(It first, It last) {
+    assert(!borrowed_);
+    owned_.assign(first, last);
+    sync();
+  }
+  void clear() noexcept {
+    assert(!borrowed_);
+    owned_.clear();
+    sync();
+  }
+
+ private:
+  void sync() noexcept {
+    data_ = owned_.data();
+    size_ = owned_.size();
+    borrowed_ = false;
+  }
+
+  std::vector<T> owned_;        // empty in borrowed mode
+  const T* data_ = nullptr;     // always the live contents
+  std::size_t size_ = 0;
+  bool borrowed_ = false;
+};
+
+}  // namespace c3

@@ -6,8 +6,10 @@
 #include <filesystem>
 #include <fstream>
 
+#include "clique/engine.hpp"
 #include "graph/builder.hpp"
 #include "graph/gen/generators.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace c3 {
 namespace {
@@ -83,6 +85,52 @@ TEST_F(IoTest, BinaryRejectsGarbage) {
   const auto path = dir_ / "junk.bin";
   std::ofstream(path, std::ios::binary) << "this is not a graph";
   EXPECT_THROW((void)read_graph_binary(path), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRejectsTruncatedEdgeSection) {
+  const Graph g = erdos_renyi(64, 256, 7);
+  const auto path = dir_ / "trunc.bin";
+  write_graph_binary(path, g);
+  // Chop mid-edge: the header's edge count no longer fits the file.
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 5);
+  try {
+    (void)read_graph_binary(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("out of bounds"), std::string::npos) << e.what();
+  }
+}
+
+TEST_F(IoTest, BinaryRejectsShortHeader) {
+  const auto path = dir_ / "short.bin";
+  std::ofstream(path, std::ios::binary) << "c3graph1\x02";  // magic + 1 byte
+  try {
+    (void)read_graph_binary(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated header"), std::string::npos) << e.what();
+  }
+}
+
+TEST_F(IoTest, BinaryRejectsEdgeEndpointBeyondVertexCount) {
+  // Hand-craft: magic, n=2, m=1, edge {5, 1} — 5 is outside [0, n).
+  const auto path = dir_ / "badvertex.bin";
+  std::ofstream out(path, std::ios::binary);
+  out.write("c3graph1", 8);
+  const std::uint64_t n = 2, m = 1;
+  out.write(reinterpret_cast<const char*>(&n), sizeof n);
+  out.write(reinterpret_cast<const char*>(&m), sizeof m);
+  const std::uint32_t u = 5, v = 1;
+  out.write(reinterpret_cast<const char*>(&u), sizeof u);
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+  out.close();
+  try {
+    (void)read_graph_binary(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("outside the header's vertex count"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST_F(IoTest, SymmetrizesDirectedInput) {
@@ -166,7 +214,9 @@ TEST_F(IoTest, ReadGraphAnyDispatchesOnExtension) {
   write_edge_list(dir_ / "a.txt", g);
   write_graph_binary(dir_ / "a.bin", g);
   write_graph_metis(dir_ / "a.metis", g);
-  for (const char* name : {"a.txt", "a.bin", "a.metis"}) {
+  const PreparedGraph engine(g, {});
+  snapshot::write(dir_ / "a.c3snap", engine);
+  for (const char* name : {"a.txt", "a.bin", "a.metis", "a.c3snap"}) {
     const Graph h = read_graph_any(dir_ / name);
     ASSERT_EQ(h.num_edges(), g.num_edges()) << name;
   }
