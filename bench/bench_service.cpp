@@ -1,0 +1,244 @@
+// Service-layer throughput bench — the perf baseline for the PR 5 typed
+// query surface. A two-graph CliqueService catalog (one graph in-memory, one
+// mmap-loaded from a snapshot, as a real serving process would host them)
+// answers the same mixed query set three ways:
+//
+//   sequential — every query one at a time through service.run(), the
+//                no-executor serving model;
+//   batch      — one QueryBatch::answers() per graph (cost-model scheduling,
+//                per-thread worker splits), graphs back to back;
+//   streaming  — one QueryStream per graph, every query submitted up front,
+//                both graphs draining concurrently — the long-lived server
+//                loop shape.
+//
+// Results are cross-checked query by query across the three modes (non-zero
+// exit on mismatch) and written to a machine-readable JSON report:
+//
+//   ./bench_service [--out BENCH_pr5.json] [--reps 3] [--executors 0 = auto]
+//
+// Schema: {"bench", "workers", "executors", "graphs": [{"name", n, m}],
+// "queries", "sequential_seconds", "batch_seconds", "streaming_seconds",
+// "batch_speedup", "streaming_speedup"}
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "c3list.hpp"
+#include "datasets.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace c3;
+
+/// The serving mix per graph: mostly small counts and probes over a few k,
+/// a bounded listing, a spectrum, and a max-clique.
+std::vector<Query> make_query_mix() {
+  std::vector<Query> queries;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (int k = 3; k <= 6; ++k) {
+      Query q;
+      q.kind = QueryKind::Count;
+      q.k = k;
+      queries.push_back(q);
+    }
+  }
+  for (int k = 3; k <= 6; ++k) {
+    Query q;
+    q.kind = QueryKind::HasClique;
+    q.k = k;
+    queries.push_back(q);
+  }
+  {
+    Query q;
+    q.kind = QueryKind::List;
+    q.k = 4;
+    q.opts.result_limit = 50;
+    queries.push_back(q);
+  }
+  {
+    Query q;
+    q.kind = QueryKind::Spectrum;
+    q.kmax = 6;
+    queries.push_back(q);
+  }
+  {
+    Query q;
+    q.kind = QueryKind::MaxClique;
+    q.opts.want_witness = false;
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+/// Mode-independent digest of an answer, for the cross-check. (List answers
+/// compare by size — a limit-cut listing may legitimately pick different
+/// witnesses per run.)
+std::string digest(const Answer& a) {
+  std::string d = query_kind_name(a.kind);
+  d += '/';
+  d += std::to_string(a.k);
+  d += ':';
+  d += std::to_string(a.count);
+  d += ',';
+  d += std::to_string(a.omega);
+  d += ',';
+  d += a.found ? '1' : '0';
+  d += ',';
+  d += std::to_string(a.cliques.size());
+  for (const count_t c : a.spectrum.counts) {
+    d += ' ';
+    d += std::to_string(c);
+  }
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CommandLine cli(argc, argv);
+  const int reps = static_cast<int>(cli.get_int("reps", 3));
+  const int executors = static_cast<int>(cli.get_int("executors", 0));
+  const std::string out_path = cli.get_string("out", "BENCH_pr5.json");
+
+  // The catalog: the first smoke graph served in-memory, the second from a
+  // snapshot prepared on the spot (mmap-loaded, zero preparation at serve
+  // time) — one of each source, as a serving process would mix them.
+  std::vector<bench::SmokeGraph> smoke = bench::smoke_graphs();
+  if (smoke.size() < 2) {
+    std::fprintf(stderr, "bench_service: needs at least two smoke graphs\n");
+    return 1;
+  }
+  // Pid-unique path: concurrent runs (CI jobs sharing a runner) must not
+  // overwrite or delete each other's snapshot mid-open.
+  const std::filesystem::path snap_path =
+      std::filesystem::temp_directory_path() /
+      ("bench_service_" + std::to_string(::getpid()) + ".c3snap");
+  {
+    CliqueOptions opts;
+    opts.algorithm = Algorithm::C3List;
+    const PreparedGraph offline(smoke[1].graph, opts);
+    snapshot::write(snap_path, offline);
+  }
+
+  CliqueOptions opts;
+  opts.algorithm = Algorithm::C3List;
+  CliqueService service;
+  service.add_graph(smoke[0].name, Graph(smoke[0].graph), opts);
+  service.add_snapshot(smoke[1].name, snap_path);
+  const std::vector<std::string> ids = {smoke[0].name, smoke[1].name};
+  for (const std::string& id : ids) service.prepare(id);
+
+  const std::vector<Query> queries = make_query_mix();
+  const std::size_t total_queries = queries.size() * ids.size();
+
+  double seq_best = 0.0, batch_best = 0.0, stream_best = 0.0;
+  std::map<std::string, std::vector<std::string>> digests;  // mode -> per-query digests
+  for (int rep = 0; rep < reps; ++rep) {
+    // Sequential: one query at a time, graph by graph.
+    {
+      std::vector<std::string> d;
+      WallTimer timer;
+      for (const std::string& id : ids) {
+        for (const Query& q : queries) d.push_back(digest(service.run(id, q)));
+      }
+      const double s = timer.seconds();
+      seq_best = rep == 0 ? s : std::min(seq_best, s);
+      digests["sequential"] = std::move(d);
+    }
+    // Batch: one QueryBatch per graph.
+    {
+      std::vector<std::string> d;
+      WallTimer timer;
+      for (const std::string& id : ids) {
+        QueryBatch batch(service.engine(id));
+        for (const Query& q : queries) (void)batch.add(q);
+        for (const Answer& a : batch.answers()) d.push_back(digest(a));
+      }
+      const double s = timer.seconds();
+      batch_best = rep == 0 ? s : std::min(batch_best, s);
+      digests["batch"] = std::move(d);
+    }
+    // Streaming: both graphs' streams loaded up front, drained concurrently.
+    {
+      std::vector<std::string> d;
+      WallTimer timer;
+      {
+        QueryStream a(service.engine(ids[0]), executors);
+        QueryStream b(service.engine(ids[1]), executors);
+        for (const Query& q : queries) (void)a.submit(q);
+        for (const Query& q : queries) (void)b.submit(q);
+        for (auto& [ticket, answer] : a.drain()) {
+          (void)ticket;
+          d.push_back(digest(answer));
+        }
+        for (auto& [ticket, answer] : b.drain()) {
+          (void)ticket;
+          d.push_back(digest(answer));
+        }
+      }
+      const double s = timer.seconds();
+      stream_best = rep == 0 ? s : std::min(stream_best, s);
+      digests["streaming"] = std::move(d);
+    }
+  }
+  std::filesystem::remove(snap_path);
+
+  // Cross-check: every mode answered every query identically.
+  bool mismatch = false;
+  for (const char* mode : {"batch", "streaming"}) {
+    const auto& got = digests[mode];
+    const auto& want = digests["sequential"];
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      if (got[i] != want[i]) {
+        std::printf("!! %s query %zu: '%s' != sequential '%s'\n", mode, i, got[i].c_str(),
+                    want[i].c_str());
+        mismatch = true;
+      }
+    }
+  }
+
+  const double batch_speedup = batch_best > 0.0 ? seq_best / batch_best : 0.0;
+  const double stream_speedup = stream_best > 0.0 ? seq_best / stream_best : 0.0;
+  Table t({"mode", "queries", "seconds", "speedup"});
+  t.add_row({"sequential", std::to_string(total_queries), strfmt("%.3f", seq_best), "1.00x"});
+  t.add_row({"batch", std::to_string(total_queries), strfmt("%.3f", batch_best),
+             strfmt("%.2fx", batch_speedup)});
+  t.add_row({"streaming", std::to_string(total_queries), strfmt("%.3f", stream_best),
+             strfmt("%.2fx", stream_speedup)});
+  t.print();
+
+  std::FILE* json = std::fopen(out_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "bench_service: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(json,
+               "{\"bench\": \"service\", \"workers\": %d, \"executors\": %d, \"graphs\": [",
+               num_workers(), executors);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const Graph& g = service.engine(ids[i]).graph();
+    std::fprintf(json, "%s{\"name\": \"%s\", \"n\": %u, \"m\": %llu}", i > 0 ? ", " : "",
+                 ids[i].c_str(), g.num_nodes(), static_cast<unsigned long long>(g.num_edges()));
+  }
+  std::fprintf(json,
+               "], \"queries\": %zu, \"sequential_seconds\": %.6f, \"batch_seconds\": %.6f, "
+               "\"streaming_seconds\": %.6f, \"batch_speedup\": %.4f, "
+               "\"streaming_speedup\": %.4f}\n",
+               total_queries, seq_best, batch_best, stream_best, batch_speedup, stream_speedup);
+  std::fclose(json);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (mismatch) {
+    std::fprintf(stderr, "bench_service: cross-check FAILED\n");
+    return 1;
+  }
+  return 0;
+}

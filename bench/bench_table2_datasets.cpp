@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   std::printf("# Table 2 — overview of the selected graphs (synthetic stand-ins)\n");
   std::printf("# Each row prints our generated graph; the paper's original values follow in\n");
   std::printf("# parentheses in the notes column. Matching axes: E/V, T/V, T/E, s (shape, not\n");
-  std::printf("# absolute size — stand-ins are ~50-500x smaller; see DESIGN.md Section 4).\n\n");
+  std::printf("# absolute size — stand-ins are ~50-500x smaller; see DESIGN.md Section 5).\n\n");
 
   const std::vector<c3::bench::Dataset> datasets = c3::bench::all_datasets(scale);
   c3::Table table({"Graph", "|V|", "|E|", "|T|", "s", "sigma", "E/V", "T/V", "T/E"});

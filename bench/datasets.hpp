@@ -1,4 +1,4 @@
-// Benchmark dataset stand-ins (DESIGN.md Section 4).
+// Benchmark dataset stand-ins (DESIGN.md Section 5).
 //
 // One factory per graph of the paper's Table 2, built from the library's
 // generators and calibrated on the structural axes the paper reports

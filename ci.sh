@@ -30,10 +30,10 @@ run_config() {
   local dir="build-ci-${name}"
   local label_args=()
   if [ "${name}" = "tsan" ]; then
-    # The race-sensitive surfaces: the concurrent engine/batch suites, the
-    # parallel substrate, and concurrent queries over snapshot-loaded
-    # engines.
-    label_args=(-L "clique|parallel|snapshot")
+    # The race-sensitive surfaces: the concurrent engine/batch/stream suites,
+    # the parallel substrate, concurrent queries over snapshot-loaded
+    # engines, and the multi-graph CliqueService.
+    label_args=(-L "clique|parallel|snapshot|service")
   fi
   echo "==== [${name}] configure ===="
   cmake -B "${dir}" -S . "$@"
@@ -70,6 +70,15 @@ run_config() {
       exit 1
     fi
     "${dir}/bench/bench_snapshot" --out BENCH_pr4.json
+    # Service smoke: the same query mix through the two-graph catalog
+    # (in-memory + snapshot) sequentially vs batch vs streaming, answers
+    # cross-checked mode by mode. Emits BENCH_pr5.json.
+    echo "==== [${name}] bench smoke (service) ===="
+    if [ ! -x "${dir}/bench/bench_service" ]; then
+      echo "bench_service not built (is C3_BUILD_BENCH off?)" >&2
+      exit 1
+    fi
+    "${dir}/bench/bench_service" --out BENCH_pr5.json
   fi
 }
 

@@ -4,17 +4,23 @@
 //   c3tool stats    --in g.txt
 //   c3tool prepare  --in g.txt --out g.c3snap [--alg A]   (build the engine's
 //                   artifacts offline and serialize them into a snapshot)
+//   c3tool inspect  --in g.c3snap   (header, options fingerprint, artifact
+//                   mask, section table — without loading any artifact)
 //   c3tool count    --in g.txt --k 7 [--alg c3list|cd|hybrid|kclist|arbcount]
 //   c3tool sweep    --in g.txt [--kmin 3 --kmax 0] [--alg A]   (prepare once,
 //                   query every k; kmax 0 = up to the clique number)
 //   c3tool maxclique --in g.txt
 //   c3tool batch    --in g.txt --queries q.txt [--alg A] [--concurrency N]
-//                   (prepare once, run a mixed query file through QueryBatch)
+//                   (prepare once, run a query file through QueryBatch; the
+//                   file holds one typed query per line — parse_query's
+//                   grammar, including per-query workers=/limit=/budget=)
 //   c3tool convert  --in g.txt --out g.metis
 //
 // count/sweep/maxclique/batch accept --snapshot g.c3snap in place of --in:
 // the engine is mmap-loaded from the snapshot (no preparation at startup);
-// --alg, if also given, must match the snapshot's fingerprint.
+// --alg, if also given, must match the snapshot's fingerprint. Snapshot
+// warm-up hints: --prefault (read the file ahead) and --mlock (pin it in
+// RAM, best-effort).
 //
 // Input format is chosen by extension (.txt/.mtx/.metis/.graph/.bin/
 // .c3snap); see graph/io.hpp. Generators: social, collab, topo, mesh,
@@ -24,7 +30,6 @@
 #include <fstream>
 #include <memory>
 #include <optional>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -102,18 +107,24 @@ CliqueOptions options_from_cli(const CommandLine& cli) {
 /// Opens a snapshot for serving. The artifact fingerprint comes from the
 /// file; an explicit --alg must agree with it, and the runtime-only flags
 /// (--triangle-growth / --no-prune) apply on top without re-preparing.
+/// --prefault / --mlock pass the warm-up hints through.
 snapshot::Snapshot open_snapshot(const CommandLine& cli, const std::string& path) {
+  snapshot::SnapshotOpenOptions open_opts;
+  open_opts.prefault = cli.has_flag("prefault");
+  open_opts.lock_memory = cli.has_flag("mlock");
   const auto alg = cli.get("alg");
   const bool triangle_growth = cli.has_flag("triangle-growth");
   const bool no_prune = cli.has_flag("no-prune");
   // The common invocation adopts the snapshot's stored options wholesale —
   // one open, one validation pass.
-  if (!alg.has_value() && !triangle_growth && !no_prune) return snapshot::Snapshot::open(path);
+  if (!alg.has_value() && !triangle_growth && !no_prune) {
+    return snapshot::Snapshot::open(path, open_opts);
+  }
   CliqueOptions expected = snapshot::inspect(path).options;
   if (alg.has_value()) expected.algorithm = parse_algorithm(*alg);
   if (triangle_growth) expected.triangle_growth = true;
   if (no_prune) expected.distance_pruning = false;
-  return snapshot::Snapshot::open(path, expected);
+  return snapshot::Snapshot::open(path, expected, open_opts);
 }
 
 /// The engine a serving command runs on: mmap-loaded from --snapshot
@@ -136,6 +147,10 @@ EngineSource make_engine(const CommandLine& cli) {
   WallTimer timer;
   if (const auto path = cli.get("snapshot")) {
     src.snap.emplace(open_snapshot(cli, *path));
+    if (cli.has_flag("mlock") && !src.snap->memory_locked()) {
+      std::fprintf(stderr,
+                   "c3tool: warning: mlock refused (RLIMIT_MEMLOCK?) — serving unpinned\n");
+    }
   } else {
     src.graph = std::make_unique<Graph>(read_graph_any(cli.get_string("in", "graph.txt")));
     src.local = std::make_unique<PreparedGraph>(*src.graph, options_from_cli(cli));
@@ -229,59 +244,6 @@ int cmd_sweep(const CommandLine& cli) {
   return 0;
 }
 
-/// Parses one query-file line into a BatchQuery. Grammar (one query per
-/// line; blank lines and everything from '#' to end of line are skipped):
-///   count K | hasclique K | findclique K | vertexcounts K | edgecounts K
-///   | spectrum [KMAX] | maxclique
-/// Malformed arguments and trailing garbage are hard errors (exit 2), not
-/// silently ignored — a typo must not degrade into a different (possibly
-/// far more expensive) query.
-bool parse_query_line(const std::string& line, BatchQuery& out) {
-  std::istringstream in(line.substr(0, line.find('#')));
-  std::string kind;
-  if (!(in >> kind)) return false;
-
-  const auto fail = [&line]() {
-    std::fprintf(stderr, "c3tool batch: cannot parse query line '%s'\n", line.c_str());
-    std::exit(2);
-  };
-  const auto end_of_line = [&in]() {
-    std::string tail;
-    return !(in >> tail);
-  };
-
-  int k = 0;
-  if (kind == "count" && (in >> k) && k > 0) {
-    out = {QueryKind::Count, k, 0};
-  } else if (kind == "hasclique" && (in >> k) && k > 0) {
-    out = {QueryKind::HasClique, k, 0};
-  } else if (kind == "findclique" && (in >> k) && k > 0) {
-    out = {QueryKind::FindClique, k, 0};
-  } else if (kind == "vertexcounts" && (in >> k) && k > 0) {
-    out = {QueryKind::PerVertexCounts, k, 0};
-  } else if (kind == "edgecounts" && (in >> k) && k > 0) {
-    out = {QueryKind::PerEdgeCounts, k, 0};
-  } else if (kind == "spectrum") {
-    int kmax = 0;
-    std::string arg;
-    if (in >> arg) {  // optional KMAX; if present it must be all digits
-      if (arg.find_first_not_of("0123456789") != std::string::npos) fail();
-      try {
-        kmax = std::stoi(arg);
-      } catch (const std::exception&) {
-        fail();  // out of int range
-      }
-    }
-    out = {QueryKind::Spectrum, 0, kmax};
-  } else if (kind == "maxclique") {
-    out = {QueryKind::MaxClique, 0, 0};
-  } else {
-    fail();
-  }
-  if (!end_of_line()) fail();
-  return true;
-}
-
 int cmd_batch(const CommandLine& cli) {
   const EngineSource src = make_engine(cli);
   const PreparedGraph& engine = src.engine();
@@ -295,11 +257,15 @@ int cmd_batch(const CommandLine& cli) {
     std::fprintf(stderr, "c3tool batch: cannot read %s\n", queries_path.c_str());
     return 2;
   }
+  // One grammar for files, tools, and servers: parse_query (query.hpp). A
+  // malformed line is a hard error naming the offending token — a typo must
+  // not degrade into a different (possibly far more expensive) query.
   QueryBatch batch(engine);
-  std::string line;
-  while (std::getline(in, line)) {
-    BatchQuery q;
-    if (parse_query_line(line, q)) (void)batch.add(q);
+  try {
+    for (Query& q : parse_query_file(in)) (void)batch.add(std::move(q));
+  } catch (const QueryParseError& e) {
+    std::fprintf(stderr, "c3tool batch: %s: %s\n", queries_path.c_str(), e.what());
+    return 2;
   }
   if (batch.size() == 0) {
     std::fprintf(stderr, "c3tool batch: %s holds no queries\n", queries_path.c_str());
@@ -310,48 +276,48 @@ int cmd_batch(const CommandLine& cli) {
   engine.prepare();
   const double prep = prep_timer.seconds();
   WallTimer batch_timer;
-  const std::vector<BatchResult> results =
-      batch.run(static_cast<int>(cli.get_int("concurrency", 0)));
+  const std::vector<Answer> answers =
+      batch.answers(static_cast<int>(cli.get_int("concurrency", 0)));
   const double total = batch_timer.seconds();
 
-  Table t({"#", "query", "k", "result", "time[s]"});
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const BatchResult& r = results[i];
-    std::string result;
-    switch (r.kind) {
-      case QueryKind::Count:
-        result = with_commas(r.count) + " cliques";
-        break;
-      case QueryKind::HasClique:
-        result = r.found ? "yes" : "no";
-        break;
-      case QueryKind::FindClique:
-        result = r.found ? strfmt("witness of %zu", r.witness.size()) : "none";
-        break;
-      case QueryKind::PerVertexCounts:
-      case QueryKind::PerEdgeCounts: {
-        count_t nonzero = 0;
-        for (const count_t c : r.per_counts) nonzero += c > 0 ? 1 : 0;
-        result = strfmt("%zu entries, %llu nonzero", r.per_counts.size(),
-                        static_cast<unsigned long long>(nonzero));
-        break;
-      }
-      case QueryKind::Spectrum:
-        result = strfmt("omega %u, %zu sizes", r.spectrum.omega, r.spectrum.counts.size());
-        break;
-      case QueryKind::MaxClique:
-        result = strfmt("omega %u", r.omega);
-        break;
-    }
-    t.add_row({std::to_string(i), query_kind_name(r.kind),
-               r.kind == QueryKind::Spectrum ? std::to_string(batch.queries()[i].kmax)
-                                             : std::to_string(r.k),
-               result, strfmt("%.3f", r.seconds)});
+  Table t({"#", "query", "answer", "time[s]"});
+  for (std::size_t i = 0; i < answers.size(); ++i) {
+    t.add_row({std::to_string(i), format_query(batch.queries()[i]),
+               format_answer(answers[i]), strfmt("%.3f", answers[i].seconds)});
   }
   t.print();
-  std::printf("%zu queries in %.3f s wall (prepare %.3f s, %s%s)\n", results.size(), total, prep,
+  std::printf("%zu queries in %.3f s wall (prepare %.3f s, %s%s)\n", answers.size(), total, prep,
               algorithm_name(engine.options().algorithm),
               src.from_snapshot() ? ", snapshot" : "");
+  return 0;
+}
+
+int cmd_inspect(const CommandLine& cli) {
+  const std::string in = cli.get_string("in", "graph.c3snap");
+  const snapshot::SnapshotInfo info = snapshot::inspect(in);
+  const CliqueOptions& o = info.options;
+  std::printf("%s: c3 snapshot v%u (artifact schema %u), %s bytes\n", in.c_str(),
+              info.format_version, info.artifact_schema, with_commas(info.file_bytes).c_str());
+  std::printf("graph: %s vertices, %s edges\n", with_commas(info.num_nodes).c_str(),
+              with_commas(info.num_edges).c_str());
+  std::printf("fingerprint: alg %s, vertex order %d, edge order %d, eps %g, seed %llu%s%s\n",
+              algorithm_name(o.algorithm), static_cast<int>(o.vertex_order),
+              static_cast<int>(o.edge_order), o.eps,
+              static_cast<unsigned long long>(o.order_seed),
+              o.distance_pruning ? "" : ", no-prune", o.triangle_growth ? ", triangle-growth" : "");
+  std::string artifacts;
+  if (info.has(snapshot::kArtifactDag)) artifacts += " dag";
+  if (info.has(snapshot::kArtifactCommunities)) artifacts += " communities";
+  if (info.has(snapshot::kArtifactEdgeOrder)) artifacts += " edge-order";
+  if (info.has(snapshot::kArtifactExactDegeneracy)) artifacts += " exact-degeneracy";
+  std::printf("artifacts (mask 0x%x):%s\n", info.artifact_mask,
+              artifacts.empty() ? " none" : artifacts.c_str());
+  Table t({"section", "offset", "bytes", "elements", "checksum"});
+  for (const snapshot::SectionInfo& s : info.sections) {
+    t.add_row({s.name, std::to_string(s.offset), with_commas(s.bytes), with_commas(s.count),
+               strfmt("0x%016llx", static_cast<unsigned long long>(s.checksum))});
+  }
+  t.print();
   return 0;
 }
 
@@ -376,22 +342,28 @@ int cmd_convert(const CommandLine& cli) {
 
 void usage() {
   std::puts(
-      "usage: c3tool <gen|stats|prepare|count|sweep|maxclique|batch|convert> [--flags]\n"
+      "usage: c3tool <gen|stats|prepare|inspect|count|sweep|maxclique|batch|convert> [--flags]\n"
       "  gen       --kind K --n N [--m M --seed S] --out FILE\n"
       "  stats     --in FILE\n"
       "  prepare   --in FILE --out FILE.c3snap [--alg A]  (build artifacts offline,\n"
       "            serialize graph + prepared engine into an mmap-able snapshot)\n"
+      "  inspect   --in FILE.c3snap  (header, fingerprint, artifact mask, sections\n"
+      "            — validates the header without loading any artifact)\n"
       "  count     --in FILE --k K [--alg A] [--triangle-growth] [--no-prune]\n"
       "  sweep     --in FILE [--kmin 3] [--kmax 0] [--alg A]  (prepare once, all k)\n"
       "  maxclique --in FILE\n"
       "  batch     --in FILE --queries FILE [--alg A] [--concurrency N]\n"
-      "            query file lines: count K | hasclique K | findclique K |\n"
-      "            vertexcounts K | edgecounts K | spectrum [KMAX] | maxclique\n"
+      "            query file lines: count K | list K | hasclique K | findclique K |\n"
+      "            vertexcounts K | edgecounts K | spectrum [KMAX] | maxclique,\n"
+      "            each optionally followed by workers=N limit=N budget=SECONDS\n"
+      "            witness=0|1 (per-query worker caps, result limits, deadlines)\n"
       "  convert   --in FILE --out FILE\n"
       "\n"
       "count/sweep/maxclique/batch also take --snapshot FILE.c3snap instead of\n"
       "--in: the prepared engine is mmap-loaded (zero preparation at startup);\n"
-      "an explicit --alg must match the snapshot's fingerprint.\n"
+      "an explicit --alg must match the snapshot's fingerprint. --prefault asks\n"
+      "the kernel to read the snapshot ahead; --mlock pins it in RAM\n"
+      "(best-effort).\n"
       "\n"
       "graph formats, by extension (read unless noted):\n"
       "  .txt (or anything else)  whitespace edge list; '#'/'%' comments;\n"
@@ -416,6 +388,7 @@ int main(int argc, char** argv) {
     if (command == "gen") return cmd_gen(cli);
     if (command == "stats") return cmd_stats(cli);
     if (command == "prepare") return cmd_prepare(cli);
+    if (command == "inspect") return cmd_inspect(cli);
     if (command == "count") return cmd_count(cli);
     if (command == "sweep") return cmd_sweep(cli);
     if (command == "maxclique") return cmd_maxclique(cli);

@@ -7,11 +7,18 @@
 //                           order/community_degeneracy.hpp
 //   Triangles/communities   triangle/triangle_count.hpp, triangle/communities.hpp
 //   Clique counting         clique/api.hpp (count_cliques / list_cliques)
+//   Typed queries           clique/query.hpp (Query/Answer: one sum type for
+//                           every question, with per-query worker caps,
+//                           budgets, and text round-tripping)
 //   Prepared queries        clique/engine.hpp (PreparedGraph: prepare once,
-//                           answer many count/list/spectrum/max queries,
-//                           concurrently from any number of threads)
+//                           run(Query) or the named wrappers, concurrently
+//                           from any number of threads)
 //   Batched queries         clique/batch.hpp (QueryBatch: schedule a mixed
-//                           query set across the worker pool)
+//                           query set; QueryStream: long-lived
+//                           submit/poll/drain loop)
+//   Graph catalog           clique/service.hpp (CliqueService: many named
+//                           graphs — in-memory or snapshot-backed — behind
+//                           one run(id, query) surface)
 //   Snapshots               snapshot/snapshot.hpp (serialize a prepared
 //                           engine offline, mmap it back at serve time)
 //   Individual algorithms   clique/c3list.hpp, clique/c3list_cd.hpp,
@@ -37,6 +44,8 @@
 #include "clique/kclist.hpp"
 #include "clique/max_clique.hpp"
 #include "clique/peeling.hpp"
+#include "clique/query.hpp"
+#include "clique/service.hpp"
 #include "clique/spectrum.hpp"
 #include "clique/vertex_counts.hpp"
 #include "graph/builder.hpp"

@@ -3,9 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
-#include <mutex>
-#include <thread>
-#include <utility>
+#include <stdexcept>
 
 #include "parallel/parallel.hpp"
 #include "util/timer.hpp"
@@ -13,92 +11,40 @@
 namespace c3 {
 namespace {
 
-/// Small queries go through the concurrent phase; everything that fans out
-/// internally (many k values, long witness searches, whole-graph tallies)
-/// keeps the full worker pool in the sequential phase.
-bool is_light(QueryKind kind) noexcept {
-  switch (kind) {
-    case QueryKind::Count:
-    case QueryKind::HasClique:
-    case QueryKind::FindClique:
-      return true;
-    case QueryKind::PerVertexCounts:
-    case QueryKind::PerEdgeCounts:
-    case QueryKind::Spectrum:
-    case QueryKind::MaxClique:
-      return false;
-  }
-  return false;
+/// Concurrent-phase admission bar: queries whose estimated work is at most
+/// this many elementary steps run on the executor threads; anything above
+/// keeps the full pool in the sequential phase. Scaled to the graph so "one
+/// parallel sweep's worth of work" is light on any input: ~16 steps per
+/// graph element.
+double heavy_threshold(const Graph& g) {
+  return 16.0 * (static_cast<double>(g.num_nodes()) + static_cast<double>(g.num_edges()) + 1.0);
 }
 
-/// Whether a query can touch the prepared artifacts. Trivial sizes (k <= 2
-/// everywhere, spectra clamped to kmax <= 2) are answered from the graph
-/// alone, so a batch of only those must not trigger preparation.
-bool needs_artifacts(const BatchQuery& q) noexcept {
-  switch (q.kind) {
-    case QueryKind::Count:
-    case QueryKind::HasClique:
-    case QueryKind::FindClique:
-    case QueryKind::PerVertexCounts:
-    case QueryKind::PerEdgeCounts:
-      return q.k > 2;
-    case QueryKind::Spectrum:
-      return q.kmax <= 0 || q.kmax > 2;
-    case QueryKind::MaxClique:
-      return true;
-  }
-  return true;
+/// Whether the scheduler must force the clique-number upper-bound artifact
+/// up front for `q` (spectrum and max-clique consult it; for some
+/// configurations it is an artifact prepare() alone does not build).
+bool needs_upper_bound(const Query& q) noexcept {
+  return (q.kind == QueryKind::Spectrum && query_needs_artifacts(q)) ||
+         q.kind == QueryKind::MaxClique;
 }
 
-BatchResult execute_one(const PreparedGraph& engine, const BatchQuery& q) {
-  BatchResult out;
-  out.kind = q.kind;
-  out.k = q.k;
-  WallTimer timer;
-  switch (q.kind) {
-    case QueryKind::Count: {
-      const CliqueResult r = engine.count(q.k);
-      out.count = r.count;
-      out.stats = r.stats;
-      break;
-    }
-    case QueryKind::HasClique:
-      out.found = engine.has_clique(q.k);
-      break;
-    case QueryKind::FindClique: {
-      auto witness = engine.find_clique(q.k);
-      out.found = witness.has_value();
-      if (witness.has_value()) out.witness = std::move(*witness);
-      break;
-    }
-    case QueryKind::PerVertexCounts:
-      out.per_counts = engine.per_vertex_counts(q.k);
-      break;
-    case QueryKind::PerEdgeCounts:
-      out.per_counts = engine.per_edge_counts(q.k);
-      break;
-    case QueryKind::Spectrum:
-      out.spectrum = engine.spectrum(q.kmax);
-      out.omega = out.spectrum.omega;
-      break;
-    case QueryKind::MaxClique:
-      out.witness = engine.max_clique();
-      out.omega = static_cast<node_t>(out.witness.size());
-      out.found = !out.witness.empty();
-      break;
-  }
-  out.seconds = timer.seconds();
-  return out;
-}
-
-/// The executor fan-out of QueryBatch::run's concurrent phase: `threads`
-/// std::threads pull light-query indices off a shared cursor with the
-/// worker cap split between them. The caller holds the process-wide cap
-/// mutex; the cap is restored on every exit path.
-void run_light_concurrent(const PreparedGraph& engine, const std::vector<BatchQuery>& queries,
+/// The executor fan-out of QueryBatch::answers' concurrent phase: `threads`
+/// std::threads pull light-query indices off a shared cursor. Each executor
+/// caps its own parallel loops to pool/threads with a thread-local
+/// WorkerCapScope — the process-global worker cap is never written, so
+/// racing batches (or external set_num_workers callers) observe nothing.
+void run_light_concurrent(const PreparedGraph& engine, const std::vector<Query>& queries,
                           const std::vector<std::size_t>& light, std::size_t threads, int pool,
-                          std::vector<BatchResult>& results) {
-  const int old_cap = set_num_workers(std::max(1, pool / static_cast<int>(threads)));
+                          std::vector<Answer>& results) {
+  // Admission throttle: concurrent phases of different batches serialize —
+  // each sizes its executor fan-out as if it owned the whole pool, so two
+  // phases at once would oversubscribe the machine N-fold. (The *cap* no
+  // longer needs this lock — per-thread WorkerCapScopes cannot race — this
+  // is purely the throughput discipline the old global-split code provided
+  // as a side effect.)
+  static std::mutex phase_mutex;
+  const std::lock_guard<std::mutex> phase_lock(phase_mutex);
+  const int split = std::max(1, pool / static_cast<int>(threads));
   std::atomic<std::size_t> cursor{0};
   std::exception_ptr first_error;
   std::mutex error_guard;
@@ -107,12 +53,13 @@ void run_light_concurrent(const PreparedGraph& engine, const std::vector<BatchQu
   try {
     for (std::size_t t = 0; t < threads; ++t) {
       executors.emplace_back([&] {
+        const WorkerCapScope cap(split);
         for (;;) {
           const std::size_t slot = cursor.fetch_add(1, std::memory_order_relaxed);
           if (slot >= light.size()) return;
           const std::size_t i = light[slot];
           try {
-            results[i] = execute_one(engine, queries[i]);
+            results[i] = engine.run(queries[i]);
           } catch (...) {
             const std::lock_guard<std::mutex> lock(error_guard);
             if (first_error == nullptr) first_error = std::current_exception();
@@ -121,84 +68,100 @@ void run_light_concurrent(const PreparedGraph& engine, const std::vector<BatchQu
       });
     }
   } catch (...) {
-    // Thread spawn failed (e.g. EAGAIN): stop handing out work, join the
-    // executors that did start, and restore the cap — the failure
-    // surfaces as a catchable exception instead of std::terminate.
+    // Thread spawn failed (e.g. EAGAIN): stop handing out work and join the
+    // executors that did start — the failure surfaces as a catchable
+    // exception instead of std::terminate.
     cursor.store(light.size(), std::memory_order_relaxed);
     for (std::thread& th : executors) th.join();
-    set_num_workers(old_cap);
     throw;
   }
   for (std::thread& th : executors) th.join();
-  set_num_workers(old_cap);
   if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
 }  // namespace
 
-int QueryBatch::add(const BatchQuery& query) {
-  queries_.push_back(query);
+BatchResult to_batch_result(Answer answer) {
+  BatchResult r;
+  r.kind = answer.kind;
+  r.k = answer.k;
+  r.count = answer.count;
+  r.found = answer.found;
+  r.witness = std::move(answer.witness);
+  r.cliques = std::move(answer.cliques);
+  r.per_counts = std::move(answer.per_counts);
+  r.spectrum = std::move(answer.spectrum);
+  r.omega = answer.omega;
+  r.stats = answer.stats;
+  r.seconds = answer.seconds;
+  return r;
+}
+
+int QueryBatch::add(Query query) {
+  queries_.push_back(std::move(query));
   return static_cast<int>(queries_.size()) - 1;
 }
 
-std::vector<BatchResult> QueryBatch::run(int concurrency) const {
+std::vector<Answer> QueryBatch::answers(int concurrency) const {
   const PreparedGraph& engine = *engine_;
-  std::vector<BatchResult> results(queries_.size());
+  std::vector<Answer> results(queries_.size());
   if (queries_.empty()) return results;
 
   // Force the artifacts before any executor thread starts — but only if
   // some query can use them — so per-query seconds measure search only and
-  // no thread stalls on the prepare latch. Spectrum and max-clique queries
-  // additionally consult the clique-number upper bound, which for some
-  // configurations (BruteForce: the exact degeneracy) is an artifact
-  // prepare() alone does not build — force it too whenever such a query is
-  // in the batch.
+  // no thread stalls on the prepare latch. The clique-number upper bound is
+  // an extra artifact for some configurations; force it too whenever a query
+  // consults it.
   bool any_artifacts = false;
   bool any_upper_bound = false;
-  for (const BatchQuery& q : queries_) {
-    any_artifacts = any_artifacts || needs_artifacts(q);
-    any_upper_bound = any_upper_bound || ((q.kind == QueryKind::Spectrum && needs_artifacts(q)) ||
-                                          q.kind == QueryKind::MaxClique);
+  for (const Query& q : queries_) {
+    any_artifacts = any_artifacts || query_needs_artifacts(q);
+    any_upper_bound = any_upper_bound || needs_upper_bound(q);
   }
   if (any_artifacts) engine.prepare();
   if (any_upper_bound) (void)engine.clique_number_upper_bound();
 
+  // Estimated after preparation, so the cost model sees the real artifacts
+  // (community sizes, DAG out-degrees) instead of graph-shape proxies.
+  const double bar = heavy_threshold(engine.graph());
+  std::vector<double> cost(queries_.size());
   std::vector<std::size_t> light, heavy;
   for (std::size_t i = 0; i < queries_.size(); ++i) {
-    (is_light(queries_[i].kind) ? light : heavy).push_back(i);
+    cost[i] = estimate_query_cost(engine, queries_[i]);
+    (cost[i] <= bar ? light : heavy).push_back(i);
   }
 
   bool light_done = false;
   if (concurrency != 1 && light.size() > 1) {
-    // Concurrent phase: split the worker cap so `threads` simultaneous
-    // queries together use about one pool's worth of workers, then hand
-    // each executor thread queries off a shared cursor. The cap is process
-    // global, so the save/split/restore must not interleave with another
-    // batch's — concurrent phases of different batches serialize on one
-    // process-wide mutex (each wants the whole machine anyway), and the
-    // pool is read only under it so one batch's temporary split can never
-    // leak into another's sizing. Other engines in the process see the
-    // reduced value for the duration of this phase — the price of keeping
-    // the loop substrate configuration-free; restored before the heavy
-    // phase. A 1-worker pool falls through to the shared serial path.
-    static std::mutex cap_mutex;
-    std::unique_lock<std::mutex> cap_lock(cap_mutex);
     const int pool = num_workers();
     const int want = concurrency > 0 ? concurrency : pool;
-    const auto threads = static_cast<std::size_t>(
-        std::clamp(want, 1, static_cast<int>(light.size())));
+    const auto threads =
+        static_cast<std::size_t>(std::clamp(want, 1, static_cast<int>(light.size())));
     if (threads > 1) {
+      // Longest-estimated-first, so the final executor is not left holding
+      // the slowest light query while the others idle (ties keep submission
+      // order; results land at their submission index regardless).
+      std::stable_sort(light.begin(), light.end(),
+                       [&](std::size_t a, std::size_t b) { return cost[a] > cost[b]; });
       run_light_concurrent(engine, queries_, light, threads, pool, results);
       light_done = true;
     }
   }
   if (!light_done) {
-    for (const std::size_t i : light) results[i] = execute_one(engine, queries_[i]);
+    for (const std::size_t i : light) results[i] = engine.run(queries_[i]);
   }
 
   // Sequential phase: heavy queries keep the full pool for their internal
-  // parallelism.
-  for (const std::size_t i : heavy) results[i] = execute_one(engine, queries_[i]);
+  // parallelism (a per-query max_workers still caps inside run()).
+  for (const std::size_t i : heavy) results[i] = engine.run(queries_[i]);
+  return results;
+}
+
+std::vector<BatchResult> QueryBatch::run(int concurrency) const {
+  std::vector<Answer> typed = answers(concurrency);
+  std::vector<BatchResult> results;
+  results.reserve(typed.size());
+  for (Answer& a : typed) results.push_back(to_batch_result(std::move(a)));
   return results;
 }
 
@@ -210,24 +173,129 @@ std::vector<BatchResult> run_query_batch(const PreparedGraph& engine,
   return batch.run(concurrency);
 }
 
-const char* query_kind_name(QueryKind kind) noexcept {
-  switch (kind) {
-    case QueryKind::Count:
-      return "count";
-    case QueryKind::HasClique:
-      return "hasclique";
-    case QueryKind::FindClique:
-      return "findclique";
-    case QueryKind::PerVertexCounts:
-      return "vertexcounts";
-    case QueryKind::PerEdgeCounts:
-      return "edgecounts";
-    case QueryKind::Spectrum:
-      return "spectrum";
-    case QueryKind::MaxClique:
-      return "maxclique";
+// ---------------------------------------------------------------- streaming
+
+QueryStream::QueryStream(const PreparedGraph& engine, int executors) : engine_(&engine) {
+  heavy_threshold_ = heavy_threshold(engine.graph());
+  const int pool = num_workers();
+  const int count = executors > 0 ? executors : std::clamp(pool, 1, 8);
+  const int split = std::max(1, pool / count);
+  executors_.reserve(static_cast<std::size_t>(count));
+  try {
+    for (int t = 0; t < count; ++t) {
+      executors_.emplace_back([this, split] { executor_loop(split); });
+    }
+  } catch (...) {
+    close();  // join whatever started, then surface the spawn failure
+    throw;
   }
-  return "?";
+}
+
+QueryStream::~QueryStream() { close(); }
+
+std::uint64_t QueryStream::submit(Query query) {
+  std::uint64_t ticket = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (closing_) throw std::logic_error("QueryStream: submit after close()");
+    ticket = next_ticket_++;
+    queue_.emplace_back(ticket, std::move(query));
+  }
+  work_ready_.notify_one();
+  return ticket;
+}
+
+std::optional<std::pair<std::uint64_t, Answer>> QueryStream::poll() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (completed_.empty()) return std::nullopt;
+  const auto it =
+      std::min_element(completed_.begin(), completed_.end(),
+                       [](const Completed& a, const Completed& b) { return a.ticket < b.ticket; });
+  Completed done = std::move(*it);
+  completed_.erase(it);
+  if (done.error != nullptr) std::rethrow_exception(done.error);
+  return std::make_pair(done.ticket, std::move(done.answer));
+}
+
+std::vector<std::pair<std::uint64_t, Answer>> QueryStream::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+  std::sort(completed_.begin(), completed_.end(),
+            [](const Completed& a, const Completed& b) { return a.ticket < b.ticket; });
+  for (std::size_t i = 0; i < completed_.size(); ++i) {
+    if (completed_[i].error != nullptr) {
+      // Rethrow the first failure (by ticket); every other completed answer
+      // stays pollable after the caller catches.
+      const std::exception_ptr error = completed_[i].error;
+      completed_.erase(completed_.begin() + static_cast<std::ptrdiff_t>(i));
+      std::rethrow_exception(error);
+    }
+  }
+  std::vector<std::pair<std::uint64_t, Answer>> out;
+  out.reserve(completed_.size());
+  for (Completed& done : completed_) out.emplace_back(done.ticket, std::move(done.answer));
+  completed_.clear();
+  return out;
+}
+
+std::size_t QueryStream::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() + in_flight_;
+}
+
+void QueryStream::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closing_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& th : executors_) th.join();
+  executors_.clear();
+}
+
+void QueryStream::executor_loop(int split_cap) {
+  for (;;) {
+    std::pair<std::uint64_t, Query> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] { return closing_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // closing and nothing left to do
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+
+    Completed done;
+    done.ticket = job.first;
+    try {
+      // Force shared artifacts with the *full* pool before capping this
+      // thread — the engine's latch makes this build-exactly-once, so at
+      // most one streamed query ever pays preparation (and none report it:
+      // prepare() absorbs the cost).
+      if (query_needs_artifacts(job.second)) engine_->prepare();
+      if (needs_upper_bound(job.second)) (void)engine_->clique_number_upper_bound();
+
+      if (estimate_query_cost(*engine_, job.second) > heavy_threshold_) {
+        // Heavy queries serialize on one slot and keep the full pool, like
+        // QueryBatch's sequential phase; light queries keep flowing on the
+        // other executors meanwhile.
+        const std::lock_guard<std::mutex> heavy_lock(heavy_slot_);
+        done.answer = engine_->run(job.second);
+      } else {
+        const WorkerCapScope cap(split_cap);
+        done.answer = engine_->run(job.second);
+      }
+    } catch (...) {
+      done.error = std::current_exception();
+    }
+
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      completed_.push_back(std::move(done));
+      --in_flight_;
+    }
+    all_done_.notify_all();
+  }
 }
 
 }  // namespace c3

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include "clique/arbcount.hpp"
 #include "clique/bruteforce.hpp"
@@ -75,6 +78,11 @@ struct PreparedGraph::Memo {
       degeneracy_ready{false};
   std::atomic<double> prepare_seconds{0.0};
   std::atomic<int> artifacts_built{0};
+  // Cached cost_bound(): value, keyed by the artifacts_built count it was
+  // computed under (-1 = never computed). Racing recomputes are benign —
+  // every thread derives the same value for the same artifact state.
+  std::atomic<double> cost_bound_value{0.0};
+  std::atomic<int> cost_bound_key{-1};
   ScratchPool<QueryScratch> pool;
 
   /// Runs `build` at most once behind `flag`, with the accounting contract
@@ -250,6 +258,23 @@ node_t PreparedGraph::clique_number_upper_bound() const {
   return upper_bound(prep);
 }
 
+double PreparedGraph::cost_bound() const noexcept {
+  const int built = memo_->artifacts_built.load(std::memory_order_acquire);
+  if (memo_->cost_bound_key.load(std::memory_order_acquire) == built) {
+    return memo_->cost_bound_value.load(std::memory_order_relaxed);
+  }
+  double bound = std::sqrt(std::max(0.0, 2.0 * static_cast<double>(g_->num_edges())));
+  if (const Digraph* d = dag_if_built()) bound = static_cast<double>(d->max_out_degree());
+  if (const EdgeCommunities* c = communities_if_built()) {
+    bound = static_cast<double>(c->max_size());
+  }
+  // Value before key, so a reader that matches the key sees this value (or
+  // a concurrent equal one).
+  memo_->cost_bound_value.store(bound, std::memory_order_relaxed);
+  memo_->cost_bound_key.store(built, std::memory_order_release);
+  return bound;
+}
+
 CliqueResult PreparedGraph::dispatch(int k, const CliqueCallback* callback, double& prep) const {
   switch (opts_.algorithm) {
     case Algorithm::C3List: {
@@ -291,7 +316,7 @@ CliqueResult PreparedGraph::dispatch(int k, const CliqueCallback* callback, doub
   throw std::invalid_argument("PreparedGraph: unknown algorithm");
 }
 
-CliqueResult PreparedGraph::run(int k, const CliqueCallback* callback) const {
+CliqueResult PreparedGraph::execute(int k, const CliqueCallback* callback) const {
   double prep = 0.0;
   CliqueResult result;
   if (!trivial_k(*g_, k, callback, result)) result = dispatch(k, callback, prep);
@@ -301,104 +326,369 @@ CliqueResult PreparedGraph::run(int k, const CliqueCallback* callback) const {
   return result;
 }
 
-CliqueResult PreparedGraph::count(int k) const { return run(k, nullptr); }
+/// Budget / cancel-token polling for one run(). expired() is called from
+/// listing callbacks (any worker — everything it touches is atomic or
+/// read-only) and between a Spectrum's k values / a MaxClique's probes; once
+/// it observes expiry the `tripped` latch stays set so the answer can be
+/// marked truncated. Inactive control (no budget, no token) costs one branch
+/// per poll.
+struct PreparedGraph::QueryControl {
+  const std::atomic<bool>* cancel = nullptr;
+  double budget = 0.0;
+  WallTimer timer;  // started when run() starts
+  std::atomic<bool> tripped{false};
 
-CliqueResult PreparedGraph::list(int k, const CliqueCallback& callback) const {
-  return run(k, &callback);
-}
+  [[nodiscard]] bool active() const noexcept { return cancel != nullptr || budget > 0.0; }
 
-CliqueSpectrum PreparedGraph::spectrum(int kmax) const {
-  CliqueSpectrum out;
-  out.counts.assign(2, 0);
-  if (g_->num_nodes() == 0) return out;
-  out.counts[1] = g_->num_nodes();
-  out.omega = 1;
-  // kmax clamps the trivial sizes too ("every k = 1..min(kmax, omega)").
-  if (g_->num_edges() == 0 || kmax == 1) return out;
-  out.counts.push_back(g_->num_edges());
-  out.omega = 2;
-  // The k >= 3 loop below could never run; don't build artifacts for it.
-  if (kmax == 2) return out;
-
-  double prep = 0.0;
-  const auto ub = static_cast<int>(upper_bound(prep));
-  const int limit = kmax > 0 ? std::min(kmax, ub) : ub;
-  for (int k = 3; k <= limit; ++k) {
-    const CliqueResult r = dispatch(k, nullptr, prep);
-    out.search_seconds += r.stats.search_seconds;
-    if (r.count == 0) break;
-    out.counts.push_back(r.count);
-    out.omega = static_cast<node_t>(k);
-  }
-  out.preprocess_seconds = prep;
-  return out;
-}
-
-std::vector<count_t> PreparedGraph::per_vertex_counts(int k) const {
-  std::vector<std::atomic<count_t>> acc(g_->num_nodes());
-  const CliqueCallback tally = [&](std::span<const node_t> clique) {
-    for (const node_t v : clique) acc[v].fetch_add(1, std::memory_order_relaxed);
-    return true;
-  };
-  (void)list(k, tally);
-  std::vector<count_t> out(g_->num_nodes());
-  for (node_t v = 0; v < g_->num_nodes(); ++v) out[v] = acc[v].load(std::memory_order_relaxed);
-  return out;
-}
-
-std::vector<count_t> PreparedGraph::per_edge_counts(int k) const {
-  std::vector<std::atomic<count_t>> acc(g_->num_edges());
-  const CliqueCallback tally = [&](std::span<const node_t> clique) {
-    for (std::size_t i = 0; i < clique.size(); ++i) {
-      for (std::size_t j = i + 1; j < clique.size(); ++j) {
-        const edge_t e = g_->edge_id(clique[i], clique[j]);
-        acc[e].fetch_add(1, std::memory_order_relaxed);
+  /// Emission-frequency poll: the cancel token is checked every call (one
+  /// relaxed load), the budget clock only every 256th call per thread — so
+  /// counting through the listing path costs ~an atomic load per clique,
+  /// not a clock read.
+  [[nodiscard]] bool expired() noexcept {
+    if (!active()) return false;
+    if (tripped.load(std::memory_order_relaxed)) return true;
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      tripped.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    if (budget > 0.0) {
+      thread_local unsigned stride = 0;
+      if ((++stride & 0xFFu) == 0 && timer.seconds() > budget) {
+        tripped.store(true, std::memory_order_relaxed);
+        return true;
       }
     }
-    return true;
-  };
-  (void)list(k, tally);
-  std::vector<count_t> out(g_->num_edges());
-  for (edge_t e = 0; e < g_->num_edges(); ++e) out[e] = acc[e].load(std::memory_order_relaxed);
-  return out;
+    return false;
+  }
+
+  /// Boundary poll (between a spectrum's k values, a max-clique's probes):
+  /// always reads the clock, so coarse-grained budget checks fire promptly.
+  [[nodiscard]] bool expired_now() noexcept {
+    if (!active()) return false;
+    if (tripped.load(std::memory_order_relaxed)) return true;
+    if ((cancel != nullptr && cancel->load(std::memory_order_relaxed)) ||
+        (budget > 0.0 && timer.seconds() > budget)) {
+      tripped.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool was_tripped() const noexcept {
+    return tripped.load(std::memory_order_relaxed);
+  }
+};
+
+Answer PreparedGraph::run(const Query& query) const {
+  // The per-query worker cap applies to this thread's parallel loops only —
+  // the process-global cap is never touched, so concurrent queries with
+  // different caps cannot race (see parallel.hpp WorkerCapScope).
+  const WorkerCapScope cap(query.opts.max_workers);
+  QueryControl control;
+  control.cancel = query.opts.cancel.get();
+  control.budget = query.opts.budget_seconds;
+
+  Answer answer;
+  answer.kind = query.kind;
+  answer.k = query.k;
+  WallTimer timer;
+
+  switch (query.kind) {
+    case QueryKind::Count: {
+      CliqueResult r;
+      if (!control.active()) {
+        r = execute(query.k, nullptr);  // pure counting mode, no callback cost
+      } else {
+        const CliqueCallback counter = [&](std::span<const node_t>) {
+          return !control.expired();
+        };
+        r = execute(query.k, &counter);
+      }
+      answer.count = r.count;
+      answer.stats = r.stats;
+      answer.truncated = control.was_tripped();
+      break;
+    }
+    case QueryKind::List: {
+      std::mutex guard;
+      bool excess = false;  // a clique beyond the limit was actually seen
+      const count_t limit = query.opts.result_limit;
+      const CliqueCallback collect = [&](std::span<const node_t> clique) {
+        if (control.expired()) return false;
+        const std::lock_guard<std::mutex> lock(guard);
+        if (limit > 0 && answer.cliques.size() >= static_cast<std::size_t>(limit)) {
+          // Only an over-limit emission proves the listing is incomplete — a
+          // graph with exactly `limit` cliques finishes untruncated.
+          excess = true;
+          return false;
+        }
+        answer.cliques.emplace_back(clique.begin(), clique.end());
+        return true;
+      };
+      const CliqueResult r = execute(query.k, &collect);
+      answer.stats = r.stats;
+      answer.count = static_cast<count_t>(answer.cliques.size());
+      answer.truncated = control.was_tripped() || excess;
+      break;
+    }
+    case QueryKind::HasClique:
+    case QueryKind::FindClique: {
+      if (query.k <= 0) break;  // no 0-clique by convention (found stays false)
+      std::mutex guard;
+      bool found = false;
+      std::optional<std::vector<node_t>> witness;
+      const bool want = query.kind == QueryKind::FindClique && query.opts.want_witness;
+      const CliqueCallback stop_at_first = [&](std::span<const node_t> clique) {
+        if (control.expired()) return false;
+        const std::lock_guard<std::mutex> lock(guard);
+        found = true;
+        if (want && !witness.has_value()) witness.emplace(clique.begin(), clique.end());
+        return false;  // stop the enumeration
+      };
+      const CliqueResult r = execute(query.k, &stop_at_first);
+      answer.stats = r.stats;
+      answer.found = found;
+      if (witness.has_value()) answer.witness = std::move(*witness);
+      // An aborted fruitless probe proves nothing; a found witness stands.
+      answer.truncated = !found && control.was_tripped();
+      break;
+    }
+    case QueryKind::PerVertexCounts: {
+      std::vector<std::atomic<count_t>> acc(g_->num_nodes());
+      const CliqueCallback tally = [&](std::span<const node_t> clique) {
+        if (control.expired()) return false;
+        for (const node_t v : clique) acc[v].fetch_add(1, std::memory_order_relaxed);
+        return true;
+      };
+      const CliqueResult r = execute(query.k, &tally);
+      answer.stats = r.stats;
+      answer.per_counts.resize(g_->num_nodes());
+      for (node_t v = 0; v < g_->num_nodes(); ++v) {
+        answer.per_counts[v] = acc[v].load(std::memory_order_relaxed);
+      }
+      answer.truncated = control.was_tripped();
+      break;
+    }
+    case QueryKind::PerEdgeCounts: {
+      std::vector<std::atomic<count_t>> acc(g_->num_edges());
+      const CliqueCallback tally = [&](std::span<const node_t> clique) {
+        if (control.expired()) return false;
+        for (std::size_t i = 0; i < clique.size(); ++i) {
+          for (std::size_t j = i + 1; j < clique.size(); ++j) {
+            const edge_t e = g_->edge_id(clique[i], clique[j]);
+            acc[e].fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        return true;
+      };
+      const CliqueResult r = execute(query.k, &tally);
+      answer.stats = r.stats;
+      answer.per_counts.resize(g_->num_edges());
+      for (edge_t e = 0; e < g_->num_edges(); ++e) {
+        answer.per_counts[e] = acc[e].load(std::memory_order_relaxed);
+      }
+      answer.truncated = control.was_tripped();
+      break;
+    }
+    case QueryKind::Spectrum: {
+      CliqueSpectrum& out = answer.spectrum;
+      [&] {
+        out.counts.assign(2, 0);
+        if (g_->num_nodes() == 0) return;
+        out.counts[1] = g_->num_nodes();
+        out.omega = 1;
+        // kmax clamps the trivial sizes too ("every k = 1..min(kmax, omega)").
+        if (g_->num_edges() == 0 || query.kmax == 1) return;
+        out.counts.push_back(g_->num_edges());
+        out.omega = 2;
+        // The k >= 3 loop below could never run; don't build artifacts for it.
+        if (query.kmax == 2) return;
+
+        double prep = 0.0;
+        const auto ub = static_cast<int>(upper_bound(prep));
+        const int limit = query.kmax > 0 ? std::min(query.kmax, ub) : ub;
+        const CliqueCallback counter = [&](std::span<const node_t>) {
+          return !control.expired();
+        };
+        for (int k = 3; k <= limit; ++k) {
+          if (control.expired_now()) {
+            answer.truncated = true;
+            break;
+          }
+          // Under active control, count through the listing path so the
+          // budget can cut inside a k; a cut k's partial count is dropped.
+          const CliqueResult r = dispatch(k, control.active() ? &counter : nullptr, prep);
+          out.search_seconds += r.stats.search_seconds;
+          if (control.was_tripped()) {
+            answer.truncated = true;
+            break;
+          }
+          if (r.count == 0) break;
+          out.counts.push_back(r.count);
+          out.omega = static_cast<node_t>(k);
+        }
+        out.preprocess_seconds = prep;
+      }();
+      answer.stats.preprocess_seconds = out.preprocess_seconds;
+      answer.stats.search_seconds = out.search_seconds;
+      answer.omega = out.omega;
+      answer.count = out.counts.empty() ? 0 : out.counts.back();
+      break;
+    }
+    case QueryKind::MaxClique:
+      run_max_clique(query, answer, control);
+      break;
+  }
+  answer.seconds = timer.seconds();
+  return answer;
 }
 
-bool PreparedGraph::has_clique(int k) const { return find_clique(k).has_value(); }
+void PreparedGraph::run_max_clique(const Query& query, Answer& answer,
+                                   QueryControl& control) const {
+  if (g_->num_nodes() == 0) return;  // omega 0, no witness
+  if (g_->num_edges() == 0) {
+    answer.omega = 1;
+    if (query.opts.want_witness) answer.witness = {0};
+    answer.found = true;
+    return;
+  }
 
-std::optional<std::vector<node_t>> PreparedGraph::find_clique(int k) const {
-  if (k <= 0) return std::nullopt;
-  std::optional<std::vector<node_t>> witness;
-  std::mutex guard;
-  const CliqueCallback stop_at_first = [&](std::span<const node_t> clique) {
-    const std::lock_guard<std::mutex> lock(guard);
-    if (!witness.has_value()) witness.emplace(clique.begin(), clique.end());
-    return false;  // stop the enumeration
+  // Binary search over "does a mid-clique exist" in [2, upper bound]. Each
+  // successful probe keeps its witness when one is wanted, so the final
+  // answer usually needs no extra search.
+  const bool want = query.opts.want_witness;
+  std::optional<std::vector<node_t>> best;
+  const auto probe = [&](node_t size) -> std::optional<std::vector<node_t>> {
+    std::mutex guard;
+    bool found = false;
+    std::optional<std::vector<node_t>> witness;
+    const CliqueCallback stop_at_first = [&](std::span<const node_t> clique) {
+      if (control.expired()) return false;
+      const std::lock_guard<std::mutex> lock(guard);
+      found = true;
+      if (want && !witness.has_value()) witness.emplace(clique.begin(), clique.end());
+      return false;
+    };
+    (void)execute(static_cast<int>(size), &stop_at_first);
+    if (!found) return std::nullopt;
+    if (!want) return std::vector<node_t>{};  // marker: found, witness unwanted
+    return witness;
   };
-  (void)list(k, stop_at_first);
-  return witness;
-}
 
-node_t PreparedGraph::max_clique_size() const {
-  if (g_->num_nodes() == 0) return 0;
-  if (g_->num_edges() == 0) return 1;
   node_t lo = 2;  // always feasible: the graph has an edge
   node_t hi = clique_number_upper_bound();
   while (lo < hi) {
+    if (control.expired_now()) {
+      answer.truncated = true;
+      break;
+    }
     const node_t mid = lo + (hi - lo + 1) / 2;
-    if (has_clique(static_cast<int>(mid))) {
+    std::optional<std::vector<node_t>> witness = probe(mid);
+    if (witness.has_value()) {
       lo = mid;
+      best = std::move(witness);
     } else {
+      if (control.was_tripped()) {
+        // The probe was cut short before finding anything: "no mid-clique"
+        // is unproven, so stop with the best verified bound.
+        answer.truncated = true;
+        break;
+      }
       hi = mid - 1;
     }
   }
-  return lo;
+  answer.omega = lo;
+
+  if (want) {
+    if (best.has_value() && best->size() == static_cast<std::size_t>(lo)) {
+      // A verified lo-clique is already in hand — hand it out even when the
+      // budget cut the search short (a truncated answer is a valid partial:
+      // omega is a proven lower bound and the witness proves it).
+      answer.witness = std::move(*best);
+    } else if (!answer.truncated) {
+      if (auto witness = probe(lo); witness.has_value()) {
+        answer.witness = std::move(*witness);
+      } else if (control.was_tripped()) {
+        // The final witness search itself was cut before finding anything.
+        answer.truncated = true;
+      }
+    }
+  }
+  answer.found = want ? !answer.witness.empty() : answer.omega > 0;
+}
+
+// ------------------------------------------------- named wrappers over run()
+
+CliqueResult PreparedGraph::count(int k) const {
+  Query q;
+  q.kind = QueryKind::Count;
+  q.k = k;
+  const Answer a = run(q);
+  CliqueResult r;
+  r.count = a.count;
+  r.stats = a.stats;
+  return r;
+}
+
+CliqueResult PreparedGraph::list(int k, const CliqueCallback& callback) const {
+  // The callback primitive run()'s enumeration kinds are built on — the one
+  // named method that is not a Query wrapper (a std::function cannot
+  // round-trip through the Query value type).
+  return execute(k, &callback);
+}
+
+CliqueSpectrum PreparedGraph::spectrum(int kmax) const {
+  Query q;
+  q.kind = QueryKind::Spectrum;
+  q.kmax = kmax;
+  Answer a = run(q);
+  return std::move(a.spectrum);
+}
+
+std::vector<count_t> PreparedGraph::per_vertex_counts(int k) const {
+  Query q;
+  q.kind = QueryKind::PerVertexCounts;
+  q.k = k;
+  Answer a = run(q);
+  return std::move(a.per_counts);
+}
+
+std::vector<count_t> PreparedGraph::per_edge_counts(int k) const {
+  Query q;
+  q.kind = QueryKind::PerEdgeCounts;
+  q.k = k;
+  Answer a = run(q);
+  return std::move(a.per_counts);
+}
+
+bool PreparedGraph::has_clique(int k) const {
+  Query q;
+  q.kind = QueryKind::HasClique;
+  q.k = k;
+  return run(q).found;
+}
+
+std::optional<std::vector<node_t>> PreparedGraph::find_clique(int k) const {
+  Query q;
+  q.kind = QueryKind::FindClique;
+  q.k = k;
+  Answer a = run(q);
+  if (!a.found) return std::nullopt;
+  return std::move(a.witness);
+}
+
+node_t PreparedGraph::max_clique_size() const {
+  Query q;
+  q.kind = QueryKind::MaxClique;
+  q.opts.want_witness = false;  // omega only — skip the witness search
+  return run(q).omega;
 }
 
 std::vector<node_t> PreparedGraph::max_clique() const {
-  const node_t omega = max_clique_size();
-  if (omega == 0) return {};
-  if (omega == 1) return {0};
-  return find_clique(static_cast<int>(omega)).value();
+  Query q;
+  q.kind = QueryKind::MaxClique;
+  Answer a = run(q);
+  return std::move(a.witness);
 }
 
 }  // namespace c3

@@ -28,6 +28,11 @@
 //    state is shared between queries. Queries still parallelize internally
 //    across the worker pool. For scheduling a whole set of queries, see
 //    QueryBatch (batch.hpp).
+//  * run(const Query&) is the one execution entry (query.hpp): every named
+//    query method below is a thin wrapper that builds the matching Query.
+//    Queries carry their own resource control — per-query worker cap,
+//    wall-clock budget, cancel token, result limit — honored uniformly by
+//    every kind.
 #pragma once
 
 #include <memory>
@@ -35,6 +40,7 @@
 #include <vector>
 
 #include "clique/common.hpp"
+#include "clique/query.hpp"
 #include "clique/scratch.hpp"
 #include "clique/spectrum.hpp"
 #include "graph/digraph.hpp"
@@ -77,6 +83,15 @@ class PreparedGraph {
   ~PreparedGraph();
 
   // ------------------------------------------------------------- queries
+
+  /// The unified entry: answers any Query (query.hpp), honoring its
+  /// per-query options — worker cap (a WorkerCapScope around the query, so
+  /// the global cap is never touched), wall-clock budget / cancel token
+  /// (best-effort early termination with Answer::truncated set), List result
+  /// limit, and witness suppression. A default-options Query behaves exactly
+  /// like the matching named method below; the named methods are thin
+  /// wrappers over this.
+  [[nodiscard]] Answer run(const Query& query) const;
 
   /// Counts all k-cliques.
   [[nodiscard]] CliqueResult count(int k) const;
@@ -136,6 +151,14 @@ class PreparedGraph {
   /// + 1 (orientation-based), degeneracy + 1 otherwise.
   [[nodiscard]] node_t clique_number_upper_bound() const;
 
+  /// Candidate-set bound for the scheduler's cost model
+  /// (estimate_query_cost): the largest community when built, else the
+  /// DAG's max out-degree when built, else a sqrt(2m) graph proxy. Never
+  /// triggers preparation; the underlying O(n)/O(m) scan runs at most once
+  /// per artifact state (cached, keyed by artifacts_built()), so per-query
+  /// estimates cost a couple of atomic loads.
+  [[nodiscard]] double cost_bound() const noexcept;
+
   [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
   [[nodiscard]] const CliqueOptions& options() const noexcept { return opts_; }
 
@@ -147,11 +170,14 @@ class PreparedGraph {
   // queries on other threads keep a stable address.
   struct Memo;
 
+  struct QueryControl;  // budget/cancel polling shared by run()'s kinds
+
   // The `prep` out-parameters accumulate seconds of preparation performed by
   // *this call* — the building query; threads that merely wait on the latch
-  // add nothing. run() forwards the sum into stats.preprocess_seconds.
-  [[nodiscard]] CliqueResult run(int k, const CliqueCallback* callback) const;
+  // add nothing. execute() forwards the sum into stats.preprocess_seconds.
+  [[nodiscard]] CliqueResult execute(int k, const CliqueCallback* callback) const;
   [[nodiscard]] CliqueResult dispatch(int k, const CliqueCallback* callback, double& prep) const;
+  void run_max_clique(const Query& query, Answer& answer, QueryControl& control) const;
   [[nodiscard]] const Digraph& dag(double& prep) const;
   [[nodiscard]] const EdgeCommunities& communities(double& prep) const;
   [[nodiscard]] const EdgeOrderResult& edge_order(double& prep) const;

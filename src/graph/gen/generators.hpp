@@ -8,7 +8,7 @@
 //    planted clique) — used by the test suite for closed-form and
 //    property-based validation, and as building blocks.
 //
-//  * Dataset stand-ins (DESIGN.md Section 4): one generator per benchmark
+//  * Dataset stand-ins (DESIGN.md Section 5): one generator per benchmark
 //    graph of the paper's Table 2, matched on the structural axes the paper
 //    reports (|E|/|V|, |T|/|V|, |T|/|E|, degeneracy). See datasets.hpp in
 //    bench/ for the calibrated parameters.

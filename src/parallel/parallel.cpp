@@ -18,6 +18,12 @@ std::atomic<int> g_workers{0};
 // High-water mark of the cap (0 = "nothing above the default yet").
 std::atomic<int> g_max_workers{0};
 
+// Per-thread cap installed by WorkerCapScope (0 = uncapped). Thread-local, so
+// concurrent scopes on different threads never interact; it only ever lowers
+// the effective worker count, so PerWorker structures sized to max_workers()
+// stay in bounds.
+thread_local int t_worker_cap = 0;
+
 #if defined(_OPENMP)
 int default_workers() noexcept { return std::max(1, omp_get_max_threads()); }
 #else
@@ -27,8 +33,9 @@ int default_workers() noexcept { return 1; }
 }  // namespace
 
 int num_workers() noexcept {
-  const int w = g_workers.load(std::memory_order_relaxed);
-  return w > 0 ? w : default_workers();
+  const int global = g_workers.load(std::memory_order_relaxed);
+  const int w = global > 0 ? global : default_workers();
+  return t_worker_cap > 0 && t_worker_cap < w ? t_worker_cap : w;
 }
 
 int set_num_workers(int workers) noexcept {
@@ -49,6 +56,12 @@ int set_num_workers(int workers) noexcept {
 int max_workers() noexcept {
   return std::max(g_max_workers.load(std::memory_order_relaxed), default_workers());
 }
+
+WorkerCapScope::WorkerCapScope(int cap) noexcept : saved_(t_worker_cap) {
+  if (cap > 0) t_worker_cap = saved_ > 0 ? std::min(saved_, cap) : cap;
+}
+
+WorkerCapScope::~WorkerCapScope() { t_worker_cap = saved_; }
 
 #if defined(_OPENMP)
 int worker_id() noexcept { return omp_get_thread_num(); }

@@ -5,6 +5,9 @@
 // provides the loop primitives used across the library:
 //
 //   * num_workers / set_num_workers / worker_id — worker pool control,
+//   * WorkerCapScope       — per-thread RAII cap, the substrate of per-query
+//                            worker limits (caps compose by minimum and never
+//                            touch the process-global value),
 //   * parallel_for         — statically scheduled counted loop,
 //   * parallel_for_dynamic — dynamically scheduled loop for irregular work
 //                            (clique search per edge/vertex is highly skewed).
@@ -19,7 +22,9 @@
 
 namespace c3 {
 
-/// Maximum number of workers parallel loops may use.
+/// Maximum number of workers parallel loops may use: the process-global cap
+/// (set_num_workers), further limited by any WorkerCapScope active on the
+/// calling thread.
 [[nodiscard]] int num_workers() noexcept;
 
 /// Caps the worker pool; values < 1 are clamped to 1. Atomically swaps the
@@ -41,6 +46,25 @@ int set_num_workers(int workers) noexcept;
 
 /// True when called from inside a parallel region.
 [[nodiscard]] bool in_parallel() noexcept;
+
+/// RAII cap on num_workers() for the *calling thread* and the parallel loops
+/// it launches. Unlike set_num_workers this never touches the process-global
+/// cap, so any number of threads may cap themselves concurrently without
+/// racing each other (the per-query worker caps of Query/QueryBatch are built
+/// on it). Scopes nest and compose by minimum; `cap <= 0` means "no
+/// additional cap" and leaves the thread unchanged. The previous per-thread
+/// cap is restored on destruction. A capped thread can never raise the
+/// effective worker count above the global cap.
+class WorkerCapScope {
+ public:
+  explicit WorkerCapScope(int cap) noexcept;
+  ~WorkerCapScope();
+  WorkerCapScope(const WorkerCapScope&) = delete;
+  WorkerCapScope& operator=(const WorkerCapScope&) = delete;
+
+ private:
+  int saved_;
+};
 
 namespace detail {
 void parallel_for_impl(std::int64_t begin, std::int64_t end, bool dynamic, std::int64_t grain,

@@ -49,6 +49,23 @@ MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
 
 MappedFile::~MappedFile() { reset(); }
 
+void MappedFile::prefault() const noexcept {
+#if !defined(_WIN32)
+  if (mapped_ && data_ != nullptr && size_ > 0) {
+    ::madvise(const_cast<std::byte*>(data_), size_, MADV_WILLNEED);
+  }
+#endif
+}
+
+bool MappedFile::lock_memory() const noexcept {
+#if defined(_WIN32)
+  return false;
+#else
+  if (data_ == nullptr || size_ == 0) return false;
+  return ::mlock(data_, size_) == 0;
+#endif
+}
+
 MappedFile MappedFile::map_readonly(const std::filesystem::path& path) {
   MappedFile out;
 #if defined(_WIN32)

@@ -33,6 +33,18 @@ class MappedFile {
   /// True when the contents are an actual mmap (false: heap fallback).
   [[nodiscard]] bool is_mapped() const noexcept { return mapped_; }
 
+  /// Warm-up hint: asks the kernel to read the whole mapping ahead
+  /// (madvise WILLNEED), so first-touch page faults hit the page cache
+  /// instead of the disk. Best-effort; a no-op for the heap fallback (its
+  /// pages are already resident) and on platforms without madvise.
+  void prefault() const noexcept;
+
+  /// Pins the mapping into RAM (mlock), so serving never takes a major
+  /// fault — at the price of unevictable memory. Best-effort: returns false
+  /// when unsupported or refused (e.g. RLIMIT_MEMLOCK), which callers
+  /// should treat as a degraded warm-up, not an error.
+  [[nodiscard]] bool lock_memory() const noexcept;
+
  private:
   void reset() noexcept;
 

@@ -364,6 +364,7 @@ struct Snapshot::Impl {
   SnapshotInfo info;
   Graph graph;                          // views over `map`
   std::optional<PreparedGraph> engine;  // views over `map`, refs `graph`
+  bool memory_locked = false;
 };
 
 Snapshot::Snapshot() : impl_(std::make_unique<Impl>()) {}
@@ -375,6 +376,7 @@ const Graph& Snapshot::graph() const noexcept { return impl_->graph; }
 const PreparedGraph& Snapshot::engine() const noexcept { return *impl_->engine; }
 PreparedGraph& Snapshot::engine() noexcept { return *impl_->engine; }
 const SnapshotInfo& Snapshot::info() const noexcept { return impl_->info; }
+bool Snapshot::memory_locked() const noexcept { return impl_->memory_locked; }
 
 namespace {
 
@@ -422,7 +424,12 @@ Snapshot Snapshot::open_with(const std::filesystem::path& path, const CliqueOpti
   Snapshot snap;
   Impl& impl = *snap.impl_;
   impl.map = MappedFile::map_readonly(path);
+  // Read-ahead before validation: the checksum scan (when on) is the first
+  // beneficiary of the whole file streaming in.
+  if (open_opts.prefault) impl.map.prefault();
   const Layout lay = validate(impl.map, path, open_opts.verify_checksums);
+  // Pin only a validated mapping — garbage should be refused, not locked.
+  if (open_opts.lock_memory) impl.memory_locked = impl.map.lock_memory();
   impl.info = info_from_layout(lay, path);
   const SnapshotHeader& h = lay.header;
   const std::uint64_t n = h.num_nodes;

@@ -50,6 +50,14 @@ struct SnapshotOpenOptions {
   /// file — far cheaper than rebuilding artifacts, but not O(1); serving
   /// fleets that trust their artifact store can turn it off.
   bool verify_checksums = true;
+  /// Warm-up hint: madvise(WILLNEED) the mapping at open, so the kernel
+  /// reads the file ahead instead of demand-faulting one page at a time on
+  /// the first queries. Best-effort, no-op where unsupported.
+  bool prefault = false;
+  /// Pin the mapping into RAM (mlock) after validation, so serving never
+  /// takes a major fault. Best-effort — a refusal (e.g. RLIMIT_MEMLOCK) is
+  /// reported through Snapshot::memory_locked(), not an error.
+  bool lock_memory = false;
 };
 
 /// One section as recorded in the file (for inspect/tooling output).
@@ -117,6 +125,11 @@ class Snapshot {
   [[nodiscard]] PreparedGraph& engine() noexcept;
 
   [[nodiscard]] const SnapshotInfo& info() const noexcept;
+
+  /// True when SnapshotOpenOptions::lock_memory was requested *and* the
+  /// mlock succeeded (it is best-effort: RLIMIT_MEMLOCK or an unsupported
+  /// platform degrade to an unpinned mapping).
+  [[nodiscard]] bool memory_locked() const noexcept;
 
  private:
   Snapshot();

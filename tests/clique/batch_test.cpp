@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -174,6 +176,101 @@ TEST(QueryBatch, EmptyBatchAndEmptyGraph) {
   EXPECT_EQ(results[1].omega, 0u);
   EXPECT_FALSE(results[1].found);
   EXPECT_EQ(results[2].spectrum.omega, 0u);
+}
+
+TEST(QueryBatch, GlobalWorkerCountUntouchedThroughoutRun) {
+  // Regression: the pre-Query executor split the *global* worker cap across
+  // its threads (set_num_workers save/split/restore), so an external caller
+  // could observe — or race — the temporarily reduced value. The rebuilt
+  // executor caps per thread; an observer sampling continuously during the
+  // batch must never see the global count move.
+  const Graph g = social_like(250, 2000, 0.4, 23);
+  const PreparedGraph engine(g, {});
+  engine.prepare();
+  const int before = num_workers();
+
+  std::atomic<bool> watching{true};
+  std::atomic<bool> saw_change{false};
+  std::thread observer([&] {
+    while (watching.load(std::memory_order_relaxed)) {
+      if (num_workers() != before) saw_change.store(true, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+  });
+
+  QueryBatch batch(engine);
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int k = 3; k <= 5; ++k) (void)batch.add_count(k);
+  }
+  const std::vector<BatchResult> results = batch.run(4);
+  watching.store(false, std::memory_order_relaxed);
+  observer.join();
+
+  EXPECT_FALSE(saw_change.load()) << "batch split leaked into the global worker count";
+  EXPECT_EQ(num_workers(), before);
+  for (const BatchResult& r : results) EXPECT_EQ(r.count, engine.count(r.k).count);
+}
+
+TEST(QueryBatch, PerQueryWorkerCapsRespected) {
+  const Graph g = erdos_renyi(180, 1400, 27);
+  const PreparedGraph engine(g, {});
+  const count_t c4 = engine.count(4).count;
+  const int before = num_workers();
+
+  QueryBatch batch(engine);
+  for (int i = 0; i < 6; ++i) {
+    Query q;
+    q.kind = QueryKind::Count;
+    q.k = 4;
+    q.opts.max_workers = 1 + (i % 3);  // varying per-query caps
+    (void)batch.add(std::move(q));
+  }
+  const std::vector<Answer> answers = batch.answers(3);
+  for (const Answer& a : answers) EXPECT_EQ(a.count, c4);
+  EXPECT_EQ(num_workers(), before);
+}
+
+TEST(QueryBatch, CostModelSendsLargeKToTheSequentialPhase) {
+  // Not a placement assertion (that is internal) — a behavior one: a batch
+  // mixing tiny probes with a huge-k count must return correct results at
+  // every concurrency, with the heavy query keeping its answer identical.
+  const Graph g = social_like(300, 2600, 0.5, 29);
+  const PreparedGraph engine(g, {});
+  engine.prepare();
+  const int big_k = std::max(3, static_cast<int>(engine.clique_number_upper_bound()) - 1);
+  const count_t big = engine.count(big_k).count;
+  const count_t small = engine.count(3).count;
+
+  for (const int concurrency : {0, 2}) {
+    QueryBatch batch(engine);
+    (void)batch.add_count(3);
+    (void)batch.add_count(big_k);
+    (void)batch.add_count(3);
+    const auto results = batch.run(concurrency);
+    EXPECT_EQ(results[0].count, small);
+    EXPECT_EQ(results[1].count, big);
+    EXPECT_EQ(results[2].count, small);
+  }
+}
+
+TEST(QueryBatch, AnswersEchoTypedQueries) {
+  const Graph g = erdos_renyi(120, 800, 33);
+  const PreparedGraph engine(g, {});
+  QueryBatch batch(engine);
+  Query list;
+  list.kind = QueryKind::List;
+  list.k = 3;
+  list.opts.result_limit = 4;
+  (void)batch.add(list);
+  (void)batch.add_count(3);
+
+  const std::vector<Answer> answers = batch.answers();
+  ASSERT_EQ(answers.size(), 2u);
+  EXPECT_EQ(answers[0].kind, QueryKind::List);
+  EXPECT_LE(answers[0].cliques.size(), 4u);
+  EXPECT_EQ(answers[1].count, engine.count(3).count);
+  // queries() exposes the typed submissions for tooling.
+  EXPECT_EQ(batch.queries()[0].opts.result_limit, 4u);
 }
 
 TEST(QueryBatch, OneCallFormMatchesBuilder) {

@@ -1,0 +1,159 @@
+// QueryStream: the long-lived submit()/poll()/drain() executor — ticket
+// ordering, completion guarantees, close semantics, error propagation, and
+// the no-global-cap-writes contract.
+#include "clique/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "clique/engine.hpp"
+#include "clique/query.hpp"
+#include "graph/gen/generators.hpp"
+#include "parallel/parallel.hpp"
+
+namespace c3 {
+namespace {
+
+Query make(QueryKind kind, int k = 0, int kmax = 0) {
+  Query q;
+  q.kind = kind;
+  q.k = k;
+  q.kmax = kmax;
+  return q;
+}
+
+TEST(QueryStream, AnswersEverySubmissionInTicketOrderOnDrain) {
+  const Graph g = social_like(200, 1600, 0.4, 17);
+  const PreparedGraph engine(g, {});
+  const count_t c3 = engine.count(3).count;
+  const count_t c4 = engine.count(4).count;
+  const node_t omega = engine.max_clique_size();
+
+  QueryStream stream(engine, /*executors=*/3);
+  std::vector<std::uint64_t> tickets;
+  for (int rep = 0; rep < 4; ++rep) {
+    tickets.push_back(stream.submit(make(QueryKind::Count, 3)));
+    tickets.push_back(stream.submit(make(QueryKind::Count, 4)));
+  }
+  // A heavy query in the middle of the light flow.
+  Query mc = make(QueryKind::MaxClique);
+  mc.opts.want_witness = false;
+  tickets.push_back(stream.submit(mc));
+
+  const auto results = stream.drain();
+  ASSERT_EQ(results.size(), tickets.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    // Drain returns ticket order == submission order.
+    EXPECT_EQ(results[i].first, tickets[i]);
+    const Answer& a = results[i].second;
+    if (a.kind == QueryKind::Count) {
+      EXPECT_EQ(a.count, a.k == 3 ? c3 : c4);
+    } else {
+      EXPECT_EQ(a.omega, omega);
+    }
+  }
+  // Everything delivered: a second drain is empty and instant.
+  EXPECT_TRUE(stream.drain().empty());
+  EXPECT_EQ(stream.pending(), 0u);
+}
+
+TEST(QueryStream, PollDeliversEachAnswerExactlyOnce) {
+  const Graph g = erdos_renyi(150, 1000, 9);
+  const PreparedGraph engine(g, {});
+  const count_t c3 = engine.count(3).count;
+
+  QueryStream stream(engine, 2);
+  std::set<std::uint64_t> submitted;
+  for (int i = 0; i < 10; ++i) submitted.insert(stream.submit(make(QueryKind::Count, 3)));
+
+  std::set<std::uint64_t> delivered;
+  // Poll until everything arrived (drain as the barrier for the remainder).
+  while (delivered.size() < submitted.size()) {
+    if (auto done = stream.poll()) {
+      EXPECT_EQ(done->second.count, c3);
+      EXPECT_TRUE(delivered.insert(done->first).second) << "duplicate delivery";
+    } else if (stream.pending() == 0) {
+      for (auto& [ticket, answer] : stream.drain()) {
+        EXPECT_EQ(answer.count, c3);
+        EXPECT_TRUE(delivered.insert(ticket).second) << "duplicate delivery";
+      }
+    }
+  }
+  EXPECT_EQ(delivered, submitted);
+  EXPECT_FALSE(stream.poll().has_value());
+}
+
+TEST(QueryStream, CloseFinishesQueuedWorkAndRejectsNewSubmissions) {
+  const Graph g = erdos_renyi(120, 800, 11);
+  const PreparedGraph engine(g, {});
+  const count_t c3 = engine.count(3).count;
+
+  QueryStream stream(engine, 1);
+  for (int i = 0; i < 6; ++i) (void)stream.submit(make(QueryKind::Count, 3));
+  stream.close();
+  EXPECT_THROW((void)stream.submit(make(QueryKind::Count, 3)), std::logic_error);
+  // Queued work was finished before close returned; answers remain pollable.
+  const auto results = stream.drain();
+  ASSERT_EQ(results.size(), 6u);
+  for (const auto& [ticket, answer] : results) {
+    (void)ticket;
+    EXPECT_EQ(answer.count, c3);
+  }
+}
+
+TEST(QueryStream, PerQueryCapsNeverWriteTheGlobalCount) {
+  const Graph g = social_like(250, 2000, 0.4, 19);
+  const PreparedGraph engine(g, {});
+  engine.prepare();
+  const count_t c4 = engine.count(4).count;
+  const int before = num_workers();
+
+  // An external observer samples the global worker count the whole time the
+  // stream is busy — the pre-fix batch executor would have shown the split
+  // value here.
+  std::atomic<bool> watching{true};
+  std::atomic<bool> saw_change{false};
+  std::thread observer([&] {
+    while (watching.load(std::memory_order_relaxed)) {
+      if (num_workers() != before) saw_change.store(true, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+  });
+
+  {
+    QueryStream stream(engine, 4);
+    for (int i = 0; i < 12; ++i) {
+      Query q = make(QueryKind::Count, 4);
+      q.opts.max_workers = 1 + (i % 4);
+      (void)stream.submit(q);
+    }
+    for (auto& [ticket, answer] : stream.drain()) {
+      (void)ticket;
+      EXPECT_EQ(answer.count, c4);
+    }
+  }
+
+  watching.store(false, std::memory_order_relaxed);
+  observer.join();
+  EXPECT_FALSE(saw_change.load()) << "per-query caps leaked into the global worker count";
+  EXPECT_EQ(num_workers(), before);
+}
+
+TEST(QueryStream, DestructorDrainsOutstandingWork) {
+  const Graph g = erdos_renyi(100, 600, 13);
+  const PreparedGraph engine(g, {});
+  {
+    QueryStream stream(engine, 2);
+    for (int i = 0; i < 4; ++i) (void)stream.submit(make(QueryKind::Count, 3));
+    // No drain: the destructor must join cleanly with work still queued.
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace c3

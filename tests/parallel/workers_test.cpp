@@ -146,6 +146,72 @@ TEST_F(WorkersTest, NestedParallelForRunsSeriallyInsideOuterLoop) {
   }
 }
 
+TEST_F(WorkersTest, WorkerCapScopeCapsCallingThreadOnly) {
+  set_num_workers(6);
+  {
+    const WorkerCapScope cap(2);
+    EXPECT_EQ(num_workers(), 2);
+
+    // Other threads are unaffected while this thread is capped.
+    int other = 0;
+    std::thread observer([&] { other = num_workers(); });
+    observer.join();
+    EXPECT_EQ(other, 6);
+
+    // Nested scopes compose by minimum and cannot raise the cap.
+    {
+      const WorkerCapScope tighter(1);
+      EXPECT_EQ(num_workers(), 1);
+    }
+    {
+      const WorkerCapScope looser(5);
+      EXPECT_EQ(num_workers(), 2) << "a nested scope must not raise the cap";
+    }
+    EXPECT_EQ(num_workers(), 2);
+  }
+  EXPECT_EQ(num_workers(), 6) << "destruction must restore the thread";
+}
+
+TEST_F(WorkersTest, WorkerCapScopeZeroIsNoOpAndGlobalStillApplies) {
+  set_num_workers(4);
+  {
+    const WorkerCapScope noop(0);
+    EXPECT_EQ(num_workers(), 4);
+    const WorkerCapScope negative(-3);
+    EXPECT_EQ(num_workers(), 4);
+  }
+  // A per-thread cap above the global cap changes nothing...
+  {
+    const WorkerCapScope roomy(100);
+    EXPECT_EQ(num_workers(), 4);
+    // ...and the global cap keeps applying under a scope when lowered.
+    const int old = set_num_workers(2);
+    EXPECT_EQ(num_workers(), 2);
+    set_num_workers(old);
+  }
+  EXPECT_EQ(num_workers(), 4);
+}
+
+TEST_F(WorkersTest, WorkerCapScopeNeverRaisesAboveMaxWorkers) {
+  // PerWorker sizes to max_workers(); a scope only ever lowers the
+  // effective count, so it can never push num_workers() past that bound.
+  set_num_workers(3);
+  const WorkerCapScope cap(1000);
+  EXPECT_LE(num_workers(), max_workers());
+}
+
+TEST_F(WorkersTest, CappedThreadRunsLoopsSerially) {
+  set_num_workers(4);
+  const WorkerCapScope cap(1);
+  // With an effective single worker the loop must degrade to the exact
+  // serial path (single thread, in order).
+  std::vector<int> order;
+  parallel_for(
+      0, 64, [&](std::size_t i) { order.push_back(static_cast<int>(i)); }, /*grain=*/1);
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
 TEST_F(WorkersTest, NestedDynamicLoopAlsoSerial) {
   set_num_workers(4);
   std::atomic<int> violations{0};

@@ -294,5 +294,27 @@ TEST_F(SnapshotTest, ConcurrentQueriesOnLoadedEngine) {
   EXPECT_EQ(loaded.prepare_seconds(), 0.0);
 }
 
+TEST_F(SnapshotTest, WarmupHintsAreBestEffortAndChangeNoAnswer) {
+  const Graph g = social_like(150, 1200, 0.4, 17);
+  const PreparedGraph cold(g, {});
+  const auto path = dir_ / "warmup.c3snap";
+  snapshot::write(path, cold);
+
+  snapshot::SnapshotOpenOptions open;
+  open.prefault = true;
+  open.lock_memory = true;
+  const auto snap = snapshot::Snapshot::open(path, open);
+  // mlock is best-effort (RLIMIT_MEMLOCK may refuse); the accessor reports
+  // the outcome, and either way the engine serves identical answers.
+  (void)snap.memory_locked();
+  EXPECT_EQ(snap.engine().count(4).count, cold.count(4).count);
+  EXPECT_EQ(snap.engine().prepare_seconds(), 0.0);
+
+  // Hints off: memory_locked() must report false.
+  const auto plain = snapshot::Snapshot::open(path);
+  EXPECT_FALSE(plain.memory_locked());
+  EXPECT_EQ(plain.engine().count(4).count, cold.count(4).count);
+}
+
 }  // namespace
 }  // namespace c3
