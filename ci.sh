@@ -4,10 +4,10 @@
 #   2. Debug + ASan/UBSan          (memory + UB coverage for the parallel paths)
 #   3. Release, OpenMP disabled    (the exactly-deterministic serial fallback)
 #   4. TSan, OpenMP disabled       (data-race coverage for the concurrent
-#      query engine: clique + parallel + snapshot labels only. OpenMP stays
-#      off because libgomp is not TSan-instrumented and would drown the
-#      report in false positives; the concurrency under test comes from
-#      std::threads.)
+#      query engine: clique + parallel + snapshot + service + net labels
+#      only. OpenMP stays off because libgomp is not TSan-instrumented and
+#      would drown the report in false positives; the concurrency under test
+#      comes from std::threads.)
 #
 # Each config runs the full ctest suite (tsan: the clique|parallel labels):
 #   cmake -B <dir> -S . && cmake --build <dir> -j && ctest --test-dir <dir>
@@ -32,8 +32,9 @@ run_config() {
   if [ "${name}" = "tsan" ]; then
     # The race-sensitive surfaces: the concurrent engine/batch/stream suites,
     # the parallel substrate, concurrent queries over snapshot-loaded
-    # engines, and the multi-graph CliqueService.
-    label_args=(-L "clique|parallel|snapshot|service")
+    # engines, the multi-graph CliqueService, and the TCP front end
+    # (answer cache + admission + server threads).
+    label_args=(-L "clique|parallel|snapshot|service|net")
   fi
   echo "==== [${name}] configure ===="
   cmake -B "${dir}" -S . "$@"
@@ -79,6 +80,15 @@ run_config() {
       exit 1
     fi
     "${dir}/bench/bench_service" --out BENCH_pr5.json
+    # Server smoke: the request mix over loopback TCP, N concurrent clients,
+    # cold cache vs warm cache, every wire answer cross-checked against a
+    # direct service run. Emits BENCH_pr6.json.
+    echo "==== [${name}] bench smoke (server) ===="
+    if [ ! -x "${dir}/bench/bench_server" ]; then
+      echo "bench_server not built (is C3_BUILD_BENCH off?)" >&2
+      exit 1
+    fi
+    "${dir}/bench/bench_server" --out BENCH_pr6.json
   fi
 }
 

@@ -31,6 +31,7 @@
 // Algorithms for Finding Large Cliques in Sparse Graphs", SPAA 2021.
 #pragma once
 
+#include "clique/answer_cache.hpp"
 #include "clique/api.hpp"
 #include "clique/arbcount.hpp"
 #include "clique/batch.hpp"
@@ -56,6 +57,10 @@
 #include "graph/io.hpp"
 #include "graph/stats.hpp"
 #include "graph/subgraph.hpp"
+#include "net/client.hpp"
+#include "net/frontend.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
 #include "order/approx_degeneracy.hpp"
 #include "order/community_degeneracy.hpp"
 #include "order/degeneracy.hpp"

@@ -1,0 +1,127 @@
+// AnswerCache — a sharded LRU of completed Answers, keyed by what was asked,
+// not how it was run.
+//
+// A serving front end sees the same questions over and over: the catalog is
+// small, the popular graphs are few, and most traffic is a handful of counts
+// and probes per graph. Every one of those answers is immutable — a prepared
+// graph never changes under a serving process — so the second identical
+// question should cost a hash lookup, not a search.
+//
+// The key has two parts:
+//
+//   * an engine fingerprint — a hash of the graph id, the graph's shape, and
+//     every CliqueOptions field that determines the artifacts (the same
+//     fields a snapshot refuses to load over when mismatched). Two engines
+//     with the same fingerprint answer questions identically, so cached
+//     answers survive re-registration of the same snapshot and never leak
+//     across differently-prepared graphs;
+//
+//   * the canonical query text — format_query(canonical_question(q)):
+//     execution-only options (workers=, budget=, the cancel token) are
+//     normalized out, result-shaping options (limit=, witness=) stay. A
+//     "count 5 workers=8" and a "count 5 budget=2" hit the same entry.
+//
+// Truncated answers are never cached: a budget- or cancel-cut answer is a
+// valid partial result for the query that ran it, but it is not *the* answer
+// to the canonical question, and serving it from cache would silently
+// downgrade later unbudgeted queries. insert() refuses them.
+//
+// Sharding: the key hash picks one of N independent LRU shards, each behind
+// its own mutex, so concurrent connections rarely contend. Counters (hits,
+// misses, evictions, insertions) are process-wide atomics, surfaced through
+// the server's `stats` admin command.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "clique/query.hpp"
+
+namespace c3 {
+
+class PreparedGraph;
+
+/// Point-in-time counter snapshot (monotonic except `entries`).
+struct AnswerCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t insertions = 0;
+  std::size_t entries = 0;
+};
+
+/// Identity of one serving engine for cache keying: graph id + shape +
+/// artifact-determining options, folded into 64 bits (FNV-1a). Cheap enough
+/// to compute per registration; stable across processes for snapshot-backed
+/// graphs opened with the same id.
+[[nodiscard]] std::uint64_t engine_fingerprint(std::string_view graph_id,
+                                               const PreparedGraph& engine);
+
+class AnswerCache {
+ public:
+  /// Full cache key: engine fingerprint + canonical query text.
+  struct Key {
+    std::uint64_t fingerprint = 0;
+    std::string text;
+  };
+
+  /// `capacity` bounds the entry count: it is rounded up to a whole number
+  /// of entries per shard (ceil(capacity/shards) each), so the exact total
+  /// bound is that rounded value times the shard count. capacity 0 means
+  /// the cache stores nothing — every lookup is a miss, inserts are
+  /// dropped; an off switch that keeps the counters alive.
+  explicit AnswerCache(std::size_t capacity, std::size_t shards = 8);
+
+  AnswerCache(const AnswerCache&) = delete;
+  AnswerCache& operator=(const AnswerCache&) = delete;
+
+  /// The canonical key for `q` against the engine identified by
+  /// `fingerprint`: execution-only options normalized out (see
+  /// canonical_question), so every phrasing of the same question maps to one
+  /// entry.
+  [[nodiscard]] static Key make_key(std::uint64_t fingerprint, const Query& q);
+
+  /// The cached answer for `key`, refreshing its LRU position — or nullopt
+  /// (counted as hit/miss respectively).
+  [[nodiscard]] std::optional<Answer> lookup(const Key& key);
+
+  /// Caches a *complete* answer under `key`, evicting the shard's least
+  /// recently used entries over capacity. Returns false without storing when
+  /// the answer is truncated (partial results must never be replayed as the
+  /// answer) or the cache has no capacity. Re-inserting an existing key
+  /// refreshes the stored answer.
+  bool insert(const Key& key, const Answer& answer);
+
+  [[nodiscard]] AnswerCacheStats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    /// Most recently used at the front; each node owns (key-string, answer).
+    std::list<std::pair<std::string, Answer>> lru;
+    std::unordered_map<std::string_view,
+                       std::list<std::pair<std::string, Answer>>::iterator>
+        index;  // views into the list nodes' key strings
+  };
+
+  [[nodiscard]] Shard& shard_for(const std::string& flat, std::uint64_t fingerprint);
+  [[nodiscard]] static std::string flatten(const Key& key);
+
+  std::size_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+};
+
+}  // namespace c3

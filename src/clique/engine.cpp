@@ -361,6 +361,23 @@ struct PreparedGraph::QueryControl {
     return false;
   }
 
+  /// Accumulation poll for the per-vertex/per-edge tally loops, where every
+  /// emission does O(k)..O(k^2) atomic work and a thread may see fewer than
+  /// 256 emissions in a long search — expired()'s per-thread stride would
+  /// then never read the clock and a budget could sail past mid-k. This one
+  /// strides on a query-wide counter instead: the clock is read on the very
+  /// first emission and every 64th after that, regardless of how the
+  /// emissions spread across workers.
+  [[nodiscard]] bool expired_accum() noexcept {
+    if (!active()) return false;
+    if ((accum_polls.fetch_add(1, std::memory_order_relaxed) & 0x3Fu) == 0) {
+      return expired_now();
+    }
+    return expired();
+  }
+
+  std::atomic<std::uint64_t> accum_polls{0};
+
   /// Boundary poll (between a spectrum's k values, a max-clique's probes):
   /// always reads the clock, so coarse-grained budget checks fire promptly.
   [[nodiscard]] bool expired_now() noexcept {
@@ -456,7 +473,7 @@ Answer PreparedGraph::run(const Query& query) const {
     case QueryKind::PerVertexCounts: {
       std::vector<std::atomic<count_t>> acc(g_->num_nodes());
       const CliqueCallback tally = [&](std::span<const node_t> clique) {
-        if (control.expired()) return false;
+        if (control.expired_accum()) return false;
         for (const node_t v : clique) acc[v].fetch_add(1, std::memory_order_relaxed);
         return true;
       };
@@ -472,7 +489,7 @@ Answer PreparedGraph::run(const Query& query) const {
     case QueryKind::PerEdgeCounts: {
       std::vector<std::atomic<count_t>> acc(g_->num_edges());
       const CliqueCallback tally = [&](std::span<const node_t> clique) {
-        if (control.expired()) return false;
+        if (control.expired_accum()) return false;
         for (std::size_t i = 0; i < clique.size(); ++i) {
           for (std::size_t j = i + 1; j < clique.size(); ++j) {
             const edge_t e = g_->edge_id(clique[i], clique[j]);

@@ -75,6 +75,20 @@ void apply_option(const std::string& token, QueryOptions& opts) {
   }
 }
 
+/// One definition of "what the parser sees" for a raw input line: everything
+/// up to the first '#' (comments run to end of line). parse_query and
+/// parse_query_file both go through here, so the two paths cannot diverge on
+/// where a comment starts.
+std::string_view strip_comment(std::string_view line) noexcept {
+  return line.substr(0, line.find('#'));
+}
+
+/// True when `line` holds no tokens once its comment is stripped (blank or
+/// comment-only — the lines parse_query_file skips).
+bool blank_line(std::string_view line) noexcept {
+  return strip_comment(line).find_first_not_of(" \t\r\n") == std::string_view::npos;
+}
+
 bool takes_k(QueryKind kind) noexcept {
   switch (kind) {
     case QueryKind::Count:
@@ -128,7 +142,7 @@ const char* query_kind_name(QueryKind kind) noexcept {
 }
 
 Query parse_query(std::string_view line) {
-  std::istringstream in{std::string(line.substr(0, line.find('#')))};
+  std::istringstream in{std::string(strip_comment(line))};
   std::string head;
   if (!(in >> head)) parse_fail("empty query line", "");
 
@@ -175,10 +189,9 @@ std::vector<Query> parse_query_file(std::istream& in) {
   std::size_t line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
-    const std::string body = line.substr(0, line.find('#'));
-    if (body.find_first_not_of(" \t\r\n") == std::string::npos) continue;
+    if (blank_line(line)) continue;
     try {
-      queries.push_back(parse_query(body));
+      queries.push_back(parse_query(line));
     } catch (const QueryParseError& e) {
       throw QueryParseError("line " + std::to_string(line_number) + ": " + e.what(), e.token());
     }
@@ -357,13 +370,29 @@ double estimate_query_cost(const PreparedGraph& engine, const Query& q) noexcept
 }
 
 bool operator==(const QueryOptions& a, const QueryOptions& b) noexcept {
+  // The cancel token is execution state, not part of the question — and it
+  // has no text form, so comparing it would break the format/parse
+  // round-trip for any query carrying one.
   return a.max_workers == b.max_workers && a.budget_seconds == b.budget_seconds &&
-         a.result_limit == b.result_limit && a.want_witness == b.want_witness &&
-         a.cancel == b.cancel;
+         a.result_limit == b.result_limit && a.want_witness == b.want_witness;
 }
 
 bool operator==(const Query& a, const Query& b) noexcept {
   return a.kind == b.kind && a.k == b.k && a.kmax == b.kmax && a.opts == b.opts;
+}
+
+Query canonical_question(const Query& q) {
+  Query canon = q;
+  canon.opts.max_workers = 0;
+  canon.opts.budget_seconds = 0.0;
+  canon.opts.cancel.reset();
+  return canon;
+}
+
+bool same_question(const Query& a, const Query& b) noexcept {
+  return a.kind == b.kind && a.k == b.k && a.kmax == b.kmax &&
+         a.opts.result_limit == b.opts.result_limit &&
+         a.opts.want_witness == b.opts.want_witness;
 }
 
 }  // namespace c3

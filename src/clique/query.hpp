@@ -169,9 +169,26 @@ class QueryParseError : public std::invalid_argument {
 /// graph-shape proxies, so estimates are cheap enough to run per query.
 [[nodiscard]] double estimate_query_cost(const PreparedGraph& engine, const Query& q) noexcept;
 
-/// Field-wise equality (the cancel token compares by identity). Mostly for
-/// round-trip tests: parse_query(format_query(q)) == q.
+/// Field-wise equality over the text-representable fields. The cancel token
+/// is deliberately *excluded*: it has no text form and identifies an
+/// execution, not a question — comparing it by identity made two textually
+/// identical queries unequal, breaking cache keying and batch dedup. The
+/// round-trip parse_query(format_query(q)) == q holds for every q, cancel
+/// token or not.
 [[nodiscard]] bool operator==(const QueryOptions& a, const QueryOptions& b) noexcept;
 [[nodiscard]] bool operator==(const Query& a, const Query& b) noexcept;
+
+/// `q` with the execution-only controls reset to defaults — the worker cap,
+/// the wall-clock budget, the cancel token — leaving only the question being
+/// asked (kind, k/kmax, and the result-shaping options limit/witness, which
+/// change the answer's content). Two queries with equal canonical questions
+/// ask for the same answer; format_query of the canonical question is the
+/// text an answer cache keys on.
+[[nodiscard]] Query canonical_question(const Query& q);
+
+/// True when `a` and `b` ask for the same answer: canonical_question
+/// equality, i.e. execution-only controls ignored, result-shaping options
+/// compared.
+[[nodiscard]] bool same_question(const Query& a, const Query& b) noexcept;
 
 }  // namespace c3

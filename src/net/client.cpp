@@ -1,0 +1,33 @@
+#include "net/client.hpp"
+
+#include <stdexcept>
+
+namespace c3::net {
+
+std::string LineClient::request(std::string_view line) {
+  if (!send(line)) throw std::runtime_error("c3::net: send failed (connection lost)");
+  std::optional<std::string> response = read_line();
+  if (!response.has_value()) {
+    throw std::runtime_error("c3::net: connection closed before a response arrived");
+  }
+  return *std::move(response);
+}
+
+std::optional<std::string> LineClient::read_line() {
+  std::string line;
+  switch (channel_.read_line(line, timeout_)) {
+    case LineChannel::ReadStatus::Line:
+      return line;
+    case LineChannel::ReadStatus::Closed:
+      return std::nullopt;
+    case LineChannel::ReadStatus::Timeout:
+      throw std::runtime_error("c3::net: response timed out");
+    case LineChannel::ReadStatus::TooLong:
+      throw std::runtime_error("c3::net: response line too long");
+    case LineChannel::ReadStatus::Failed:
+      break;
+  }
+  throw std::runtime_error("c3::net: read failed");
+}
+
+}  // namespace c3::net

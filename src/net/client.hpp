@@ -1,0 +1,39 @@
+// LineClient — a blocking client for the c3serve line protocol, used by the
+// loopback tests, bench_server, and any tool that wants to script a server.
+// One request line in, one response line out; no pipelining smarts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/socket.hpp"
+
+namespace c3::net {
+
+class LineClient {
+ public:
+  /// Connects (throws std::runtime_error on refusal/timeout).
+  LineClient(const std::string& address, std::uint16_t port, double timeout_seconds = 10.0)
+      : channel_(connect_tcp(address, port, timeout_seconds)), timeout_(timeout_seconds) {}
+
+  /// Sends one request line and blocks for the one response line. Throws
+  /// std::runtime_error when the connection drops or the read times out.
+  /// (Blank/comment lines get no response — don't send them through here.)
+  [[nodiscard]] std::string request(std::string_view line);
+
+  /// Sends without waiting (for quit, or deliberate pipelining).
+  [[nodiscard]] bool send(std::string_view line) { return channel_.write_line(line); }
+
+  /// One response line, or nullopt on EOF. Throws on timeout/error.
+  [[nodiscard]] std::optional<std::string> read_line();
+
+  void close() noexcept { channel_.shutdown(); }
+
+ private:
+  LineChannel channel_;
+  double timeout_;
+};
+
+}  // namespace c3::net

@@ -1,0 +1,179 @@
+#include "net/frontend.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "clique/engine.hpp"
+#include "clique/query.hpp"
+
+namespace c3::net {
+namespace {
+
+/// Error payloads travel on one line: fold any newline an exception message
+/// might carry into spaces.
+std::string one_line(std::string_view text) {
+  std::string out(text);
+  std::replace(out.begin(), out.end(), '\n', ' ');
+  std::replace(out.begin(), out.end(), '\r', ' ');
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+/// RAII slot in a graph's admission gate: the constructor blocks until the
+/// graph has a free execution slot, the destructor frees it and wakes one
+/// waiter. Gates are per graph id, so waiting on a hot graph never consumes
+/// capacity of a cold one.
+class LineFrontEnd::Admission {
+ public:
+  Admission(LineFrontEnd& fe, std::string id) : fe_(fe), id_(std::move(id)) {
+    std::unique_lock<std::mutex> lock(fe_.gate_mutex_);
+    GraphGate& gate = fe_.gates_[id_];
+    fe_.gate_free_.wait(lock, [&] { return gate.inflight < fe_.opts_.max_inflight_per_graph; });
+    gate.inflight += 1;
+    gate.peak = std::max(gate.peak, gate.inflight);
+  }
+
+  ~Admission() {
+    {
+      const std::lock_guard<std::mutex> lock(fe_.gate_mutex_);
+      fe_.gates_[id_].inflight -= 1;
+    }
+    fe_.gate_free_.notify_one();
+  }
+
+  Admission(const Admission&) = delete;
+  Admission& operator=(const Admission&) = delete;
+
+ private:
+  LineFrontEnd& fe_;
+  std::string id_;
+};
+
+LineFrontEnd::LineFrontEnd(const CliqueService& service, AnswerCache* cache,
+                           FrontEndOptions opts)
+    : service_(&service), cache_(cache), opts_(opts) {
+  opts_.max_inflight_per_graph = std::max(1, opts_.max_inflight_per_graph);
+}
+
+void LineFrontEnd::set_stats_suffix_source(std::function<std::string()> source) {
+  stats_suffix_ = std::move(source);
+}
+
+std::uint64_t LineFrontEnd::fingerprint_for(const std::string& id, const PreparedGraph& engine) {
+  {
+    const std::shared_lock<std::shared_mutex> lock(fingerprint_mutex_);
+    if (const auto it = fingerprints_.find(id); it != fingerprints_.end()) return it->second;
+  }
+  const std::uint64_t fp = engine_fingerprint(id, engine);
+  const std::unique_lock<std::shared_mutex> lock(fingerprint_mutex_);
+  return fingerprints_.emplace(id, fp).first->second;
+}
+
+std::string LineFrontEnd::stats_line() const {
+  const FrontEndStats s = stats();
+  std::string line = "stats: requests=" + std::to_string(s.requests) +
+                     " answered=" + std::to_string(s.answered) +
+                     " errors=" + std::to_string(s.errors) +
+                     " peak_inflight=" + std::to_string(s.peak_inflight) +
+                     " graphs=" + std::to_string(service_->size());
+  line += " cache_hits=" + std::to_string(s.cache.hits) +
+          " cache_misses=" + std::to_string(s.cache.misses) +
+          " cache_evictions=" + std::to_string(s.cache.evictions) +
+          " cache_entries=" + std::to_string(s.cache.entries);
+  if (stats_suffix_) {
+    const std::string suffix = stats_suffix_();
+    if (!suffix.empty()) line += ' ' + suffix;
+  }
+  return line;
+}
+
+LineFrontEnd::Reply LineFrontEnd::process(std::string_view raw) {
+  const std::string_view line = trim(raw);
+  if (line.empty() || line.front() == '#') return Reply{std::string(), false, false};
+
+  // Admin commands are bare words, never valid graph ids in a request (a
+  // request needs a second token), so they cannot shadow catalog entries.
+  if (line == "ping") return Reply{"pong", true, false};
+  if (line == "quit" || line == "bye") return Reply{"bye", true, true};
+  if (line == "stats") return Reply{stats_line(), true, false};
+  if (line == "catalog") {
+    std::string out = "catalog:";
+    for (const ServiceGraphInfo& info : service_->catalog()) out += ' ' + info.id;
+    return Reply{std::move(out), true, false};
+  }
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const auto fail = [&](std::string message) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return Reply{"error: " + one_line(message), true, false};
+  };
+
+  const std::size_t space = line.find_first_of(" \t");
+  if (space == std::string_view::npos) {
+    return fail("expected '<graph-id> <query>', got '" + std::string(line) +
+                "' (admin commands: stats catalog ping quit)");
+  }
+  const std::string id(line.substr(0, space));
+  const std::string_view query_text = line.substr(space + 1);
+
+  if (!service_->has_graph(id)) {
+    return fail("unknown graph '" + id + "' (see: catalog)");
+  }
+
+  Query query;
+  try {
+    query = parse_query(query_text);
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+
+  try {
+    const PreparedGraph& engine = service_->engine(id);  // may open a snapshot
+    const std::uint64_t fp = fingerprint_for(id, engine);
+    AnswerCache::Key key;
+    if (cache_ != nullptr) {
+      key = AnswerCache::make_key(fp, query);
+      if (std::optional<Answer> hit = cache_->lookup(key)) {
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        answered_.fetch_add(1, std::memory_order_relaxed);
+        return Reply{format_answer(*hit), true, false};
+      }
+    }
+    Answer answer;
+    {
+      const Admission slot(*this, id);  // bounded per-graph execution
+      answer = engine.run(query);
+    }
+    if (cache_ != nullptr) (void)cache_->insert(key, answer);  // refuses truncated
+    answered_.fetch_add(1, std::memory_order_relaxed);
+    return Reply{format_answer(answer), true, false};
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+}
+
+FrontEndStats LineFrontEnd::stats() const {
+  FrontEndStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.answered = answered_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(gate_mutex_);
+    for (const auto& [id, gate] : gates_) s.peak_inflight = std::max(s.peak_inflight, gate.peak);
+  }
+  if (cache_ != nullptr) s.cache = cache_->stats();
+  return s;
+}
+
+}  // namespace c3::net

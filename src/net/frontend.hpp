@@ -1,0 +1,123 @@
+// LineFrontEnd — the wire protocol of c3serve, independent of any socket.
+//
+// One request per line, one response per line. A request is a graph id from
+// the catalog followed by a query in the Query/Answer text grammar
+// (query.hpp) — the exact line a query file holds, prefixed by which graph
+// to ask:
+//
+//   social count 4 workers=2      ->  count 4: 2718 cliques
+//   web maxclique witness=0       ->  maxclique: omega 9
+//   web list 3 limit=2            ->  list 3: 2 cliques [truncated]
+//
+// plus four admin commands: `stats` (one line of counters, including the
+// answer cache's hits/misses/evictions), `catalog` (the graph ids), `ping`
+// (liveness), and `quit` (close after the reply). Blank and '#'-comment
+// lines are skipped without a response. Every failure — unknown graph, parse
+// error, snapshot open failure, execution error — becomes one line starting
+// with "error: "; no request kills the connection.
+//
+// In front of execution sit the two serving-layer pieces:
+//
+//   * the AnswerCache (optional): before running, the request's canonical
+//     key — engine fingerprint + format_query(canonical_question(q)) — is
+//     looked up; a hit answers without touching the engine or an admission
+//     slot. Complete answers are inserted after execution; truncated ones
+//     never are.
+//
+//   * per-graph admission control: at most `max_inflight_per_graph`
+//     requests execute per graph at a time; excess requests *block* (their
+//     connection threads wait FIFO-ish on a condvar) rather than fail, so a
+//     flood against one hot graph queues against that graph's slots while
+//     other graphs' slots stay free — fairness across the catalog by
+//     construction.
+//
+// process() is safe to call from any number of connection threads.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "clique/answer_cache.hpp"
+#include "clique/service.hpp"
+
+namespace c3::net {
+
+struct FrontEndOptions {
+  /// Queries executing concurrently per graph; further requests for that
+  /// graph block until a slot frees. >= 1.
+  int max_inflight_per_graph = 4;
+};
+
+/// Counter snapshot for stats()/the `stats` admin line.
+struct FrontEndStats {
+  std::uint64_t requests = 0;   ///< query requests (admin lines not counted)
+  std::uint64_t answered = 0;   ///< successful answers (cache hits included)
+  std::uint64_t cache_hits = 0; ///< answered straight from the cache
+  std::uint64_t errors = 0;     ///< error: responses
+  int peak_inflight = 0;        ///< max concurrent executions on any graph
+  AnswerCacheStats cache;       ///< zeroed when no cache is attached
+};
+
+class LineFrontEnd {
+ public:
+  /// `cache` may be nullptr (no caching). Both `service` and `cache` must
+  /// outlive the front end.
+  LineFrontEnd(const CliqueService& service, AnswerCache* cache, FrontEndOptions opts = {});
+
+  struct Reply {
+    std::string line;      ///< the one response line (empty if !respond)
+    bool respond = true;   ///< false: blank/comment input, send nothing
+    bool close = false;    ///< true after `quit`: reply, then hang up
+  };
+
+  /// Handles one request line (newline already stripped). Never throws —
+  /// failures become "error: ..." replies.
+  [[nodiscard]] Reply process(std::string_view line);
+
+  [[nodiscard]] FrontEndStats stats() const;
+
+  /// Extra "key=value" text appended to the `stats` admin line — the server
+  /// hooks its connection gauges in here. Set once, before traffic.
+  void set_stats_suffix_source(std::function<std::string()> source);
+
+ private:
+  struct GraphGate {
+    int inflight = 0;
+    int peak = 0;
+  };
+
+  /// Blocks until an execution slot for `id` is free; RAII-released.
+  class Admission;
+
+  [[nodiscard]] std::uint64_t fingerprint_for(const std::string& id,
+                                              const PreparedGraph& engine);
+  [[nodiscard]] std::string stats_line() const;
+
+  const CliqueService* service_;
+  AnswerCache* cache_;
+  FrontEndOptions opts_;
+  std::function<std::string()> stats_suffix_;
+
+  mutable std::mutex gate_mutex_;
+  std::condition_variable gate_free_;
+  std::map<std::string, GraphGate, std::less<>> gates_;
+
+  mutable std::shared_mutex fingerprint_mutex_;
+  std::unordered_map<std::string, std::uint64_t> fingerprints_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> answered_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> errors_{0};
+};
+
+}  // namespace c3::net

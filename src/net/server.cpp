@@ -1,0 +1,135 @@
+#include "net/server.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace c3::net {
+
+CliqueServer::CliqueServer(const CliqueService& service, ServerOptions opts)
+    : service_(&service),
+      opts_(std::move(opts)),
+      cache_(opts_.cache_capacity > 0
+                 ? std::make_unique<AnswerCache>(opts_.cache_capacity, opts_.cache_shards)
+                 : nullptr),
+      frontend_(service, cache_.get(),
+                FrontEndOptions{opts_.max_inflight_per_graph}) {
+  frontend_.set_stats_suffix_source([this] {
+    return "connections=" + std::to_string(open_.load(std::memory_order_relaxed)) +
+           " accepted=" + std::to_string(accepted_.load(std::memory_order_relaxed));
+  });
+}
+
+CliqueServer::~CliqueServer() { stop(); }
+
+void CliqueServer::start() {
+  if (started_) throw std::logic_error("c3::net: CliqueServer::start() called twice");
+  started_ = true;
+  listener_ = listen_tcp(opts_.bind_address, opts_.port, &port_);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void CliqueServer::stop() {
+  // Serialized: a second stop() (or the destructor racing an explicit call)
+  // waits for the first to finish the teardown, then sees stopped_ and
+  // returns.
+  const std::lock_guard<std::mutex> lock(stop_mutex_);
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  stopping_.store(true, std::memory_order_release);
+  // No new connections. shutdown — not close — wakes the blocked accept()
+  // (on Linux close() alone leaves it sleeping forever), and the fd must
+  // stay open until the accept thread is joined: closing here would race
+  // the accept loop's read of the descriptor.
+  shutdown_listener(listener_.get());
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+
+  // Half-close every connection's read side. Idle readers see EOF at once;
+  // a thread mid-query finishes and still writes its response (the write
+  // side stays open) before its next read observes the close.
+  {
+    const std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (const auto& conn : conns_) conn->channel.shutdown_read();
+  }
+  // The accept thread is gone, so conns_ is stable: join everything.
+  for (const auto& conn : conns_) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  conns_.clear();
+  running_.store(false, std::memory_order_release);
+}
+
+void CliqueServer::reap_finished() {
+  const std::lock_guard<std::mutex> lock(conns_mutex_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CliqueServer::accept_loop() {
+  for (;;) {
+    UniqueFd fd = accept_connection(listener_.get());
+    if (!fd.valid()) break;  // listener closed: stop() is underway
+    reap_finished();         // long-lived servers must not hoard dead threads
+    if (stopping_.load(std::memory_order_acquire)) break;
+
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    open_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_unique<Connection>(LineChannel(std::move(fd), opts_.max_line_bytes));
+    Connection& ref = *conn;
+    {
+      const std::lock_guard<std::mutex> lock(conns_mutex_);
+      conns_.push_back(std::move(conn));
+    }
+    ref.thread = std::thread([this, &ref] {
+      serve_connection(ref);
+      // The Connection object is reaped later (next accept, or stop());
+      // send the FIN now so the peer sees EOF the moment we are done.
+      ref.channel.shutdown();
+      open_.fetch_sub(1, std::memory_order_relaxed);
+      ref.done.store(true, std::memory_order_release);
+    });
+  }
+}
+
+void CliqueServer::serve_connection(Connection& conn) {
+  std::string line;
+  for (;;) {
+    switch (conn.channel.read_line(line, opts_.idle_timeout_seconds)) {
+      case LineChannel::ReadStatus::Line:
+        break;
+      case LineChannel::ReadStatus::Timeout:
+        idle_closes_.fetch_add(1, std::memory_order_relaxed);
+        (void)conn.channel.write_line("error: idle timeout, closing");
+        return;
+      case LineChannel::ReadStatus::TooLong:
+        (void)conn.channel.write_line("error: request line over " +
+                                      std::to_string(opts_.max_line_bytes) +
+                                      " bytes, closing");
+        return;
+      case LineChannel::ReadStatus::Closed:
+      case LineChannel::ReadStatus::Failed:
+        return;
+    }
+    const LineFrontEnd::Reply reply = frontend_.process(line);
+    if (reply.respond && !conn.channel.write_line(reply.line)) return;
+    if (reply.close) return;
+  }
+}
+
+ServerStats CliqueServer::stats() const {
+  ServerStats s;
+  s.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  s.connections_open = open_.load(std::memory_order_relaxed);
+  s.idle_closes = idle_closes_.load(std::memory_order_relaxed);
+  s.frontend = frontend_.stats();
+  return s;
+}
+
+}  // namespace c3::net

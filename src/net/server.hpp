@@ -1,0 +1,128 @@
+// CliqueServer — the TCP front door of a CliqueService catalog.
+//
+// Thread-per-connection serving of the LineFrontEnd protocol: an accept
+// thread hands each connection to its own thread, which loops
+// read-line -> process -> write-line until the client quits, disconnects,
+// errors, or sits idle past the timeout. The model matches the engine: a
+// query may fan out over the whole worker pool, so a handful of connection
+// threads saturates the machine long before thread-per-connection overhead
+// matters — admission control (per-graph in-flight bounds, LineFrontEnd)
+// is what actually protects the pool, not connection multiplexing.
+//
+//   CliqueService service;            // the catalog (outlives the server)
+//   service.add_snapshot("web", "web.c3snap");
+//   CliqueServer server(service);     // port 0: kernel-assigned
+//   server.start();
+//   printf("listening on %d\n", server.port());
+//   ...
+//   server.stop();                    // graceful: drains in-flight requests
+//
+// Graceful shutdown: stop() closes the listener (no new connections), then
+// half-closes every connection's read side — a blocked reader sees EOF and
+// exits, a connection mid-query finishes the query and writes its response
+// before noticing — and joins every thread. Destruction stops implicitly.
+//
+// The answer cache sits inside the front end: ServerOptions sizes it,
+// `stats` (the admin command) and stats() surface its counters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "clique/answer_cache.hpp"
+#include "clique/service.hpp"
+#include "net/frontend.hpp"
+#include "net/socket.hpp"
+
+namespace c3::net {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; port() reports the real one
+  /// Concurrent query executions per graph (LineFrontEnd admission).
+  int max_inflight_per_graph = 4;
+  /// A connection with no complete request line for this long is told
+  /// "error: idle timeout" and closed. <= 0: never.
+  double idle_timeout_seconds = 300.0;
+  /// Answer cache entries (0 disables caching). See AnswerCache.
+  std::size_t cache_capacity = 4096;
+  std::size_t cache_shards = 8;
+  /// Protocol violation bound: longer request lines end the connection.
+  std::size_t max_line_bytes = 1 << 16;
+};
+
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_open = 0;
+  std::uint64_t idle_closes = 0;
+  FrontEndStats frontend;
+};
+
+class CliqueServer {
+ public:
+  /// Binds nothing yet; `service` must outlive the server.
+  CliqueServer(const CliqueService& service, ServerOptions opts = {});
+
+  /// stop()s if still running.
+  ~CliqueServer();
+
+  CliqueServer(const CliqueServer&) = delete;
+  CliqueServer& operator=(const CliqueServer&) = delete;
+
+  /// Binds, listens, and starts accepting. Throws std::runtime_error when
+  /// the address/port cannot be bound; std::logic_error if already started.
+  void start();
+
+  /// Graceful shutdown (see header comment). Idempotent; start() may not be
+  /// called again afterwards.
+  void stop();
+
+  /// The bound port (valid after start()).
+  [[nodiscard]] int port() const noexcept { return port_; }
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] ServerStats stats() const;
+
+ private:
+  struct Connection {
+    explicit Connection(LineChannel ch) : channel(std::move(ch)) {}
+    LineChannel channel;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void serve_connection(Connection& conn);
+  void reap_finished();
+
+  const CliqueService* service_;
+  ServerOptions opts_;
+  std::unique_ptr<AnswerCache> cache_;  // null when cache_capacity == 0
+  LineFrontEnd frontend_;
+
+  UniqueFd listener_;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  std::mutex stop_mutex_;
+  bool stopped_ = false;  // guarded by stop_mutex_
+
+  std::mutex conns_mutex_;
+  std::list<std::unique_ptr<Connection>> conns_;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> open_{0};
+  std::atomic<std::uint64_t> idle_closes_{0};
+};
+
+}  // namespace c3::net

@@ -1,0 +1,220 @@
+#include "net/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#if !defined(_WIN32)
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "util/timer.hpp"
+
+namespace c3::net {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("c3::net: " + what + " (" + std::strerror(errno) + ")");
+}
+
+}  // namespace
+
+UniqueFd& UniqueFd::operator=(UniqueFd&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.release();
+  }
+  return *this;
+}
+
+int UniqueFd::release() noexcept { return std::exchange(fd_, -1); }
+
+void UniqueFd::close() noexcept {
+#if !defined(_WIN32)
+  if (fd_ >= 0) ::close(fd_);
+#endif
+  fd_ = -1;
+}
+
+#if defined(_WIN32)
+
+UniqueFd listen_tcp(const std::string&, std::uint16_t, int*, int) {
+  throw std::runtime_error("c3::net: not supported on this platform");
+}
+UniqueFd accept_connection(int) { return UniqueFd(); }
+void shutdown_listener(int) noexcept {}
+UniqueFd connect_tcp(const std::string&, std::uint16_t, double) {
+  throw std::runtime_error("c3::net: not supported on this platform");
+}
+LineChannel::ReadStatus LineChannel::read_line(std::string&, double) {
+  return ReadStatus::Failed;
+}
+bool LineChannel::write_line(std::string_view) { return false; }
+void LineChannel::shutdown_read() noexcept {}
+void LineChannel::shutdown() noexcept {}
+
+#else
+
+UniqueFd listen_tcp(const std::string& address, std::uint16_t port, int* bound_port,
+                    int backlog) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) fail("socket failed");
+  const int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("c3::net: invalid bind address '" + address + "'");
+  }
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    fail("bind to " + address + ":" + std::to_string(port) + " failed");
+  }
+  if (::listen(fd.get(), backlog) != 0) fail("listen failed");
+
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof actual;
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&actual), &len) != 0) {
+      fail("getsockname failed");
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return fd;
+}
+
+UniqueFd accept_connection(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return UniqueFd(fd);
+    }
+    if (errno == EINTR) continue;
+    // EBADF/EINVAL: the listener was closed or shut down — stop signal, not
+    // an error. Anything else (EMFILE, ECONNABORTED) also ends the loop
+    // quietly; the accept loop owns retry policy.
+    return UniqueFd();
+  }
+}
+
+void shutdown_listener(int listen_fd) noexcept { ::shutdown(listen_fd, SHUT_RDWR); }
+
+UniqueFd connect_tcp(const std::string& address, std::uint16_t port, double timeout_seconds) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) fail("socket failed");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("c3::net: invalid address '" + address + "'");
+  }
+
+  // Non-blocking connect + poll gives the timeout; back to blocking after.
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  (void)::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK);
+  const int rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  if (rc != 0 && errno != EINPROGRESS) {
+    fail("connect to " + address + ":" + std::to_string(port) + " failed");
+  }
+  if (rc != 0) {
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    const int timeout_ms =
+        timeout_seconds <= 0 ? -1 : static_cast<int>(timeout_seconds * 1000.0);
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0) {
+      throw std::runtime_error("c3::net: connect to " + address + ":" + std::to_string(port) +
+                               " timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      errno = err != 0 ? err : errno;
+      fail("connect to " + address + ":" + std::to_string(port) + " failed");
+    }
+  }
+  (void)::fcntl(fd.get(), F_SETFL, flags);
+  const int one = 1;
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+LineChannel::ReadStatus LineChannel::read_line(std::string& line, double timeout_seconds) {
+  const WallTimer timer;
+  for (;;) {
+    // A complete line already buffered costs no syscall.
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      // The bound applies to complete lines too — a newline arriving in the
+      // same recv burst as an oversized line must not bypass it.
+      if (nl > max_line_) return ReadStatus::TooLong;
+      line.assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF clients
+      return ReadStatus::Line;
+    }
+    if (buffer_.size() > max_line_) return ReadStatus::TooLong;
+
+    int timeout_ms = -1;
+    if (timeout_seconds > 0) {
+      const double left = timeout_seconds - timer.seconds();
+      if (left <= 0) return ReadStatus::Timeout;
+      timeout_ms = static_cast<int>(left * 1000.0) + 1;
+    }
+    pollfd pfd{fd_.get(), POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0) return ReadStatus::Timeout;
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return ReadStatus::Failed;
+    }
+
+    char chunk[4096];
+    const ssize_t got = ::recv(fd_.get(), chunk, sizeof chunk, 0);
+    if (got > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got == 0) return ReadStatus::Closed;  // EOF (peer close or shutdown)
+    if (errno == EINTR) continue;
+    return ReadStatus::Failed;
+  }
+}
+
+bool LineChannel::write_line(std::string_view line) {
+  // One assembled buffer, one send loop: the response goes out in a single
+  // segment for any realistically sized answer.
+  std::string out;
+  out.reserve(line.size() + 1);
+  out.append(line);
+  out.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n = ::send(fd_.get(), out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void LineChannel::shutdown_read() noexcept { ::shutdown(fd_.get(), SHUT_RD); }
+
+void LineChannel::shutdown() noexcept { ::shutdown(fd_.get(), SHUT_RDWR); }
+
+#endif  // !_WIN32
+
+}  // namespace c3::net

@@ -1,0 +1,100 @@
+// Minimal TCP plumbing for the line-protocol server: an owning fd, listen/
+// connect helpers, and a buffered line channel with poll-based timeouts.
+//
+// POSIX sockets only — on platforms without them every entry point throws.
+// Nothing here knows about queries: bytes in, '\n'-terminated lines out.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace c3::net {
+
+/// Owning file descriptor (closed on destruction; move-only).
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) noexcept : fd_(fd) {}
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept;
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  ~UniqueFd() { close(); }
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int release() noexcept;
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on `address:port` (port 0 = kernel-assigned ephemeral).
+/// Returns the listening socket; `*bound_port` receives the actual port.
+/// Throws std::runtime_error naming the failing call.
+[[nodiscard]] UniqueFd listen_tcp(const std::string& address, std::uint16_t port,
+                                  int* bound_port, int backlog = 64);
+
+/// Accepts one connection (blocking). Returns an invalid fd when the
+/// listening socket was closed/shut down (the server's stop signal).
+[[nodiscard]] UniqueFd accept_connection(int listen_fd);
+
+/// Wakes any thread blocked in accept_connection(listen_fd) — on Linux,
+/// close() alone does NOT unblock a sleeping accept(); it sleeps on forever
+/// against a dead fd. shutdown() forces it awake with an error, which
+/// accept_connection turns into the invalid-fd stop signal. Call this, then
+/// close the fd.
+void shutdown_listener(int listen_fd) noexcept;
+
+/// Connects to `address:port`, waiting up to `timeout_seconds`. Throws
+/// std::runtime_error on failure or timeout.
+[[nodiscard]] UniqueFd connect_tcp(const std::string& address, std::uint16_t port,
+                                   double timeout_seconds = 10.0);
+
+/// Buffered, line-oriented view of one connected socket. Reads accumulate in
+/// an internal buffer until a '\n' arrives (so short TCP segments cost no
+/// extra syscalls once buffered); writes assemble the full line + '\n' and
+/// send it in one loop. Not internally synchronized — one connection, one
+/// thread — except shutdown(), which any thread may call to unblock a
+/// blocked read.
+class LineChannel {
+ public:
+  explicit LineChannel(UniqueFd fd, std::size_t max_line_bytes = 1 << 16)
+      : fd_(std::move(fd)), max_line_(max_line_bytes) {}
+
+  enum class ReadStatus {
+    Line,     ///< `line` holds one complete line ('\n' and any '\r' stripped)
+    Timeout,  ///< no complete line within the timeout
+    Closed,   ///< peer closed (or shutdown() was called); no complete line left
+    TooLong,  ///< a line exceeded max_line_bytes — protocol violation
+    Failed,   ///< read error
+  };
+
+  /// Blocks up to `timeout_seconds` (<= 0: no timeout) for one line.
+  [[nodiscard]] ReadStatus read_line(std::string& line, double timeout_seconds);
+
+  /// Writes `line` plus '\n' fully; false on any send failure (SIGPIPE is
+  /// suppressed — a vanished client is a return value, not a signal).
+  [[nodiscard]] bool write_line(std::string_view line);
+
+  /// Half-closes the read side from any thread: a blocked read_line returns
+  /// Closed once the buffer holds no complete line, while responses already
+  /// being written still flush — the graceful-shutdown knife.
+  void shutdown_read() noexcept;
+
+  /// Full shutdown (both directions).
+  void shutdown() noexcept;
+
+  [[nodiscard]] int fd() const noexcept { return fd_.get(); }
+
+ private:
+  UniqueFd fd_;
+  std::string buffer_;
+  std::size_t max_line_ = 1 << 16;
+};
+
+}  // namespace c3::net

@@ -6,9 +6,9 @@
 #include <string>
 #include <utility>
 
-#if defined(_WIN32)
 #include <fstream>
-#else
+
+#if !defined(_WIN32)
 #include <fcntl.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
@@ -61,24 +61,35 @@ bool MappedFile::lock_memory() const noexcept {
 #if defined(_WIN32)
   return false;
 #else
-  if (data_ == nullptr || size_ == 0) return false;
+  // Heap fallback: mlock assumes a page-aligned mapping — locking an
+  // unaligned heap buffer would pin whatever else shares its boundary
+  // pages. The buffer is already resident, so "not locked" is the honest
+  // no-op, reported as false for Snapshot::memory_locked().
+  if (!mapped_ || data_ == nullptr || size_ == 0) return false;
   return ::mlock(data_, size_) == 0;
 #endif
 }
 
-MappedFile MappedFile::map_readonly(const std::filesystem::path& path) {
+MappedFile MappedFile::read_heap(const std::filesystem::path& path) {
   MappedFile out;
-#if defined(_WIN32)
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) fail(path, "cannot open for reading");
   const auto bytes = static_cast<std::size_t>(in.tellg());
+  if (bytes == 0) return out;  // empty file: validation rejects it later
   out.heap_ = std::make_unique<std::byte[]>(bytes);
   in.seekg(0);
   in.read(reinterpret_cast<char*>(out.heap_.get()), static_cast<std::streamsize>(bytes));
   if (!in) fail(path, "read error");
   out.data_ = out.heap_.get();
   out.size_ = bytes;
+  return out;
+}
+
+MappedFile MappedFile::map_readonly(const std::filesystem::path& path) {
+#if defined(_WIN32)
+  return read_heap(path);
 #else
+  MappedFile out;
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) fail(path, std::string("cannot open for reading (") + std::strerror(errno) + ")");
   struct stat st{};
@@ -102,8 +113,8 @@ MappedFile MappedFile::map_readonly(const std::filesystem::path& path) {
   out.data_ = static_cast<const std::byte*>(addr);
   out.size_ = bytes;
   out.mapped_ = true;
-#endif
   return out;
+#endif
 }
 
 }  // namespace c3::snapshot

@@ -21,6 +21,14 @@ class MappedFile {
   /// message names the path and the failing operation).
   [[nodiscard]] static MappedFile map_readonly(const std::filesystem::path& path);
 
+  /// Reads `path` into a heap buffer instead of mapping it — the fallback
+  /// platforms without mmap always take, callable directly where a private
+  /// copy is wanted (or to test the fallback path). is_mapped() is false;
+  /// the page-granular warm-up hints (prefault, lock_memory) become
+  /// explicit no-ops: madvise/mlock assume a page-aligned mapping, and a
+  /// heap buffer is already resident anyway.
+  [[nodiscard]] static MappedFile read_heap(const std::filesystem::path& path);
+
   MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
   MappedFile& operator=(MappedFile&& other) noexcept;
   MappedFile(const MappedFile&) = delete;
@@ -42,7 +50,9 @@ class MappedFile {
   /// Pins the mapping into RAM (mlock), so serving never takes a major
   /// fault — at the price of unevictable memory. Best-effort: returns false
   /// when unsupported or refused (e.g. RLIMIT_MEMLOCK), which callers
-  /// should treat as a degraded warm-up, not an error.
+  /// should treat as a degraded warm-up, not an error. A no-op returning
+  /// false for the heap fallback — mlock wants a page-aligned mapping, and
+  /// heap pages need no pinning to avoid major faults.
   [[nodiscard]] bool lock_memory() const noexcept;
 
  private:

@@ -423,7 +423,8 @@ Snapshot Snapshot::open_with(const std::filesystem::path& path, const CliqueOpti
                              const SnapshotOpenOptions& open_opts) {
   Snapshot snap;
   Impl& impl = *snap.impl_;
-  impl.map = MappedFile::map_readonly(path);
+  impl.map = open_opts.force_heap_fallback ? MappedFile::read_heap(path)
+                                           : MappedFile::map_readonly(path);
   // Read-ahead before validation: the checksum scan (when on) is the first
   // beneficiary of the whole file streaming in.
   if (open_opts.prefault) impl.map.prefault();

@@ -58,6 +58,13 @@ struct SnapshotOpenOptions {
   /// takes a major fault. Best-effort — a refusal (e.g. RLIMIT_MEMLOCK) is
   /// reported through Snapshot::memory_locked(), not an error.
   bool lock_memory = false;
+  /// Read the file into a heap buffer instead of mmap-ing it — the path
+  /// platforms without mmap always take. On the heap the page-granular
+  /// warm-up hints degrade explicitly: prefault is a no-op (the buffer is
+  /// already resident) and lock_memory reports false through
+  /// memory_locked() (mlock wants a page-aligned mapping). Mostly a testing
+  /// knob; also useful when a private copy should survive file replacement.
+  bool force_heap_fallback = false;
 };
 
 /// One section as recorded in the file (for inspect/tooling output).

@@ -40,6 +40,18 @@ class CommandLine {
     return std::nullopt;
   }
 
+  /// Every value of a repeatable `--name value` / `--name=value` flag, in
+  /// argv order (e.g. c3serve's --snapshot id=path, given once per graph).
+  [[nodiscard]] std::vector<std::string> get_all(std::string_view name) const {
+    const std::string key = "--" + std::string(name);
+    std::vector<std::string> values;
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i] == key && i + 1 < args_.size()) values.push_back(args_[i + 1]);
+      if (args_[i].rfind(key + "=", 0) == 0) values.push_back(args_[i].substr(key.size() + 1));
+    }
+    return values;
+  }
+
   [[nodiscard]] long long get_int(std::string_view name, long long fallback) const {
     if (auto v = get(name)) return std::atoll(v->c_str());
     return fallback;

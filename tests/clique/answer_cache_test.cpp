@@ -1,0 +1,197 @@
+// AnswerCache: key normalization (execution-only options collapse to one
+// entry, result-shaping options and engine fingerprints keep entries apart),
+// the truncated-answers-are-never-cached rule, LRU eviction order, counter
+// accounting, and hammering one cache from many threads (the tsan surface).
+#include "clique/answer_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "clique/engine.hpp"
+#include "clique/query.hpp"
+#include "graph/gen/generators.hpp"
+
+namespace c3 {
+namespace {
+
+Query count_query(int k) {
+  Query q;
+  q.kind = QueryKind::Count;
+  q.k = k;
+  return q;
+}
+
+Answer count_answer(int k, count_t count, bool truncated = false) {
+  Answer a;
+  a.kind = QueryKind::Count;
+  a.k = k;
+  a.count = count;
+  a.truncated = truncated;
+  return a;
+}
+
+TEST(AnswerCacheKey, ExecutionOnlyOptionsCollapse) {
+  // workers=, budget=, and the cancel token are how a query runs, not what
+  // it asks — every spelling must map to the same key.
+  Query plain = count_query(5);
+  Query tuned = count_query(5);
+  tuned.opts.max_workers = 8;
+  tuned.opts.budget_seconds = 2.0;
+  tuned.opts.cancel = std::make_shared<std::atomic<bool>>(false);
+
+  const auto a = AnswerCache::make_key(7, plain);
+  const auto b = AnswerCache::make_key(7, tuned);
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+
+  // limit= and witness= shape the answer; they must stay in the key.
+  Query limited = count_query(5);
+  limited.opts.result_limit = 10;
+  EXPECT_NE(AnswerCache::make_key(7, limited).text, a.text);
+  Query no_witness = count_query(5);
+  no_witness.opts.want_witness = false;
+  EXPECT_NE(AnswerCache::make_key(7, no_witness).text, a.text);
+}
+
+TEST(AnswerCacheKey, FingerprintSeparatesEngines) {
+  // Same graph shape, different artifact-determining options (or ids) must
+  // fingerprint differently; the same engine must fingerprint stably.
+  const Graph g = erdos_renyi(80, 500, 9);
+  CliqueOptions c3;
+  c3.algorithm = Algorithm::C3List;
+  CliqueOptions kclist;
+  kclist.algorithm = Algorithm::KCList;
+  const PreparedGraph a(g, c3);
+  const PreparedGraph b(g, kclist);
+
+  EXPECT_EQ(engine_fingerprint("g", a), engine_fingerprint("g", a));
+  EXPECT_NE(engine_fingerprint("g", a), engine_fingerprint("g", b));
+  EXPECT_NE(engine_fingerprint("g", a), engine_fingerprint("h", a));
+
+  // Two entries under the same text but different fingerprints never mix.
+  AnswerCache cache(64);
+  const Query q = count_query(4);
+  ASSERT_TRUE(cache.insert(AnswerCache::make_key(1, q), count_answer(4, 100)));
+  ASSERT_TRUE(cache.insert(AnswerCache::make_key(2, q), count_answer(4, 200)));
+  const auto one = cache.lookup(AnswerCache::make_key(1, q));
+  const auto two = cache.lookup(AnswerCache::make_key(2, q));
+  ASSERT_TRUE(one.has_value());
+  ASSERT_TRUE(two.has_value());
+  EXPECT_EQ(one->count, 100u);
+  EXPECT_EQ(two->count, 200u);
+}
+
+TEST(AnswerCache, HitMissInsertCountersAccount) {
+  AnswerCache cache(16);
+  const auto key = AnswerCache::make_key(3, count_query(4));
+
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  ASSERT_TRUE(cache.insert(key, count_answer(4, 42)));
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->count, 42u);
+
+  const AnswerCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Re-inserting the same key refreshes the value, not the entry count.
+  ASSERT_TRUE(cache.insert(key, count_answer(4, 43)));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.lookup(key)->count, 43u);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup(key).has_value());
+}
+
+TEST(AnswerCache, NeverStoresTruncatedAnswers) {
+  AnswerCache cache(16);
+  const auto key = AnswerCache::make_key(1, count_query(5));
+  EXPECT_FALSE(cache.insert(key, count_answer(5, 7, /*truncated=*/true)));
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+TEST(AnswerCache, ZeroCapacityIsAnOffSwitch) {
+  AnswerCache cache(0);
+  const auto key = AnswerCache::make_key(1, count_query(3));
+  EXPECT_FALSE(cache.insert(key, count_answer(3, 9)));
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  const AnswerCacheStats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);  // counters stay alive for the stats line
+}
+
+TEST(AnswerCache, EvictsLeastRecentlyUsedWithinAShard) {
+  // One shard makes the LRU order observable: fill to capacity, refresh the
+  // oldest entry with a lookup, insert one more — the refreshed entry must
+  // survive and the second-oldest must be evicted.
+  AnswerCache cache(3, /*shards=*/1);
+  const auto k3 = AnswerCache::make_key(1, count_query(3));
+  const auto k4 = AnswerCache::make_key(1, count_query(4));
+  const auto k5 = AnswerCache::make_key(1, count_query(5));
+  const auto k6 = AnswerCache::make_key(1, count_query(6));
+  ASSERT_TRUE(cache.insert(k3, count_answer(3, 30)));
+  ASSERT_TRUE(cache.insert(k4, count_answer(4, 40)));
+  ASSERT_TRUE(cache.insert(k5, count_answer(5, 50)));
+  EXPECT_EQ(cache.size(), 3u);
+
+  ASSERT_TRUE(cache.lookup(k3).has_value());  // k3 is now most recent
+  ASSERT_TRUE(cache.insert(k6, count_answer(6, 60)));
+
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.lookup(k3).has_value()) << "refreshed entry was evicted";
+  EXPECT_FALSE(cache.lookup(k4).has_value()) << "LRU entry survived";
+  EXPECT_TRUE(cache.lookup(k5).has_value());
+  EXPECT_TRUE(cache.lookup(k6).has_value());
+}
+
+TEST(AnswerCache, ConcurrentLookupsAndInsertsStayConsistent) {
+  // Many threads mixing hits, misses, inserts, and evictions on one cache;
+  // every lookup that returns must return the value stored for that key.
+  AnswerCache cache(32, /*shards=*/4);
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 64;
+  constexpr int kReps = 400;
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(kThreads);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int rep = 0; rep < kReps; ++rep) {
+        const int k = 3 + (t * 31 + rep) % kKeys;
+        const auto key = AnswerCache::make_key(11, count_query(k));
+        if (const auto found = cache.lookup(key)) {
+          if (found->count != static_cast<count_t>(k) * 10) {
+            failures[t] = "lookup returned a foreign answer";
+          }
+        } else {
+          (void)cache.insert(key, count_answer(k, static_cast<count_t>(k) * 10));
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::string& f : failures) EXPECT_EQ(f, "");
+
+  const AnswerCacheStats s = cache.stats();
+  EXPECT_GT(s.hits, 0u);
+  EXPECT_GT(s.evictions, 0u) << "capacity 32 under 64 keys must evict";
+  EXPECT_LE(s.entries, 32u);
+  EXPECT_EQ(s.hits + s.misses, static_cast<std::uint64_t>(kThreads) * kReps);
+}
+
+}  // namespace
+}  // namespace c3

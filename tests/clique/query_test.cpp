@@ -154,6 +154,104 @@ TEST(QueryText, ParseQueryFileSkipsBlanksAndNamesBadLines) {
   }
 }
 
+TEST(QueryText, RoundTripSurvivesACancelToken) {
+  // A cancel token has no text form; it is execution state, not part of the
+  // question. format_query must omit it and parse(format(q)) == q must hold
+  // with the token set (the old equality compared the shared_ptr by
+  // identity, so this round trip used to fail).
+  Query q;
+  q.kind = QueryKind::Count;
+  q.k = 4;
+  q.opts.max_workers = 3;
+  q.opts.cancel = std::make_shared<std::atomic<bool>>(false);
+  const std::string text = format_query(q);
+  EXPECT_EQ(text.find("cancel"), std::string::npos) << text;
+  const Query back = parse_query(text);
+  EXPECT_TRUE(back == q) << "round trip changed '" << text << "'";
+
+  // Two queries differing only in their token (set vs unset, or two distinct
+  // tokens with the same value) ask the same question.
+  Query other = q;
+  other.opts.cancel = std::make_shared<std::atomic<bool>>(false);
+  EXPECT_TRUE(q == other);
+  other.opts.cancel.reset();
+  EXPECT_TRUE(q == other);
+}
+
+TEST(QueryText, CommentsGlueToTokensAndCrlfIsTolerated) {
+  // '#' starts a comment even with no whitespace before it — the comment
+  // must not fuse into the preceding token.
+  EXPECT_TRUE(parse_query("count 4#glued") == (Query{QueryKind::Count, 4, 0, {}}));
+  EXPECT_TRUE(parse_query("spectrum#x") == (Query{QueryKind::Spectrum, 0, 0, {}}));
+  expect_parse_error("count#4", "");  // the comment ate K: missing-K error
+
+  // Lines arriving from CRLF files (or raw TCP) keep their '\r'; it must
+  // parse as whitespace, not leak into the last token.
+  EXPECT_TRUE(parse_query("count 4\r") == (Query{QueryKind::Count, 4, 0, {}}));
+  Query capped{QueryKind::Count, 4, 0, {}};
+  capped.opts.max_workers = 2;
+  EXPECT_TRUE(parse_query("count 4 workers=2\r") == capped);
+  std::istringstream crlf("count 3\r\n\r\nspectrum 4\r\n");
+  const std::vector<Query> queries = parse_query_file(crlf);
+  ASSERT_EQ(queries.size(), 2u);
+  EXPECT_EQ(queries[0].k, 3);
+  EXPECT_EQ(queries[1].kmax, 4);
+}
+
+TEST(QueryText, ExplicitDefaultOptionsParseAndRoundTrip) {
+  // workers=0 (no cap) and limit=0 (unlimited) are the defaults spelled out
+  // explicitly; both must parse, and formatting then omits them.
+  const Query workers0 = parse_query("count 4 workers=0");
+  EXPECT_EQ(workers0.opts.max_workers, 0);
+  EXPECT_EQ(format_query(workers0), "count 4");
+  const Query limit0 = parse_query("list 3 limit=0");
+  EXPECT_EQ(limit0.opts.result_limit, 0u);
+  EXPECT_EQ(format_query(limit0), "list 3");
+}
+
+TEST(QueryText, OverRangeCliqueSizesAreRejected) {
+  // k fits an int and is capped at 2^30; both the fits-in-long-long and the
+  // beyond-long-long spellings must fail naming the token.
+  expect_parse_error("count 2000000000", "2000000000");
+  expect_parse_error("hasclique 99999999999999999999", "99999999999999999999");
+}
+
+TEST(QueryText, CanonicalQuestionStripsExecutionOnlyOptions) {
+  // canonical_question keeps what shapes the answer (kind, k/kmax, limit,
+  // witness) and zeroes what only shapes execution (workers, budget,
+  // cancel) — the normalization the answer cache keys on.
+  Query q;
+  q.kind = QueryKind::List;
+  q.k = 4;
+  q.opts.max_workers = 8;
+  q.opts.budget_seconds = 2.5;
+  q.opts.result_limit = 10;
+  q.opts.want_witness = false;
+  q.opts.cancel = std::make_shared<std::atomic<bool>>(false);
+
+  const Query canon = canonical_question(q);
+  EXPECT_EQ(canon.opts.max_workers, 0);
+  EXPECT_EQ(canon.opts.budget_seconds, 0.0);
+  EXPECT_EQ(canon.opts.cancel, nullptr);
+  EXPECT_EQ(canon.opts.result_limit, 10u);
+  EXPECT_FALSE(canon.opts.want_witness);
+  EXPECT_EQ(format_query(canon), "list 4 limit=10 witness=0");
+
+  Query same = q;
+  same.opts.max_workers = 1;
+  same.opts.budget_seconds = 0.0;
+  same.opts.cancel.reset();
+  EXPECT_TRUE(same_question(q, same));
+  EXPECT_TRUE(canonical_question(q) == canonical_question(same));
+
+  Query different = q;
+  different.opts.result_limit = 11;
+  EXPECT_FALSE(same_question(q, different));
+  different = q;
+  different.k = 5;
+  EXPECT_FALSE(same_question(q, different));
+}
+
 TEST(QueryText, FormatAnswerRendersEveryKind) {
   Answer a;
   a.kind = QueryKind::Count;
@@ -355,6 +453,50 @@ TEST(QueryRun, CancelTokenTruncates) {
   const Answer full = engine.run(free_q);
   EXPECT_FALSE(full.truncated);
   EXPECT_EQ(full.count, engine.count(4).count);
+}
+
+TEST(QueryRun, BudgetTruncatesPerCountsEvenWithFewEmissions) {
+  // Regression: the per-vertex/per-edge accumulation loops used to poll the
+  // budget clock only every 256th emission *per thread*, so on a graph with
+  // fewer than 256 cliques per thread the budget never fired at all. The
+  // accumulators now stride-poll a query-wide counter that reads the clock
+  // on the very first emission — an already-expired budget must truncate on
+  // any graph that has at least one clique.
+  const Graph g = social_like(200, 1600, 0.5, 3);
+  const PreparedGraph engine(g, {});
+  engine.prepare();
+  ASSERT_GT(engine.count(3).count, 0u);
+
+  for (const QueryKind kind : {QueryKind::PerVertexCounts, QueryKind::PerEdgeCounts}) {
+    Query q = make(kind, 3);
+    q.opts.budget_seconds = 1e-9;  // expired before the first emission
+    const Answer cut = engine.run(q);
+    EXPECT_TRUE(cut.truncated) << query_kind_name(kind);
+
+    // A generous budget changes nothing: full, untruncated answers equal to
+    // the named methods.
+    Query roomy = make(kind, 3);
+    roomy.opts.budget_seconds = 3600.0;
+    const Answer full = engine.run(roomy);
+    EXPECT_FALSE(full.truncated) << query_kind_name(kind);
+    EXPECT_EQ(full.per_counts, kind == QueryKind::PerVertexCounts
+                                   ? engine.per_vertex_counts(3)
+                                   : engine.per_edge_counts(3))
+        << query_kind_name(kind);
+  }
+}
+
+TEST(QueryRun, CancelTokenCutsPerCountsAccumulation) {
+  // Cancel tokens are polled on every emission (no stride): a pre-tripped
+  // token must truncate per-vertex/per-edge accumulation immediately.
+  const Graph g = social_like(200, 1600, 0.5, 3);
+  const PreparedGraph engine(g, {});
+  engine.prepare();
+  for (const QueryKind kind : {QueryKind::PerVertexCounts, QueryKind::PerEdgeCounts}) {
+    Query q = make(kind, 3);
+    q.opts.cancel = std::make_shared<std::atomic<bool>>(true);
+    EXPECT_TRUE(engine.run(q).truncated) << query_kind_name(kind);
+  }
 }
 
 TEST(QueryRun, BudgetTruncatesSpectrumSafely) {

@@ -6,8 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <mutex>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -104,6 +107,76 @@ TEST(QueryStream, CloseFinishesQueuedWorkAndRejectsNewSubmissions) {
     (void)ticket;
     EXPECT_EQ(answer.count, c3);
   }
+}
+
+TEST(QueryStream, AnswersStayPollableAfterClose) {
+  // close() ends submissions, not consumption: every completed answer must
+  // remain deliverable through poll() alone after the stream is closed.
+  const Graph g = erdos_renyi(120, 800, 11);
+  const PreparedGraph engine(g, {});
+  const count_t c3 = engine.count(3).count;
+
+  QueryStream stream(engine, 2);
+  std::set<std::uint64_t> submitted;
+  for (int i = 0; i < 8; ++i) submitted.insert(stream.submit(make(QueryKind::Count, 3)));
+  stream.close();
+  EXPECT_THROW((void)stream.submit(make(QueryKind::Count, 3)), std::logic_error);
+
+  std::set<std::uint64_t> delivered;
+  while (auto done = stream.poll()) {
+    EXPECT_EQ(done->second.count, c3);
+    EXPECT_TRUE(delivered.insert(done->first).second) << "duplicate delivery";
+  }
+  EXPECT_EQ(delivered, submitted);
+  EXPECT_TRUE(stream.drain().empty());
+}
+
+TEST(QueryStream, TwoConsumersInterleavingPollAndDrainDeliverExactlyOnce) {
+  // One consumer thread polls, the other drains, both racing the executors
+  // and each other (the tsan surface): across both, every ticket arrives
+  // exactly once with the right answer.
+  const Graph g = social_like(200, 1600, 0.4, 17);
+  const PreparedGraph engine(g, {});
+  const count_t c3 = engine.count(3).count;
+  const count_t c4 = engine.count(4).count;
+
+  QueryStream stream(engine, 3);
+  constexpr int kQueries = 24;
+  std::set<std::uint64_t> submitted;
+  for (int i = 0; i < kQueries; ++i) {
+    submitted.insert(stream.submit(make(QueryKind::Count, 3 + i % 2)));
+  }
+
+  std::mutex guard;
+  std::set<std::uint64_t> delivered;
+  std::string failure;
+  const auto deliver = [&](std::uint64_t ticket, const Answer& a) {
+    const std::lock_guard<std::mutex> lock(guard);
+    if (a.count != (a.k == 3 ? c3 : c4)) failure = "wrong answer";
+    if (!delivered.insert(ticket).second) failure = "duplicate delivery";
+  };
+  const auto all_in = [&] {
+    const std::lock_guard<std::mutex> lock(guard);
+    return delivered.size() == static_cast<std::size_t>(kQueries);
+  };
+
+  std::thread poller([&] {
+    while (!all_in()) {
+      if (auto done = stream.poll()) deliver(done->first, done->second);
+      else std::this_thread::yield();
+    }
+  });
+  std::thread drainer([&] {
+    while (!all_in()) {
+      for (auto& [ticket, answer] : stream.drain()) deliver(ticket, answer);
+      std::this_thread::yield();
+    }
+  });
+  poller.join();
+  drainer.join();
+  EXPECT_EQ(failure, "");
+  EXPECT_EQ(delivered, submitted);
+  EXPECT_FALSE(stream.poll().has_value());
 }
 
 TEST(QueryStream, PerQueryCapsNeverWriteTheGlobalCount) {

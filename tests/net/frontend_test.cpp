@@ -1,0 +1,187 @@
+// LineFrontEnd: the wire protocol without sockets. Admin commands, request
+// routing, one-line errors for every failure class, answer-cache integration
+// (hits counted, truncated answers never cached), and per-graph admission
+// keeping concurrent executions at or below the configured limit.
+#include "net/frontend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "clique/answer_cache.hpp"
+#include "clique/engine.hpp"
+#include "clique/query.hpp"
+#include "clique/service.hpp"
+#include "graph/gen/generators.hpp"
+
+namespace c3::net {
+namespace {
+
+/// Registers the two-graph catalog most tests share (CliqueService itself
+/// is pinned in place — neither copyable nor movable).
+void add_two_graphs(CliqueService& service) {
+  service.add_graph("social", social_like(220, 1700, 0.45, 23));
+  service.add_graph("er", erdos_renyi(120, 900, 31));
+}
+
+TEST(FrontEnd, AdminCommandsAndSilentLines) {
+  CliqueService service;
+  add_two_graphs(service);
+  LineFrontEnd fe(service, nullptr);
+
+  EXPECT_EQ(fe.process("ping").line, "pong");
+  EXPECT_EQ(fe.process("catalog").line, "catalog: social er");
+
+  const auto quit = fe.process("quit");
+  EXPECT_EQ(quit.line, "bye");
+  EXPECT_TRUE(quit.close);
+  EXPECT_TRUE(fe.process("bye").close);
+
+  // Blank and comment lines produce no response at all.
+  EXPECT_FALSE(fe.process("").respond);
+  EXPECT_FALSE(fe.process("   \t").respond);
+  EXPECT_FALSE(fe.process("# a comment line").respond);
+
+  const auto stats = fe.process("stats");
+  EXPECT_EQ(stats.line.rfind("stats: requests=0 ", 0), 0u) << stats.line;
+  EXPECT_NE(stats.line.find("graphs=2"), std::string::npos) << stats.line;
+}
+
+TEST(FrontEnd, AnswersMatchDirectServiceRuns) {
+  CliqueService service;
+  add_two_graphs(service);
+  LineFrontEnd fe(service, nullptr);
+
+  for (const char* line : {"social count 4", "er hasclique 3", "social spectrum",
+                           "er maxclique witness=0", "social count 4 workers=2"}) {
+    const std::string text(line);
+    const std::size_t space = text.find(' ');
+    const Answer direct =
+        service.run(text.substr(0, space), parse_query(text.substr(space + 1)));
+    EXPECT_EQ(fe.process(line).line, format_answer(direct)) << line;
+  }
+  const FrontEndStats s = fe.stats();
+  EXPECT_EQ(s.requests, 5u);
+  EXPECT_EQ(s.answered, 5u);
+  EXPECT_EQ(s.errors, 0u);
+  EXPECT_EQ(s.cache_hits, 0u);
+}
+
+TEST(FrontEnd, EveryFailureIsOneErrorLine) {
+  CliqueService service;
+  add_two_graphs(service);
+  LineFrontEnd fe(service, nullptr);
+
+  // Unknown graph, parse error, bare unknown token — each one line, each
+  // counted, none fatal.
+  const std::string unknown = fe.process("nosuch count 3").line;
+  EXPECT_EQ(unknown.rfind("error: ", 0), 0u) << unknown;
+  EXPECT_NE(unknown.find("nosuch"), std::string::npos) << unknown;
+
+  const std::string parse = fe.process("social cuont 3").line;
+  EXPECT_EQ(parse.rfind("error: ", 0), 0u) << parse;
+  EXPECT_NE(parse.find("cuont"), std::string::npos) << parse;
+
+  const std::string bare = fe.process("social").line;
+  EXPECT_EQ(bare.rfind("error: ", 0), 0u) << bare;
+
+  EXPECT_EQ(fe.stats().errors, 3u);
+  EXPECT_EQ(fe.stats().answered, 0u);
+
+  // The front end still answers afterwards.
+  EXPECT_EQ(fe.process("ping").line, "pong");
+  EXPECT_EQ(fe.process("social hasclique 2").line.rfind("hasclique 2: ", 0), 0u);
+}
+
+TEST(FrontEnd, CacheHitsCountAndSkipExecution) {
+  CliqueService service;
+  add_two_graphs(service);
+  AnswerCache cache(64);
+  LineFrontEnd fe(service, &cache);
+
+  const std::string first = fe.process("social count 4").line;
+  EXPECT_EQ(fe.stats().cache_hits, 0u);
+  // Different execution options, same question — must hit.
+  EXPECT_EQ(fe.process("social count 4 workers=2").line, first);
+  EXPECT_EQ(fe.process("social count 4 budget=100").line, first);
+  const FrontEndStats s = fe.stats();
+  EXPECT_EQ(s.cache_hits, 2u);
+  EXPECT_EQ(s.answered, 3u);
+  EXPECT_EQ(s.cache.hits, 2u);
+  EXPECT_EQ(s.cache.misses, 1u);
+  EXPECT_EQ(s.cache.insertions, 1u);
+}
+
+TEST(FrontEnd, TruncatedAnswersAreNeverServedFromCache) {
+  CliqueService service;
+  service.add_graph("g", social_like(200, 1600, 0.5, 3));
+  AnswerCache cache(64);
+  LineFrontEnd fe(service, &cache);
+
+  // `list 3 limit=1` is deterministically truncated (the graph has many
+  // 3-cliques); asking twice must execute twice — zero cache hits, zero
+  // cache entries.
+  const std::string a = fe.process("g list 3 limit=1").line;
+  EXPECT_NE(a.find("[truncated]"), std::string::npos) << a;
+  const std::string b = fe.process("g list 3 limit=1").line;
+  EXPECT_NE(b.find("[truncated]"), std::string::npos) << b;
+  EXPECT_EQ(fe.stats().cache_hits, 0u);
+  EXPECT_EQ(fe.stats().cache.insertions, 0u);
+  EXPECT_EQ(cache.size(), 0u);
+
+  // A complete listing of the same k does cache.
+  const std::string full = fe.process("g list 3").line;
+  EXPECT_EQ(full.find("[truncated]"), std::string::npos) << full;
+  EXPECT_EQ(fe.process("g list 3").line, full);
+  EXPECT_EQ(fe.stats().cache_hits, 1u);
+}
+
+TEST(FrontEnd, AdmissionCapsConcurrentExecutionsPerGraph) {
+  CliqueService service;
+  service.add_graph("g", social_like(300, 2600, 0.5, 11));
+  FrontEndOptions opts;
+  opts.max_inflight_per_graph = 2;
+  LineFrontEnd fe(service, nullptr, opts);
+
+  // 8 threads hammer the same graph with distinct (uncacheable-identical)
+  // queries; the gate must keep peak concurrent executions at <= 2 while
+  // every request still completes with a real answer.
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(kThreads);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string line = "g count " + std::to_string(3 + t % 3);
+      for (int rep = 0; rep < 3; ++rep) {
+        const auto reply = fe.process(line);
+        if (reply.line.rfind("count ", 0) != 0) failures[t] = reply.line;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::string& f : failures) EXPECT_EQ(f, "");
+
+  const FrontEndStats s = fe.stats();
+  EXPECT_EQ(s.requests, static_cast<std::uint64_t>(kThreads) * 3);
+  EXPECT_EQ(s.answered, static_cast<std::uint64_t>(kThreads) * 3);
+  EXPECT_GE(s.peak_inflight, 1);
+  EXPECT_LE(s.peak_inflight, 2) << "admission let more than the limit through";
+}
+
+TEST(FrontEnd, StatsSuffixHookAppends) {
+  CliqueService service;
+  add_two_graphs(service);
+  LineFrontEnd fe(service, nullptr);
+  fe.set_stats_suffix_source([] { return std::string("connections=7"); });
+  const std::string line = fe.process("stats").line;
+  EXPECT_NE(line.find(" connections=7"), std::string::npos) << line;
+}
+
+}  // namespace
+}  // namespace c3::net

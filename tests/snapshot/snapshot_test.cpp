@@ -4,9 +4,12 @@
 // errors, and concurrent queries over a loaded engine (the tsan surface).
 #include "snapshot/snapshot.hpp"
 
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -19,6 +22,7 @@
 #include "graph/gen/generators.hpp"
 #include "graph/io.hpp"
 #include "snapshot/format.hpp"
+#include "snapshot/mapped_file.hpp"
 
 namespace c3 {
 namespace {
@@ -30,7 +34,11 @@ const Algorithm kAllAlgorithms[] = {Algorithm::C3List,   Algorithm::C3ListCD,
 class SnapshotTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "c3list_snapshot_test";
+    // Per-process directory: ctest runs each TEST_F as its own process, in
+    // parallel — a shared path would let one test's TearDown delete files
+    // another test is still writing.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("c3list_snapshot_test_" + std::to_string(::getpid()));
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
@@ -292,6 +300,70 @@ TEST_F(SnapshotTest, ConcurrentQueriesOnLoadedEngine) {
   for (const std::string& f : failures) EXPECT_EQ(f, "");
   EXPECT_EQ(loaded.artifacts_built(), installed);
   EXPECT_EQ(loaded.prepare_seconds(), 0.0);
+}
+
+TEST_F(SnapshotTest, HeapFallbackReadsIdenticalBytesAndReportsNoMapping) {
+  // MappedFile::read_heap is the path platforms without mmap always take;
+  // force it directly and check the contract: same bytes, is_mapped() false,
+  // and the page-granular warm-up hints are explicit no-ops (prefault does
+  // nothing, lock_memory reports false instead of mlock-ing a heap pointer).
+  const auto path = dir_ / "heap.bin";
+  std::string payload(70'000, '\0');
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>((i * 131) ^ (i >> 7));
+  }
+  std::ofstream(path, std::ios::binary) << payload;
+
+  const snapshot::MappedFile mapped = snapshot::MappedFile::map_readonly(path);
+  const snapshot::MappedFile heap = snapshot::MappedFile::read_heap(path);
+  EXPECT_FALSE(heap.is_mapped());
+  ASSERT_EQ(heap.size(), payload.size());
+  ASSERT_EQ(heap.size(), mapped.size());
+  EXPECT_EQ(std::memcmp(heap.data(), payload.data(), payload.size()), 0);
+  EXPECT_EQ(std::memcmp(heap.data(), mapped.data(), mapped.size()), 0);
+
+  heap.prefault();  // must be a harmless no-op
+  EXPECT_FALSE(heap.lock_memory());
+
+  // Empty files are fine too (data may be null, size 0, hints still safe).
+  const auto empty = dir_ / "empty.bin";
+  std::ofstream(empty, std::ios::binary).flush();
+  const snapshot::MappedFile none = snapshot::MappedFile::read_heap(empty);
+  EXPECT_EQ(none.size(), 0u);
+  EXPECT_FALSE(none.is_mapped());
+  none.prefault();
+  EXPECT_FALSE(none.lock_memory());
+}
+
+TEST_F(SnapshotTest, ForcedHeapFallbackServesIdenticalAnswers) {
+  // A snapshot opened through the heap fallback must behave exactly like the
+  // mmap path — except memory_locked(), which must report false even when
+  // lock_memory was requested (the old code fell through to mlock on a heap
+  // pointer, whose success/failure was meaningless).
+  const Graph g = social_like(150, 1200, 0.4, 17);
+  const PreparedGraph cold(g, {});
+  const auto path = dir_ / "heap.c3snap";
+  snapshot::write(path, cold);
+
+  snapshot::SnapshotOpenOptions open;
+  open.force_heap_fallback = true;
+  open.prefault = true;      // no-op on the heap path, must not throw
+  open.lock_memory = true;   // must be reported as not locked
+  const auto snap = snapshot::Snapshot::open(path, open);
+  EXPECT_FALSE(snap.memory_locked());
+  EXPECT_EQ(snap.engine().count(4).count, cold.count(4).count);
+  EXPECT_EQ(snap.engine().max_clique_size(), cold.max_clique_size());
+  EXPECT_EQ(snap.engine().prepare_seconds(), 0.0);
+
+  // Checksums still verify (and still catch corruption) on the heap path.
+  auto tampered = dir_ / "heap_tampered.c3snap";
+  std::filesystem::copy_file(path, tampered);
+  const snapshot::SnapshotInfo info = snapshot::inspect(tampered);
+  const snapshot::SectionInfo& target = info.sections.back();
+  corrupt_byte(tampered, target.offset + target.bytes / 2);
+  snapshot::SnapshotOpenOptions strict;
+  strict.force_heap_fallback = true;
+  EXPECT_THROW((void)snapshot::Snapshot::open(tampered, strict), std::runtime_error);
 }
 
 TEST_F(SnapshotTest, WarmupHintsAreBestEffortAndChangeNoAnswer) {
