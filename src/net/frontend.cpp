@@ -35,20 +35,23 @@ std::string_view trim(std::string_view s) {
 /// capacity of a cold one.
 class LineFrontEnd::Admission {
  public:
-  Admission(LineFrontEnd& fe, std::string id) : fe_(fe), id_(std::move(id)) {
+  Admission(LineFrontEnd& fe, const std::string& id) : fe_(fe) {
     std::unique_lock<std::mutex> lock(fe_.gate_mutex_);
-    GraphGate& gate = fe_.gates_[id_];
-    fe_.gate_free_.wait(lock, [&] { return gate.inflight < fe_.opts_.max_inflight_per_graph; });
-    gate.inflight += 1;
-    gate.peak = std::max(gate.peak, gate.inflight);
+    // std::map nodes are stable and gates are never erased, so the pointer
+    // outlives the lock.
+    gate_ = &fe_.gates_[id];
+    gate_->free_slot.wait(lock,
+                          [&] { return gate_->inflight < fe_.opts_.max_inflight_per_graph; });
+    gate_->inflight += 1;
+    gate_->peak = std::max(gate_->peak, gate_->inflight);
   }
 
   ~Admission() {
     {
       const std::lock_guard<std::mutex> lock(fe_.gate_mutex_);
-      fe_.gates_[id_].inflight -= 1;
+      gate_->inflight -= 1;
     }
-    fe_.gate_free_.notify_one();
+    gate_->free_slot.notify_one();
   }
 
   Admission(const Admission&) = delete;
@@ -56,7 +59,7 @@ class LineFrontEnd::Admission {
 
  private:
   LineFrontEnd& fe_;
-  std::string id_;
+  GraphGate* gate_ = nullptr;
 };
 
 LineFrontEnd::LineFrontEnd(const CliqueService& service, AnswerCache* cache,

@@ -93,6 +93,11 @@ class LineFrontEnd {
   struct GraphGate {
     int inflight = 0;
     int peak = 0;
+    /// Per-gate condvar (all gates share gate_mutex_): freeing a slot on
+    /// graph A wakes a waiter for A, never one for B — a shared condvar
+    /// with notify_one could hand A's wakeup to a B-waiter whose predicate
+    /// is still false, losing it and stranding A's waiter.
+    std::condition_variable free_slot;
   };
 
   /// Blocks until an execution slot for `id` is free; RAII-released.
@@ -108,7 +113,6 @@ class LineFrontEnd {
   std::function<std::string()> stats_suffix_;
 
   mutable std::mutex gate_mutex_;
-  std::condition_variable gate_free_;
   std::map<std::string, GraphGate, std::less<>> gates_;
 
   mutable std::shared_mutex fingerprint_mutex_;

@@ -1,6 +1,8 @@
 #include "net/server.hpp"
 
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace c3::net {
@@ -74,10 +76,20 @@ void CliqueServer::reap_finished() {
 
 void CliqueServer::accept_loop() {
   for (;;) {
-    UniqueFd fd = accept_connection(listener_.get());
-    if (!fd.valid()) break;  // listener closed: stop() is underway
-    reap_finished();         // long-lived servers must not hoard dead threads
+    AcceptResult accepted = accept_connection(listener_.get());
     if (stopping_.load(std::memory_order_acquire)) break;
+    if (accepted.status == AcceptStatus::Stopped) break;  // listener closed
+    reap_finished();  // long-lived servers must not hoard dead threads
+    if (accepted.status == AcceptStatus::RetryAfterDelay) {
+      // Out of fds/buffers. reap_finished() above may already have freed
+      // descriptors; give the rest of the process a beat before asking the
+      // kernel again. stop() still wins: shutdown_listener makes the next
+      // accept return Stopped.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+    if (accepted.status == AcceptStatus::Retry) continue;  // aborted handshake
+    UniqueFd fd = std::move(accepted.fd);
 
     accepted_.fetch_add(1, std::memory_order_relaxed);
     open_.fetch_add(1, std::memory_order_relaxed);

@@ -48,7 +48,7 @@ void UniqueFd::close() noexcept {
 UniqueFd listen_tcp(const std::string&, std::uint16_t, int*, int) {
   throw std::runtime_error("c3::net: not supported on this platform");
 }
-UniqueFd accept_connection(int) { return UniqueFd(); }
+AcceptResult accept_connection(int) { return AcceptResult{}; }
 void shutdown_listener(int) noexcept {}
 UniqueFd connect_tcp(const std::string&, std::uint16_t, double) {
   throw std::runtime_error("c3::net: not supported on this platform");
@@ -91,19 +91,36 @@ UniqueFd listen_tcp(const std::string& address, std::uint16_t port, int* bound_p
   return fd;
 }
 
-UniqueFd accept_connection(int listen_fd) {
+AcceptResult accept_connection(int listen_fd) {
   for (;;) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd >= 0) {
       const int one = 1;
       (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-      return UniqueFd(fd);
+      return AcceptResult{AcceptStatus::Accepted, UniqueFd(fd)};
     }
-    if (errno == EINTR) continue;
-    // EBADF/EINVAL: the listener was closed or shut down — stop signal, not
-    // an error. Anything else (EMFILE, ECONNABORTED) also ends the loop
-    // quietly; the accept loop owns retry policy.
-    return UniqueFd();
+    switch (errno) {
+      case EINTR:
+        continue;
+      // A client that reset during the handshake aborts ONE accept, not the
+      // listener.
+      case ECONNABORTED:
+#if defined(EPROTO)
+      case EPROTO:
+#endif
+        return AcceptResult{AcceptStatus::Retry, UniqueFd()};
+      // Descriptor/buffer exhaustion is transient: the caller can reap
+      // finished connections and back off instead of dying.
+      case EMFILE:
+      case ENFILE:
+      case ENOBUFS:
+      case ENOMEM:
+        return AcceptResult{AcceptStatus::RetryAfterDelay, UniqueFd()};
+      default:
+        // EBADF/EINVAL: the listener was closed or shut down — the stop
+        // signal. Anything unexpected also stops rather than spinning hot.
+        return AcceptResult{AcceptStatus::Stopped, UniqueFd()};
+    }
   }
 }
 
@@ -128,13 +145,30 @@ UniqueFd connect_tcp(const std::string& address, std::uint16_t port, double time
     fail("connect to " + address + ":" + std::to_string(port) + " failed");
   }
   if (rc != 0) {
-    pollfd pfd{fd.get(), POLLOUT, 0};
-    const int timeout_ms =
-        timeout_seconds <= 0 ? -1 : static_cast<int>(timeout_seconds * 1000.0);
-    const int ready = ::poll(&pfd, 1, timeout_ms);
-    if (ready <= 0) {
-      throw std::runtime_error("c3::net: connect to " + address + ":" + std::to_string(port) +
-                               " timed out");
+    // Same EINTR discipline as LineChannel::read_line: a signal mid-poll
+    // resumes the wait with the remaining budget, and poll failure is
+    // reported as what it is, not as a timeout.
+    const WallTimer timer;
+    for (;;) {
+      int timeout_ms = -1;
+      if (timeout_seconds > 0) {
+        const double left = timeout_seconds - timer.seconds();
+        if (left <= 0) {
+          throw std::runtime_error("c3::net: connect to " + address + ":" +
+                                   std::to_string(port) + " timed out");
+        }
+        timeout_ms = static_cast<int>(left * 1000.0) + 1;
+      }
+      pollfd pfd{fd.get(), POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready > 0) break;
+      if (ready == 0) {
+        throw std::runtime_error("c3::net: connect to " + address + ":" +
+                                 std::to_string(port) + " timed out");
+      }
+      if (errno != EINTR) {
+        fail("poll while connecting to " + address + ":" + std::to_string(port));
+      }
     }
     int err = 0;
     socklen_t len = sizeof err;

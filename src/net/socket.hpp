@@ -39,14 +39,33 @@ class UniqueFd {
 [[nodiscard]] UniqueFd listen_tcp(const std::string& address, std::uint16_t port,
                                   int* bound_port, int backlog = 64);
 
-/// Accepts one connection (blocking). Returns an invalid fd when the
-/// listening socket was closed/shut down (the server's stop signal).
-[[nodiscard]] UniqueFd accept_connection(int listen_fd);
+/// Outcome of one accept attempt. The accept loop — not this helper — owns
+/// retry policy, because recovering from fd exhaustion may require freeing
+/// descriptors (reaping finished connections) that only the loop knows about.
+enum class AcceptStatus {
+  Accepted,         ///< `fd` holds the new connection
+  Retry,            ///< one inbound connection died mid-handshake (ECONNABORTED/
+                    ///< EPROTO) — the listener is fine, accept again
+  RetryAfterDelay,  ///< fd/buffer exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM) —
+                    ///< back off briefly, free resources if possible, retry
+  Stopped,          ///< the listener was closed or shut down: the stop signal
+};
+
+struct AcceptResult {
+  AcceptStatus status = AcceptStatus::Stopped;
+  UniqueFd fd;  ///< valid only when status == Accepted
+};
+
+/// Accepts one connection (blocking, EINTR-transparent). Never returns
+/// Retry/RetryAfterDelay for listener-fatal errors, and never Stopped for a
+/// transient one — the distinction is what keeps a long-lived server's
+/// accept loop from dying on a single aborted client or fd-limit blip.
+[[nodiscard]] AcceptResult accept_connection(int listen_fd);
 
 /// Wakes any thread blocked in accept_connection(listen_fd) — on Linux,
 /// close() alone does NOT unblock a sleeping accept(); it sleeps on forever
 /// against a dead fd. shutdown() forces it awake with an error, which
-/// accept_connection turns into the invalid-fd stop signal. Call this, then
+/// accept_connection turns into AcceptStatus::Stopped. Call this, then
 /// close the fd.
 void shutdown_listener(int listen_fd) noexcept;
 

@@ -174,6 +174,42 @@ TEST(FrontEnd, AdmissionCapsConcurrentExecutionsPerGraph) {
   EXPECT_LE(s.peak_inflight, 2) << "admission let more than the limit through";
 }
 
+TEST(FrontEnd, FreedSlotOnOneGraphNeverStrandsAnothersWaiter) {
+  // Regression: all gates once shared a single condition_variable with
+  // notify_one — freeing a slot on graph A could wake a waiter for graph B
+  // (whose predicate was still false), which re-slept and swallowed the
+  // wakeup while A's own waiter stayed blocked forever. Two saturated
+  // gates with interleaved completions make that schedule likely; the pass
+  // condition is simply that every request completes instead of the
+  // process hanging into the ctest timeout.
+  CliqueService service;
+  add_two_graphs(service);
+  FrontEndOptions opts;
+  opts.max_inflight_per_graph = 1;
+  LineFrontEnd fe(service, nullptr, opts);
+
+  constexpr int kThreads = 8;  // 4 per graph, all contending for 1 slot each
+  constexpr int kReps = 8;
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(kThreads);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string id = (t % 2 == 0) ? "social" : "er";
+      for (int rep = 0; rep < kReps; ++rep) {
+        const auto reply = fe.process(id + " count " + std::to_string(3 + (t + rep) % 3));
+        if (reply.line.rfind("count ", 0) != 0) failures[t] = reply.line;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::string& f : failures) EXPECT_EQ(f, "");
+
+  const FrontEndStats s = fe.stats();
+  EXPECT_EQ(s.answered, static_cast<std::uint64_t>(kThreads) * kReps);
+  EXPECT_LE(s.peak_inflight, 1) << "a gate admitted past its cap";
+}
+
 TEST(FrontEnd, StatsSuffixHookAppends) {
   CliqueService service;
   add_two_graphs(service);

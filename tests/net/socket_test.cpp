@@ -1,0 +1,148 @@
+// accept_connection status discipline: transient failures must not read as
+// the stop signal. Regression for the accept loop silently dying forever —
+// any accept() error (an aborted handshake, an EMFILE blip) used to return
+// the same invalid fd that means "the listener was shut down", so one bad
+// inbound connection permanently stopped a server that still reported
+// running(). The tests drive the real error paths: a shut-down listener, a
+// dead fd, and genuine fd exhaustion via RLIMIT_NOFILE.
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "clique/service.hpp"
+#include "graph/gen/generators.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+
+namespace c3::net {
+namespace {
+
+/// Temporarily caps RLIMIT_NOFILE at the next unused descriptor number:
+/// every NEW allocation fails with EMFILE while descriptors already open
+/// keep working. (Capping at 0 would be wrong twice over: poll(nfds=1) on
+/// an existing connection then fails with EINVAL — poll checks nfds against
+/// the limit — and the fd a blocked accept() pre-reserved before the cap
+/// still succeeds regardless.)
+class NoNewFds {
+ public:
+  NoNewFds() {
+    if (::getrlimit(RLIMIT_NOFILE, &saved_) != 0) return;
+    const int next_free = ::dup(0);
+    if (next_free < 0) return;
+    ::close(next_free);
+    rlimit capped = saved_;
+    capped.rlim_cur = static_cast<rlim_t>(next_free);
+    ok_ = ::setrlimit(RLIMIT_NOFILE, &capped) == 0;
+  }
+  ~NoNewFds() { restore(); }
+  void restore() {
+    if (ok_) {
+      (void)::setrlimit(RLIMIT_NOFILE, &saved_);
+      ok_ = false;
+    }
+  }
+  [[nodiscard]] bool ok() const { return ok_; }
+
+ private:
+  rlimit saved_{};
+  bool ok_ = false;
+};
+
+/// Blocking connect to 127.0.0.1:port on a pre-created socket — the fd is
+/// allocated by the caller, so it works while NoNewFds is in force.
+int raw_connect(int fd, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  return ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+}
+
+TEST(Socket, ShutdownListenerReadsAsStopped) {
+  int port = 0;
+  const UniqueFd listener = listen_tcp("127.0.0.1", 0, &port);
+  shutdown_listener(listener.get());
+  EXPECT_EQ(accept_connection(listener.get()).status, AcceptStatus::Stopped);
+}
+
+TEST(Socket, DeadFdReadsAsStopped) {
+  EXPECT_EQ(accept_connection(-1).status, AcceptStatus::Stopped);
+}
+
+TEST(Socket, FdExhaustionReadsAsRetryThenRecovers) {
+  int port = 0;
+  const UniqueFd listener = listen_tcp("127.0.0.1", 0, &port);
+  const UniqueFd client(::socket(AF_INET, SOCK_STREAM, 0));  // fd before the cap
+  ASSERT_TRUE(client.valid());
+  ASSERT_EQ(raw_connect(client.get(), port), 0);  // completes via the backlog
+
+  NoNewFds cap;
+  if (!cap.ok()) GTEST_SKIP() << "setrlimit(RLIMIT_NOFILE) not permitted here";
+  const AcceptResult starved = accept_connection(listener.get());
+  cap.restore();
+  EXPECT_EQ(starved.status, AcceptStatus::RetryAfterDelay);
+  EXPECT_FALSE(starved.fd.valid());
+
+  // With descriptors available again, the queued connection comes through.
+  const AcceptResult ok = accept_connection(listener.get());
+  EXPECT_EQ(ok.status, AcceptStatus::Accepted);
+  EXPECT_TRUE(ok.fd.valid());
+}
+
+TEST(Socket, ServerAcceptLoopSurvivesFdExhaustion) {
+  CliqueService service;
+  service.add_graph("g", erdos_renyi(60, 300, 7));
+  ServerOptions opts;
+  opts.port = 0;
+  CliqueServer server(service, opts);
+  server.start();
+  const auto port = static_cast<std::uint16_t>(server.port());
+
+  // Both probe sockets are allocated while fds still exist; their connects
+  // happen under the cap. The first connection rides the fd the blocked
+  // accept() pre-reserved before the cap; the accept call re-entered after
+  // it fails with EMFILE, so the second connection sits queued until the
+  // cap lifts. Before the AcceptStatus split, that first EMFILE killed the
+  // accept loop permanently (while running() still said true); now it backs
+  // off and retries.
+  UniqueFd first(::socket(AF_INET, SOCK_STREAM, 0));
+  UniqueFd second(::socket(AF_INET, SOCK_STREAM, 0));
+  ASSERT_TRUE(first.valid());
+  ASSERT_TRUE(second.valid());
+  {
+    NoNewFds cap;
+    if (!cap.ok()) GTEST_SKIP() << "setrlimit(RLIMIT_NOFILE) not permitted here";
+    ASSERT_EQ(raw_connect(first.get(), port), 0);
+    ASSERT_EQ(raw_connect(second.get(), port), 0);
+    // A few retry beats (20ms each) with the cap held, so accept attempts
+    // observably fail before recovery.
+    ::usleep(60 * 1000);
+  }
+
+  // Once fds return, the queued connection is accepted and both clients get
+  // served — the loop did not read EMFILE as stop().
+  for (UniqueFd* probe : {&first, &second}) {
+    LineChannel channel(std::move(*probe));
+    ASSERT_TRUE(channel.write_line("ping"));
+    std::string reply;
+    ASSERT_EQ(channel.read_line(reply, 10.0), LineChannel::ReadStatus::Line);
+    EXPECT_EQ(reply, "pong");
+  }
+
+  LineClient fresh("127.0.0.1", port);
+  EXPECT_EQ(fresh.request("g count 3").rfind("count ", 0), 0u);
+  EXPECT_TRUE(server.running());
+  server.stop();
+}
+
+}  // namespace
+}  // namespace c3::net
