@@ -8,6 +8,7 @@
 #include "parallel/pack.hpp"
 #include "parallel/scan.hpp"
 #include "parallel/sort.hpp"
+#include "util/bitkernels.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -110,6 +111,73 @@ void BM_CommunityDegeneracyOrder(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(g.num_edges()) * state.iterations());
 }
 BENCHMARK(BM_CommunityDegeneracyOrder);
+
+/// Shared word buffers for the bit-kernel microbenches.
+struct KernelBuffers {
+  bits::KernelWords a, b, mask, dst;
+
+  explicit KernelBuffers(std::size_t nwords) : a(nwords), b(nwords), mask(nwords), dst(nwords) {
+    Xoshiro256 rng(42);
+    for (std::size_t w = 0; w < nwords; ++w) {
+      a[w] = rng();
+      b[w] = rng();
+      mask[w] = rng() | rng();
+    }
+  }
+};
+
+/// Args: {backend enum value, words per row}. Only backends the host can run
+/// are registered, so every reported row is a real measurement.
+void KernelArgs(benchmark::internal::Benchmark* b) {
+  for (const bits::KernelBackend backend : bits::available_kernel_backends()) {
+    for (const int words : {16, 128}) b->Args({static_cast<int>(backend), words});
+  }
+}
+
+void BM_KernelPopcountAnd(benchmark::State& state) {
+  const bits::KernelTable* table =
+      bits::kernel_table(static_cast<bits::KernelBackend>(state.range(0)));
+  const auto nwords = static_cast<std::size_t>(state.range(1));
+  const KernelBuffers buf(nwords);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->popcount_and(buf.a.data(), buf.b.data(), nwords));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(2 * nwords * sizeof(std::uint64_t)) *
+                          state.iterations());
+  state.SetLabel(bits::kernel_backend_name(static_cast<bits::KernelBackend>(state.range(0))));
+}
+BENCHMARK(BM_KernelPopcountAnd)->Apply(KernelArgs);
+
+void BM_KernelIntersectInterval(benchmark::State& state) {
+  const bits::KernelTable* table =
+      bits::kernel_table(static_cast<bits::KernelBackend>(state.range(0)));
+  const auto nwords = static_cast<std::size_t>(state.range(1));
+  KernelBuffers buf(nwords);
+  const std::size_t lo = 3, hi = nwords * bits::kWordBits - 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->intersect_interval(buf.a.data(), buf.b.data(), buf.mask.data(),
+                                                       buf.dst.data(), nwords, lo, hi));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(4 * nwords * sizeof(std::uint64_t)) *
+                          state.iterations());
+  state.SetLabel(bits::kernel_backend_name(static_cast<bits::KernelBackend>(state.range(0))));
+}
+BENCHMARK(BM_KernelIntersectInterval)->Apply(KernelArgs);
+
+void BM_KernelIntersectAbove(benchmark::State& state) {
+  const bits::KernelTable* table =
+      bits::kernel_table(static_cast<bits::KernelBackend>(state.range(0)));
+  const auto nwords = static_cast<std::size_t>(state.range(1));
+  KernelBuffers buf(nwords);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table->intersect_above(buf.a.data(), buf.mask.data(), buf.dst.data(), nwords, 5));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(3 * nwords * sizeof(std::uint64_t)) *
+                          state.iterations());
+  state.SetLabel(bits::kernel_backend_name(static_cast<bits::KernelBackend>(state.range(0))));
+}
+BENCHMARK(BM_KernelIntersectAbove)->Apply(KernelArgs);
 
 void BM_ApproxCommunityDegeneracyOrder(benchmark::State& state) {
   const Graph g = social_like(20'000, 150'000, 0.4, 11);

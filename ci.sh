@@ -43,6 +43,13 @@ run_config() {
   echo "==== [${name}] ctest ===="
   ctest --test-dir "${dir}" --output-on-failure -j "${jobs}" ${label_args[@]+"${label_args[@]}"}
   if [ "${name}" = "release" ]; then
+    # The whole suite again with the bit-kernel dispatch pinned to scalar:
+    # proves every result is backend-independent end to end, and keeps the
+    # portable fallback a first-class, fully-tested configuration. (The
+    # vector backends themselves run under ASan/UBSan/TSan via the default
+    # dispatch in the other configs plus the per-backend parity tests.)
+    echo "==== [${name}] ctest (C3_KERNEL=scalar) ===="
+    C3_KERNEL=scalar ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
     # Perf-trajectory smoke: a small prepared k-sweep per algorithm. Emits
     # BENCH_pr2.json (prepare/search seconds + counts) and fails on any
     # cross-algorithm count mismatch. A missing binary is an error, not a
@@ -89,6 +96,15 @@ run_config() {
       exit 1
     fi
     "${dir}/bench/bench_server" --out BENCH_pr6.json
+    # Kernel smoke: the fused intersect kernels per backend (micro) and the
+    # smoke graphs counted scalar vs host-vector per algorithm (end-to-end),
+    # counts cross-checked backend vs backend. Emits BENCH_pr7.json.
+    echo "==== [${name}] bench smoke (kernels) ===="
+    if [ ! -x "${dir}/bench/bench_kernels" ]; then
+      echo "bench_kernels not built (is C3_BUILD_BENCH off?)" >&2
+      exit 1
+    fi
+    "${dir}/bench/bench_kernels" --out BENCH_pr7.json
   fi
 }
 

@@ -312,6 +312,9 @@ int cmd_inspect(const CommandLine& cli) {
   if (info.has(snapshot::kArtifactExactDegeneracy)) artifacts += " exact-degeneracy";
   std::printf("artifacts (mask 0x%x):%s\n", info.artifact_mask,
               artifacts.empty() ? " none" : artifacts.c_str());
+  std::printf("kernel: %s (best on this host: %s)\n",
+              bits::kernel_backend_name(bits::active_kernel_backend()),
+              bits::kernel_backend_name(bits::best_kernel_backend()));
   Table t({"section", "offset", "bytes", "elements", "checksum"});
   for (const snapshot::SectionInfo& s : info.sections) {
     t.add_row({s.name, std::to_string(s.offset), with_commas(s.bytes), with_commas(s.count),

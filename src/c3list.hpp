@@ -68,3 +68,4 @@
 #include "snapshot/snapshot.hpp"
 #include "triangle/communities.hpp"
 #include "triangle/triangle_count.hpp"
+#include "util/bitkernels.hpp"

@@ -5,83 +5,17 @@
 
 #include "clique/engine.hpp"
 #include "clique/local_graph.hpp"
+#include "clique/recursive.hpp"
 #include "parallel/parallel.hpp"
 #include "util/bitwords.hpp"
 #include "util/timer.hpp"
 
 namespace c3 {
-namespace {
-
-struct Env {
-  const CliqueCallback* callback;
-};
 
 // Early-stop state rides in w.ctx (SearchContext::poll_stop / request_stop),
-// the same shared-flag mechanism the community-centric searches use.
-
-/// Vertex-at-a-time recursion over the induced bitset subgraph: pick the
-/// next clique vertex x from the candidate mask (ascending = respecting the
-/// orientation), descend into row(x) ∩ mask ∩ {> x}.
-count_t arb_rec(const Env& env, CliqueScratch& w, const std::uint64_t* mask, int level, int l) {
-  ++w.ctr.recursive_calls;
-  if (w.ctx.poll_stop()) return 0;
-  const LocalGraph& lg = w.lg;
-  const auto words = static_cast<std::size_t>(lg.words());
-
-  if (l == 1) {
-    const count_t found = bits::popcount(mask, words);
-    w.ctr.leaf_work += found;
-    if (env.callback == nullptr) return found;
-    bits::for_each_bit(mask, words, [&](std::size_t x) {
-      if (w.ctx.poll_stop()) return;
-      w.clique_stack.push_back(w.member_orig[x]);
-      if (!(*env.callback)(std::span<const node_t>(w.clique_stack))) w.ctx.request_stop();
-      w.clique_stack.pop_back();
-    });
-    return found;
-  }
-
-  std::uint64_t* next =
-      w.mask_pool.data() + static_cast<std::size_t>(level) * words;
-  count_t total = 0;
-  bits::for_each_bit(mask, words, [&](std::size_t x) {
-    if (w.ctx.poll_stop()) return;
-    // next = candidates after x that are adjacent to x.
-    const std::uint64_t* row = lg.row(static_cast<int>(x));
-    const std::size_t wx = bits::word_index(x);
-    for (std::size_t ww = 0; ww < wx; ++ww) next[ww] = 0;
-    for (std::size_t ww = wx; ww < words; ++ww) next[ww] = row[ww] & mask[ww];
-    next[wx] &= ~((x % 64 == 63) ? ~std::uint64_t{0} : ((std::uint64_t{1} << ((x % 64) + 1)) - 1));
-    w.ctr.intersection_words += words - wx;
-    w.ctr.pairs_probed += 1;
-
-    if (l == 2) {
-      const count_t found = bits::popcount(next, words);
-      w.ctr.leaf_work += found;
-      total += found;
-      if (env.callback != nullptr) {
-        bits::for_each_bit(next, words, [&](std::size_t y) {
-          if (w.ctx.poll_stop()) return;
-          w.clique_stack.push_back(w.member_orig[x]);
-          w.clique_stack.push_back(w.member_orig[y]);
-          if (!(*env.callback)(std::span<const node_t>(w.clique_stack))) w.ctx.request_stop();
-          w.clique_stack.pop_back();
-          w.clique_stack.pop_back();
-        });
-      }
-      return;
-    }
-    if (bits::popcount(next, words) >= static_cast<std::uint64_t>(l - 1)) {
-      ++w.ctr.edges_matched;
-      if (env.callback != nullptr) w.clique_stack.push_back(w.member_orig[x]);
-      total += arb_rec(env, w, next, level + 1, l - 1);
-      if (env.callback != nullptr) w.clique_stack.pop_back();
-    }
-  });
-  return total;
-}
-
-}  // namespace
+// the same shared-flag mechanism the community-centric searches use. The
+// vertex-at-a-time recursion itself lives in recursive.cpp
+// (search_cliques_vertex) where kcList's dense-subproblem path shares it.
 
 CliqueResult arbcount_search(const Digraph& dag, int k, const CliqueCallback* callback,
                              const CliqueOptions& opts, QueryScratch& scratch) {
@@ -95,7 +29,6 @@ CliqueResult arbcount_search(const Digraph& dag, int k, const CliqueCallback* ca
   result.stats.top_level_tasks = n;
   scratch.reset_query();
   std::atomic<bool>& stop = scratch.stop;
-  Env env{callback};
 
   parallel_for_dynamic(
       0, n,
@@ -104,27 +37,25 @@ CliqueResult arbcount_search(const Digraph& dag, int k, const CliqueCallback* ca
         const auto members = dag.out_neighbors(static_cast<node_t>(u));
         if (static_cast<int>(members.size()) < k - 1) return;
         CliqueScratch& w = scratch.local();
-        w.ctx.callback = callback;
-        w.ctx.stop = callback != nullptr ? &stop : nullptr;
 
         // Induce and rename G[N+(u)] (the per-vertex re-representation).
         build_local_graph(dag, members, w.lg);
-        const auto words = static_cast<std::size_t>(w.lg.words());
-        const auto depth = static_cast<std::size_t>(k);
-        if (w.mask_pool.size() < (depth + 1) * words) w.mask_pool.assign((depth + 1) * words, 0);
 
-        std::uint64_t* universe = w.mask_pool.data() + depth * words;
-        bits::fill_prefix(universe, members.size(), words);
-
+        w.ctx.lg = &w.lg;
+        w.ctx.ctr = &w.ctr;
+        w.ctx.callback = callback;
+        w.ctx.stop = callback != nullptr ? &stop : nullptr;
         if (callback != nullptr) {
           w.member_orig.resize(members.size());
           for (std::size_t i = 0; i < members.size(); ++i)
             w.member_orig[i] = dag.original_id(members[i]);
-          w.clique_stack.clear();
-          w.clique_stack.push_back(dag.original_id(static_cast<node_t>(u)));
+          w.ctx.member_to_orig = w.member_orig.data();
+          w.ctx.clique_stack.clear();
+          w.ctx.clique_stack.push_back(dag.original_id(static_cast<node_t>(u)));
         }
 
-        w.count += arb_rec(env, w, universe, 0, k - 1);
+        // Search (k-1)-cliques vertex-at-a-time; each completes with u.
+        w.count += search_cliques_vertex_all(w.ctx, k - 1);
       },
       1);
 

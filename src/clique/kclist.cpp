@@ -1,10 +1,13 @@
 #include "clique/kclist.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <stdexcept>
 #include <vector>
 
 #include "clique/engine.hpp"
+#include "clique/local_graph.hpp"
+#include "clique/recursive.hpp"
 #include "parallel/parallel.hpp"
 #include "util/timer.hpp"
 
@@ -103,6 +106,26 @@ CliqueResult kclist_search(const Digraph& dag, int k, const CliqueCallback* call
             w.levels.resize(static_cast<std::size_t>(k));
           const auto out = dag.out_neighbors(static_cast<node_t>(u));
           if (static_cast<int>(out.size()) < k - 1) return;
+
+          // Dense-subproblem path (counting only): when N+(u) is dense
+          // enough, re-represent it as a bitset LocalGraph and run the
+          // vertex-growth recursion on the SIMD kernels instead of the CSR
+          // label filtering. The arc bound costs one pass over N+(u).
+          if (callback == nullptr) {
+            std::int64_t arcs_upper = 0;
+            for (const node_t x : out) {
+              arcs_upper += std::min<std::int64_t>(
+                  static_cast<std::int64_t>(dag.out_neighbors(x).size()),
+                  static_cast<std::int64_t>(out.size()));
+            }
+            if (use_dense_subproblem(static_cast<int>(out.size()), arcs_upper)) {
+              build_local_graph(dag, out, w.lg);
+              w.ctx.lg = &w.lg;
+              w.ctx.ctr = &w.ctr;
+              w.count += search_cliques_vertex_all(w.ctx, k - 1);
+              return;
+            }
+          }
 
           std::vector<node_t>& top = w.levels[static_cast<std::size_t>(k - 1)];
           top.assign(out.begin(), out.end());

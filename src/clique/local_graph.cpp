@@ -1,15 +1,27 @@
 #include "clique/local_graph.hpp"
 
-#include <algorithm>
+#include <atomic>
+#include <cstdlib>
 
 namespace c3 {
 
 void LocalGraph::reset(int n) {
+  // Invariant: rows_ is all-zero except the rows in dirty_rows_. Clear just
+  // those, under the *old* stride they were written with.
+  for (const int a : dirty_rows_) {
+    bits::clear_words(row_mut(a), static_cast<std::size_t>(words_));
+    row_dirty_[static_cast<std::size_t>(a)] = 0;
+  }
+  dirty_rows_.clear();
+
   n_ = n;
-  words_ = static_cast<int>(bits::words_for(static_cast<std::size_t>(n)));
+  words_ = static_cast<int>(bits::kernel_stride_words(static_cast<std::size_t>(n)));
   const std::size_t needed = static_cast<std::size_t>(n) * static_cast<std::size_t>(words_);
-  if (rows_.size() < needed) rows_.resize(needed);
-  std::fill(rows_.begin(), rows_.begin() + static_cast<std::ptrdiff_t>(needed), 0);
+  if (rows_.size() < needed) rows_.resize(needed);  // growth value-initializes to zero
+  if (row_dirty_.size() < static_cast<std::size_t>(n)) {
+    row_dirty_.resize(static_cast<std::size_t>(n), 0);
+  }
+  dirty_rows_.reserve(static_cast<std::size_t>(n));  // keeps mark_dirty allocation-free
 }
 
 void build_local_graph(const Digraph& dag, std::span<const node_t> members, LocalGraph& lg) {
@@ -33,6 +45,38 @@ void build_local_graph(const Digraph& dag, std::span<const node_t> members, Loca
       }
     }
   }
+}
+
+namespace {
+
+int initial_dense_min() noexcept {
+  if (const char* env = std::getenv("C3_DENSE_MIN"); env != nullptr && env[0] != '\0') {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<int>(v);
+  }
+  return 32;
+}
+
+std::atomic<int>& dense_min() noexcept {
+  static std::atomic<int> value{initial_dense_min()};
+  return value;
+}
+
+}  // namespace
+
+bool use_dense_subproblem(int nvertices, std::int64_t arcs_upper) noexcept {
+  if (nvertices < dense_min().load(std::memory_order_relaxed)) return false;
+  // Average degree >= n/8: the bitset rebuild costs O(n·stride) words, the
+  // recursion then probes word-parallel; sparse subproblems stay CSR.
+  return arcs_upper * 16 >= static_cast<std::int64_t>(nvertices) * nvertices;
+}
+
+void set_dense_subproblem_min_vertices(int n) noexcept {
+  dense_min().store(n, std::memory_order_relaxed);
+}
+
+int dense_subproblem_min_vertices() noexcept {
+  return dense_min().load(std::memory_order_relaxed);
 }
 
 }  // namespace c3

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/bitkernels.hpp"
 #include "util/bitwords.hpp"
 
 namespace c3 {
@@ -11,30 +12,21 @@ namespace {
 /// dst = row_a & row_b & mask & open-interval(a, b); returns |dst|.
 /// This is line 8 of Algorithm 2: I' <- I ∩ C(e), where the community of
 /// (a, b) inside the local DAG is exactly the common neighborhood restricted
-/// to vertices ordered strictly between a and b.
+/// to vertices ordered strictly between a and b. One fused kernel call
+/// (util/bitkernels.hpp) — AND3 + interval masking + popcount in a single
+/// pass over the interval's words.
 int intersect_community(const std::uint64_t* row_a, const std::uint64_t* row_b,
                         const std::uint64_t* mask, int words, int a, int b, std::uint64_t* dst,
                         LocalCounters& ctr) noexcept {
-  bits::clear_words(dst, static_cast<std::size_t>(words));
-  const int lo = a + 1;
-  const int hi = b - 1;
-  if (lo > hi) return 0;
-  const std::size_t wlo = bits::word_index(static_cast<std::size_t>(lo));
-  const std::size_t whi = bits::word_index(static_cast<std::size_t>(hi));
-  const std::uint64_t head = ~std::uint64_t{0} << (static_cast<std::size_t>(lo) % 64);
-  const std::uint64_t tail = (static_cast<std::size_t>(hi) % 64) == 63
-                                 ? ~std::uint64_t{0}
-                                 : ((std::uint64_t{1} << ((static_cast<std::size_t>(hi) % 64) + 1)) - 1);
-  int count = 0;
-  for (std::size_t w = wlo; w <= whi; ++w) {
-    std::uint64_t m = row_a[w] & row_b[w] & mask[w];
-    if (w == wlo) m &= head;
-    if (w == whi) m &= tail;
-    dst[w] = m;
-    count += std::popcount(m);
+  const auto lo = static_cast<std::size_t>(a) + 1;
+  const std::size_t hi = static_cast<std::size_t>(b) - 1;
+  if (hi < lo) {
+    bits::clear_words(dst, static_cast<std::size_t>(words));
+    return 0;
   }
-  ctr.intersection_words += whi - wlo + 1;
-  return count;
+  ctr.intersection_words += bits::word_index(hi) - bits::word_index(lo) + 1;
+  return static_cast<int>(
+      kern::intersect_interval(row_a, row_b, mask, dst, static_cast<std::size_t>(words), lo, hi));
 }
 
 /// Emits one complete clique from the listing stack; returns false when the
@@ -92,7 +84,7 @@ count_t search_cliques(SearchContext& ctx, std::span<const int> I, const std::ui
     if (!listing) {
       count_t twice = 0;
       for (const int a : I) {
-        twice += bits::popcount_and(lg.row(a), I_mask, static_cast<std::size_t>(words));
+        twice += kern::popcount_and(lg.row(a), I_mask, static_cast<std::size_t>(words));
       }
       ctr.intersection_words += I.size() * static_cast<std::size_t>(words);
       ctr.leaf_work += twice / 2;
@@ -101,7 +93,7 @@ count_t search_cliques(SearchContext& ctx, std::span<const int> I, const std::ui
     count_t emitted = 0;
     for (const int a : I) {
       if (ctx.poll_stop()) break;
-      bits::for_each_bit_and(lg.row(a), I_mask, static_cast<std::size_t>(words),
+      kern::for_each_bit_and(lg.row(a), I_mask, static_cast<std::size_t>(words),
                              [&](std::size_t b) {
                                if (ctx.poll_stop() || static_cast<int>(b) <= a) return;
                                ctx.clique_stack.push_back(ctx.member_to_orig[a]);
@@ -149,7 +141,7 @@ count_t search_cliques(SearchContext& ctx, std::span<const int> I, const std::ui
         ++ctr.recursive_calls;
         count_t twice = 0;
         bits::for_each_bit(community, static_cast<std::size_t>(words), [&](std::size_t x) {
-          twice += bits::popcount_and(lg.row(static_cast<int>(x)), community,
+          twice += kern::popcount_and(lg.row(static_cast<int>(x)), community,
                                       static_cast<std::size_t>(words));
         });
         ctr.intersection_words += static_cast<count_t>(isz) * static_cast<count_t>(words);
@@ -213,17 +205,10 @@ count_t search_cliques_tri(SearchContext& ctx, std::span<const int> I,
       bits::for_each_bit(community, static_cast<std::size_t>(words), [&](std::size_t xbit) {
         if (ctx.poll_stop()) return;
         const int x = static_cast<int>(xbit);
-        // inner = community ∩ N(x) ∩ {> x}
-        const std::uint64_t* row_x = lg.row(x);
-        const std::size_t wx = bits::word_index(xbit);
-        for (std::size_t w = 0; w < wx; ++w) inner[w] = 0;
-        for (std::size_t w = wx; w < static_cast<std::size_t>(words); ++w)
-          inner[w] = community[w] & row_x[w];
-        inner[wx] &= ~((xbit % 64 == 63) ? ~std::uint64_t{0}
-                                         : ((std::uint64_t{1} << ((xbit % 64) + 1)) - 1));
-        ctr.intersection_words += static_cast<std::size_t>(words) - wx;
-
-        const auto isz = bits::popcount(inner, static_cast<std::size_t>(words));
+        // inner = community ∩ N(x) ∩ {> x}, fused with its popcount.
+        ctr.intersection_words += static_cast<std::size_t>(words) - bits::word_index(xbit);
+        const std::uint64_t isz = kern::intersect_above(
+            lg.row(x), community, inner, static_cast<std::size_t>(words), xbit);
         if (isz < static_cast<std::uint64_t>(c - 3)) return;
 
         if (c - 3 == 1 && !listing) {
@@ -267,6 +252,75 @@ count_t search_cliques_all(SearchContext& ctx, int c, bool triangle_growth) {
   const std::span<const int> all(universe, static_cast<std::size_t>(n));
   return triangle_growth ? search_cliques_tri(ctx, all, mask, c, 0)
                          : search_cliques(ctx, all, mask, c, 0);
+}
+
+count_t search_cliques_vertex(SearchContext& ctx, const std::uint64_t* mask, int c, int level) {
+  assert(c >= 1);
+  LocalCounters& ctr = *ctx.ctr;
+  ++ctr.recursive_calls;
+  if (ctx.poll_stop()) return 0;
+
+  const LocalGraph& lg = *ctx.lg;
+  const auto words = static_cast<std::size_t>(lg.words());
+  const bool listing = ctx.callback != nullptr;
+
+  // Base case c == 1: every remaining candidate completes a clique.
+  if (c == 1) {
+    const count_t found = kern::popcount(mask, words);
+    ctr.leaf_work += found;
+    if (!listing) return found;
+    bits::for_each_bit(mask, words, [&](std::size_t x) {
+      if (ctx.poll_stop()) return;
+      ctx.clique_stack.push_back(ctx.member_to_orig[x]);
+      if (!emit(ctx)) ctx.request_stop();
+      ctx.clique_stack.pop_back();
+    });
+    return found;
+  }
+
+  std::uint64_t* next = ctx.mask_at(level);
+  count_t total = 0;
+  bits::for_each_bit(mask, words, [&](std::size_t x) {
+    if (ctx.poll_stop()) return;
+    // next = candidates after x that are adjacent to x, count fused in.
+    ctr.intersection_words += words - bits::word_index(x);
+    ctr.pairs_probed += 1;
+    const std::uint64_t isz = kern::intersect_above(lg.row(static_cast<int>(x)), mask, next,
+                                                    words, x);
+
+    if (c == 2) {
+      ctr.leaf_work += isz;
+      total += static_cast<count_t>(isz);
+      if (listing) {
+        bits::for_each_bit(next, words, [&](std::size_t y) {
+          if (ctx.poll_stop()) return;
+          ctx.clique_stack.push_back(ctx.member_to_orig[x]);
+          ctx.clique_stack.push_back(ctx.member_to_orig[y]);
+          if (!emit(ctx)) ctx.request_stop();
+          ctx.clique_stack.pop_back();
+          ctx.clique_stack.pop_back();
+        });
+      }
+      return;
+    }
+    if (isz >= static_cast<std::uint64_t>(c - 1)) {
+      ++ctr.edges_matched;
+      if (listing) ctx.clique_stack.push_back(ctx.member_to_orig[x]);
+      total += search_cliques_vertex(ctx, next, c - 1, level + 1);
+      if (listing) ctx.clique_stack.pop_back();
+    }
+  });
+  return total;
+}
+
+count_t search_cliques_vertex_all(SearchContext& ctx, int c) {
+  const int n = ctx.lg->size();
+  const int words = ctx.lg->words();
+  // One mask slot per level 0..c-2, plus the universe borrowing slot c.
+  ctx.ensure_capacity(n, c + 1, words);
+  std::uint64_t* universe = ctx.mask_at(c);
+  bits::fill_prefix(universe, static_cast<std::size_t>(n), static_cast<std::size_t>(words));
+  return search_cliques_vertex(ctx, universe, c, 0);
 }
 
 }  // namespace c3

@@ -29,6 +29,7 @@
 #include "clique/common.hpp"
 #include "clique/local_graph.hpp"
 #include "graph/types.hpp"
+#include "util/bitkernels.hpp"
 
 namespace c3 {
 
@@ -78,7 +79,10 @@ struct SearchContext {
 
  private:
   std::vector<int> cand_pool_;
-  std::vector<std::uint64_t> mask_pool_;
+  // Community/candidate masks follow the kernel storage contract
+  // (util/bitkernels.hpp): 64-byte-aligned pool, stride = the LocalGraph's
+  // padded row stride, padding words zero.
+  bits::KernelWords mask_pool_;
   std::size_t cand_stride_ = 0;
   std::size_t mask_stride_ = 0;
   std::size_t depth_ = 0;
@@ -106,5 +110,18 @@ struct SearchContext {
 /// (I = C(e)), Algorithm 3 (I = V'(e)), and the hybrid's per-vertex
 /// subproblems (I = N+(v)).
 [[nodiscard]] count_t search_cliques_all(SearchContext& ctx, int c, bool triangle_growth = false);
+
+/// Vertex-at-a-time recursion over the candidate mask: pick the next clique
+/// vertex x ascending (= respecting the orientation), descend into
+/// mask ∩ N(x) ∩ {> x} with c - 1. The arboricity-style counterpart of
+/// search_cliques — one vertex per level instead of an edge — shared by
+/// ArbCount and kcList's dense-subproblem path. `level` indexes the mask
+/// scratch and must leave room for c - 2 further levels.
+[[nodiscard]] count_t search_cliques_vertex(SearchContext& ctx, const std::uint64_t* mask, int c,
+                                            int level);
+
+/// Vertex-growth search over the full local universe (candidate mask = all
+/// of ctx.lg); sizes the scratch itself.
+[[nodiscard]] count_t search_cliques_vertex_all(SearchContext& ctx, int c);
 
 }  // namespace c3

@@ -48,14 +48,13 @@ struct CliqueScratch {
   std::vector<int> inner_order, inner_rank;
   LocalDegeneracyScratch deg;
 
-  // kcList: per-level label array and candidate sets.
+  // kcList: per-level label array and candidate sets. (ArbCount's per-level
+  // candidate masks live in ctx — search_cliques_vertex uses the same
+  // aligned mask pool as the edge-growth recursion.)
   std::vector<int> label;
   std::vector<std::vector<node_t>> levels;
 
-  // ArbCount: one candidate mask per recursion level.
-  std::vector<std::uint64_t> mask_pool;
-
-  // kcList/ArbCount listing stack (c3List's lives in ctx.clique_stack).
+  // kcList listing stack (c3List's and ArbCount's live in ctx.clique_stack).
   std::vector<node_t> clique_stack;
 
   // Per-query accumulators. Early-stop state lives in ctx (stopped / stop /

@@ -6,6 +6,7 @@
 
 #include "clique/engine.hpp"
 #include "clique/query.hpp"
+#include "util/bitkernels.hpp"
 
 namespace c3::net {
 namespace {
@@ -93,6 +94,7 @@ std::string LineFrontEnd::stats_line() const {
           " cache_misses=" + std::to_string(s.cache.misses) +
           " cache_evictions=" + std::to_string(s.cache.evictions) +
           " cache_entries=" + std::to_string(s.cache.entries);
+  line += std::string(" kernel=") + bits::kernel_backend_name(bits::active_kernel_backend());
   if (stats_suffix_) {
     const std::string suffix = stats_suffix_();
     if (!suffix.empty()) line += ' ' + suffix;

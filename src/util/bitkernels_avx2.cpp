@@ -1,0 +1,209 @@
+// AVX2 bit-kernel backend: 256-bit lanes, popcount via the vpshufb nibble
+// LUT + psadbw idiom (no VPOPCNTDQ below AVX-512). Compiled with
+// -mavx2 only for this TU (see src/CMakeLists.txt); the rest of the library
+// stays baseline so the binary still starts on non-AVX2 hardware.
+#include "util/bitkernels.hpp"
+
+#if defined(C3_BITKERNELS_AVX2)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace c3::bits {
+namespace {
+
+constexpr std::size_t kLaneWords = 4;  // 256 bits
+
+inline __m256i load(const std::uint64_t* p) {
+  // Unaligned loads throughout: rows are 64-byte aligned but the fused
+  // kernels start mid-row at the interval's first word.
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline void store(std::uint64_t* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+/// Per-64-bit-lane popcount of `v` (classic nibble-LUT + SAD).
+inline __m256i popcnt64(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,  //
+                                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low);
+  const __m256i bytes =
+      _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(bytes, _mm256_setzero_si256());
+}
+
+inline std::uint64_t hsum(__m256i acc) {
+  const __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  const __m128i sum = _mm_add_epi64(lo, hi);
+  return static_cast<std::uint64_t>(_mm_cvtsi128_si64(sum)) +
+         static_cast<std::uint64_t>(_mm_extract_epi64(sum, 1));
+}
+
+void k_and_into(std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
+                std::size_t nwords) {
+  std::size_t w = 0;
+  for (; w + kLaneWords <= nwords; w += kLaneWords)
+    store(dst + w, _mm256_and_si256(load(a + w), load(b + w)));
+  for (; w < nwords; ++w) dst[w] = a[w] & b[w];
+}
+
+void k_and_assign(std::uint64_t* dst, const std::uint64_t* a, std::size_t nwords) {
+  std::size_t w = 0;
+  for (; w + kLaneWords <= nwords; w += kLaneWords)
+    store(dst + w, _mm256_and_si256(load(dst + w), load(a + w)));
+  for (; w < nwords; ++w) dst[w] &= a[w];
+}
+
+std::uint64_t k_popcount(const std::uint64_t* a, std::size_t nwords) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t w = 0;
+  for (; w + kLaneWords <= nwords; w += kLaneWords)
+    acc = _mm256_add_epi64(acc, popcnt64(load(a + w)));
+  std::uint64_t total = hsum(acc);
+  for (; w < nwords; ++w) total += static_cast<std::uint64_t>(std::popcount(a[w]));
+  return total;
+}
+
+std::uint64_t k_popcount_and(const std::uint64_t* a, const std::uint64_t* b,
+                             std::size_t nwords) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t w = 0;
+  for (; w + kLaneWords <= nwords; w += kLaneWords)
+    acc = _mm256_add_epi64(acc, popcnt64(_mm256_and_si256(load(a + w), load(b + w))));
+  std::uint64_t total = hsum(acc);
+  for (; w < nwords; ++w) total += static_cast<std::uint64_t>(std::popcount(a[w] & b[w]));
+  return total;
+}
+
+std::uint64_t k_popcount_and3(const std::uint64_t* a, const std::uint64_t* b,
+                              const std::uint64_t* c, std::size_t nwords) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t w = 0;
+  for (; w + kLaneWords <= nwords; w += kLaneWords) {
+    const __m256i v =
+        _mm256_and_si256(_mm256_and_si256(load(a + w), load(b + w)), load(c + w));
+    acc = _mm256_add_epi64(acc, popcnt64(v));
+  }
+  std::uint64_t total = hsum(acc);
+  for (; w < nwords; ++w)
+    total += static_cast<std::uint64_t>(std::popcount(a[w] & b[w] & c[w]));
+  return total;
+}
+
+std::uint64_t k_intersect_interval(const std::uint64_t* a, const std::uint64_t* b,
+                                   const std::uint64_t* mask, std::uint64_t* dst,
+                                   std::size_t nwords, std::size_t lo, std::size_t hi) {
+  std::memset(dst, 0, nwords * sizeof(std::uint64_t));
+  if (hi < lo) return 0;
+  const std::size_t wlo = word_index(lo);
+  const std::size_t whi = word_index(hi);
+  const std::uint64_t head = ~std::uint64_t{0} << (lo % kWordBits);
+  const std::uint64_t tail = (hi % kWordBits) == 63
+                                 ? ~std::uint64_t{0}
+                                 : ((std::uint64_t{1} << ((hi % kWordBits) + 1)) - 1);
+  if (wlo == whi) {
+    const std::uint64_t m = a[wlo] & b[wlo] & mask[wlo] & head & tail;
+    dst[wlo] = m;
+    return static_cast<std::uint64_t>(std::popcount(m));
+  }
+  std::uint64_t m = a[wlo] & b[wlo] & mask[wlo] & head;
+  dst[wlo] = m;
+  std::uint64_t total = static_cast<std::uint64_t>(std::popcount(m));
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t w = wlo + 1;
+  for (; w + kLaneWords <= whi; w += kLaneWords) {
+    const __m256i v =
+        _mm256_and_si256(_mm256_and_si256(load(a + w), load(b + w)), load(mask + w));
+    store(dst + w, v);
+    acc = _mm256_add_epi64(acc, popcnt64(v));
+  }
+  total += hsum(acc);
+  for (; w < whi; ++w) {
+    m = a[w] & b[w] & mask[w];
+    dst[w] = m;
+    total += static_cast<std::uint64_t>(std::popcount(m));
+  }
+  m = a[whi] & b[whi] & mask[whi] & tail;
+  dst[whi] = m;
+  total += static_cast<std::uint64_t>(std::popcount(m));
+  return total;
+}
+
+std::uint64_t k_intersect_above(const std::uint64_t* a, const std::uint64_t* mask,
+                                std::uint64_t* dst, std::size_t nwords, std::size_t x) {
+  const std::size_t wx = word_index(x);
+  std::memset(dst, 0, wx * sizeof(std::uint64_t));
+  const std::uint64_t keep =
+      (x % kWordBits) == 63 ? 0 : ~std::uint64_t{0} << ((x % kWordBits) + 1);
+  dst[wx] = a[wx] & mask[wx] & keep;
+  std::uint64_t total = static_cast<std::uint64_t>(std::popcount(dst[wx]));
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t w = wx + 1;
+  for (; w + kLaneWords <= nwords; w += kLaneWords) {
+    const __m256i v = _mm256_and_si256(load(a + w), load(mask + w));
+    store(dst + w, v);
+    acc = _mm256_add_epi64(acc, popcnt64(v));
+  }
+  total += hsum(acc);
+  for (; w < nwords; ++w) {
+    dst[w] = a[w] & mask[w];
+    total += static_cast<std::uint64_t>(std::popcount(dst[w]));
+  }
+  return total;
+}
+
+void k_for_each_bit_and(const std::uint64_t* a, const std::uint64_t* b, std::size_t nwords,
+                        void* ctx, void (*fn)(void* ctx, std::size_t bit)) {
+  std::size_t w = 0;
+  for (; w + kLaneWords <= nwords; w += kLaneWords) {
+    const __m256i v = _mm256_and_si256(load(a + w), load(b + w));
+    if (_mm256_testz_si256(v, v)) continue;  // skip empty 256-bit blocks
+    alignas(32) std::uint64_t lanes[kLaneWords];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v);
+    for (std::size_t i = 0; i < kLaneWords; ++i) {
+      std::uint64_t word = lanes[i];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn(ctx, (w + i) * kWordBits + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+  for (; w < nwords; ++w) {
+    std::uint64_t word = a[w] & b[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      fn(ctx, w * kWordBits + static_cast<std::size_t>(bit));
+      word &= word - 1;
+    }
+  }
+}
+
+constexpr KernelTable kTable{
+    k_and_into,        k_and_assign,    k_popcount,           k_popcount_and,
+    k_popcount_and3,   k_intersect_interval,
+    k_intersect_above, k_for_each_bit_and,
+    KernelBackend::AVX2,
+};
+
+}  // namespace
+
+namespace detail {
+const KernelTable* avx2_table() noexcept { return &kTable; }
+}  // namespace detail
+
+}  // namespace c3::bits
+
+#else  // !C3_BITKERNELS_AVX2
+
+namespace c3::bits::detail {
+const KernelTable* avx2_table() noexcept { return nullptr; }
+}  // namespace c3::bits::detail
+
+#endif

@@ -1,0 +1,202 @@
+// AVX-512 bit-kernel backend: 512-bit lanes with the native VPOPCNTDQ
+// per-lane popcount. Requires F+BW+VL+VPOPCNTDQ (Ice Lake and later);
+// detection in bitkernels.cpp checks all four before handing this table
+// out. Compiled with the -mavx512* flags only for this TU.
+#include "util/bitkernels.hpp"
+
+#if defined(C3_BITKERNELS_AVX512)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace c3::bits {
+namespace {
+
+constexpr std::size_t kLaneWords = 8;  // 512 bits
+
+inline __m512i load(const std::uint64_t* p) {
+  return _mm512_loadu_si512(reinterpret_cast<const void*>(p));
+}
+
+inline void store(std::uint64_t* p, __m512i v) {
+  _mm512_storeu_si512(reinterpret_cast<void*>(p), v);
+}
+
+/// Horizontal sum of the 8 64-bit lanes. Hand-rolled (store + scalar adds,
+/// runs once per call, outside the loops) because GCC 12's
+/// _mm512_reduce_add_epi64 trips -Wuninitialized via _mm256_undefined_si256.
+inline std::uint64_t hsum(__m512i acc) {
+  alignas(64) std::uint64_t lanes[kLaneWords];
+  _mm512_store_si512(reinterpret_cast<void*>(lanes), acc);
+  std::uint64_t total = 0;
+  for (const std::uint64_t lane : lanes) total += lane;
+  return total;
+}
+
+void k_and_into(std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
+                std::size_t nwords) {
+  std::size_t w = 0;
+  for (; w + kLaneWords <= nwords; w += kLaneWords)
+    store(dst + w, _mm512_and_si512(load(a + w), load(b + w)));
+  for (; w < nwords; ++w) dst[w] = a[w] & b[w];
+}
+
+void k_and_assign(std::uint64_t* dst, const std::uint64_t* a, std::size_t nwords) {
+  std::size_t w = 0;
+  for (; w + kLaneWords <= nwords; w += kLaneWords)
+    store(dst + w, _mm512_and_si512(load(dst + w), load(a + w)));
+  for (; w < nwords; ++w) dst[w] &= a[w];
+}
+
+std::uint64_t k_popcount(const std::uint64_t* a, std::size_t nwords) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t w = 0;
+  for (; w + kLaneWords <= nwords; w += kLaneWords)
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(load(a + w)));
+  std::uint64_t total = hsum(acc);
+  for (; w < nwords; ++w) total += static_cast<std::uint64_t>(std::popcount(a[w]));
+  return total;
+}
+
+std::uint64_t k_popcount_and(const std::uint64_t* a, const std::uint64_t* b,
+                             std::size_t nwords) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t w = 0;
+  for (; w + kLaneWords <= nwords; w += kLaneWords)
+    acc = _mm512_add_epi64(
+        acc, _mm512_popcnt_epi64(_mm512_and_si512(load(a + w), load(b + w))));
+  std::uint64_t total = hsum(acc);
+  for (; w < nwords; ++w) total += static_cast<std::uint64_t>(std::popcount(a[w] & b[w]));
+  return total;
+}
+
+std::uint64_t k_popcount_and3(const std::uint64_t* a, const std::uint64_t* b,
+                              const std::uint64_t* c, std::size_t nwords) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t w = 0;
+  for (; w + kLaneWords <= nwords; w += kLaneWords) {
+    // vpternlogq computes a&b&c in one op (truth table 0x80).
+    const __m512i v = _mm512_ternarylogic_epi64(load(a + w), load(b + w), load(c + w), 0x80);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  std::uint64_t total = hsum(acc);
+  for (; w < nwords; ++w)
+    total += static_cast<std::uint64_t>(std::popcount(a[w] & b[w] & c[w]));
+  return total;
+}
+
+std::uint64_t k_intersect_interval(const std::uint64_t* a, const std::uint64_t* b,
+                                   const std::uint64_t* mask, std::uint64_t* dst,
+                                   std::size_t nwords, std::size_t lo, std::size_t hi) {
+  std::memset(dst, 0, nwords * sizeof(std::uint64_t));
+  if (hi < lo) return 0;
+  const std::size_t wlo = word_index(lo);
+  const std::size_t whi = word_index(hi);
+  const std::uint64_t head = ~std::uint64_t{0} << (lo % kWordBits);
+  const std::uint64_t tail = (hi % kWordBits) == 63
+                                 ? ~std::uint64_t{0}
+                                 : ((std::uint64_t{1} << ((hi % kWordBits) + 1)) - 1);
+  if (wlo == whi) {
+    const std::uint64_t m = a[wlo] & b[wlo] & mask[wlo] & head & tail;
+    dst[wlo] = m;
+    return static_cast<std::uint64_t>(std::popcount(m));
+  }
+  std::uint64_t m = a[wlo] & b[wlo] & mask[wlo] & head;
+  dst[wlo] = m;
+  std::uint64_t total = static_cast<std::uint64_t>(std::popcount(m));
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t w = wlo + 1;
+  for (; w + kLaneWords <= whi; w += kLaneWords) {
+    const __m512i v = _mm512_ternarylogic_epi64(load(a + w), load(b + w), load(mask + w), 0x80);
+    store(dst + w, v);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  total += hsum(acc);
+  for (; w < whi; ++w) {
+    m = a[w] & b[w] & mask[w];
+    dst[w] = m;
+    total += static_cast<std::uint64_t>(std::popcount(m));
+  }
+  m = a[whi] & b[whi] & mask[whi] & tail;
+  dst[whi] = m;
+  total += static_cast<std::uint64_t>(std::popcount(m));
+  return total;
+}
+
+std::uint64_t k_intersect_above(const std::uint64_t* a, const std::uint64_t* mask,
+                                std::uint64_t* dst, std::size_t nwords, std::size_t x) {
+  const std::size_t wx = word_index(x);
+  std::memset(dst, 0, wx * sizeof(std::uint64_t));
+  const std::uint64_t keep =
+      (x % kWordBits) == 63 ? 0 : ~std::uint64_t{0} << ((x % kWordBits) + 1);
+  dst[wx] = a[wx] & mask[wx] & keep;
+  std::uint64_t total = static_cast<std::uint64_t>(std::popcount(dst[wx]));
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t w = wx + 1;
+  for (; w + kLaneWords <= nwords; w += kLaneWords) {
+    const __m512i v = _mm512_and_si512(load(a + w), load(mask + w));
+    store(dst + w, v);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  total += hsum(acc);
+  for (; w < nwords; ++w) {
+    dst[w] = a[w] & mask[w];
+    total += static_cast<std::uint64_t>(std::popcount(dst[w]));
+  }
+  return total;
+}
+
+void k_for_each_bit_and(const std::uint64_t* a, const std::uint64_t* b, std::size_t nwords,
+                        void* ctx, void (*fn)(void* ctx, std::size_t bit)) {
+  std::size_t w = 0;
+  for (; w + kLaneWords <= nwords; w += kLaneWords) {
+    const __m512i v = _mm512_and_si512(load(a + w), load(b + w));
+    __mmask8 nonzero = _mm512_test_epi64_mask(v, v);
+    if (nonzero == 0) continue;  // skip empty 512-bit blocks
+    alignas(64) std::uint64_t lanes[kLaneWords];
+    _mm512_store_si512(reinterpret_cast<void*>(lanes), v);
+    // Visit only the non-empty lanes, in ascending order.
+    while (nonzero != 0) {
+      const int i = std::countr_zero(static_cast<unsigned>(nonzero));
+      std::uint64_t word = lanes[i];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn(ctx, (w + static_cast<std::size_t>(i)) * kWordBits + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+      nonzero = static_cast<__mmask8>(nonzero & (nonzero - 1));
+    }
+  }
+  for (; w < nwords; ++w) {
+    std::uint64_t word = a[w] & b[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      fn(ctx, w * kWordBits + static_cast<std::size_t>(bit));
+      word &= word - 1;
+    }
+  }
+}
+
+constexpr KernelTable kTable{
+    k_and_into,        k_and_assign,    k_popcount,           k_popcount_and,
+    k_popcount_and3,   k_intersect_interval,
+    k_intersect_above, k_for_each_bit_and,
+    KernelBackend::AVX512,
+};
+
+}  // namespace
+
+namespace detail {
+const KernelTable* avx512_table() noexcept { return &kTable; }
+}  // namespace detail
+
+}  // namespace c3::bits
+
+#else  // !C3_BITKERNELS_AVX512
+
+namespace c3::bits::detail {
+const KernelTable* avx512_table() noexcept { return nullptr; }
+}  // namespace c3::bits::detail
+
+#endif

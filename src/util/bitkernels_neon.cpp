@@ -1,0 +1,191 @@
+// NEON (AArch64 AdvSIMD) bit-kernel backend: 128-bit lanes, popcount via
+// vcntq_u8 + pairwise widening adds. AdvSIMD is architecturally mandatory
+// on AArch64, so detection reduces to "compiled for aarch64". The lane is
+// only two words wide, so blocks of two lanes (4 words) are processed per
+// iteration to amortize loop overhead.
+#include "util/bitkernels.hpp"
+
+#if defined(C3_BITKERNELS_NEON)
+
+#include <arm_neon.h>
+
+#include <cstring>
+
+namespace c3::bits {
+namespace {
+
+constexpr std::size_t kLaneWords = 2;   // 128 bits
+constexpr std::size_t kBlockWords = 4;  // two lanes per unrolled iteration
+
+inline uint64x2_t load(const std::uint64_t* p) { return vld1q_u64(p); }
+inline void store(std::uint64_t* p, uint64x2_t v) { vst1q_u64(p, v); }
+
+/// Per-64-bit-lane popcount.
+inline uint64x2_t popcnt64(uint64x2_t v) {
+  return vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(vcntq_u8(vreinterpretq_u8_u64(v)))));
+}
+
+void k_and_into(std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
+                std::size_t nwords) {
+  std::size_t w = 0;
+  for (; w + kBlockWords <= nwords; w += kBlockWords) {
+    store(dst + w, vandq_u64(load(a + w), load(b + w)));
+    store(dst + w + kLaneWords, vandq_u64(load(a + w + kLaneWords), load(b + w + kLaneWords)));
+  }
+  for (; w < nwords; ++w) dst[w] = a[w] & b[w];
+}
+
+void k_and_assign(std::uint64_t* dst, const std::uint64_t* a, std::size_t nwords) {
+  std::size_t w = 0;
+  for (; w + kBlockWords <= nwords; w += kBlockWords) {
+    store(dst + w, vandq_u64(load(dst + w), load(a + w)));
+    store(dst + w + kLaneWords, vandq_u64(load(dst + w + kLaneWords), load(a + w + kLaneWords)));
+  }
+  for (; w < nwords; ++w) dst[w] &= a[w];
+}
+
+std::uint64_t k_popcount(const std::uint64_t* a, std::size_t nwords) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  std::size_t w = 0;
+  for (; w + kLaneWords <= nwords; w += kLaneWords)
+    acc = vaddq_u64(acc, popcnt64(load(a + w)));
+  std::uint64_t total = vaddvq_u64(acc);
+  for (; w < nwords; ++w) total += static_cast<std::uint64_t>(std::popcount(a[w]));
+  return total;
+}
+
+std::uint64_t k_popcount_and(const std::uint64_t* a, const std::uint64_t* b,
+                             std::size_t nwords) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  std::size_t w = 0;
+  for (; w + kLaneWords <= nwords; w += kLaneWords)
+    acc = vaddq_u64(acc, popcnt64(vandq_u64(load(a + w), load(b + w))));
+  std::uint64_t total = vaddvq_u64(acc);
+  for (; w < nwords; ++w) total += static_cast<std::uint64_t>(std::popcount(a[w] & b[w]));
+  return total;
+}
+
+std::uint64_t k_popcount_and3(const std::uint64_t* a, const std::uint64_t* b,
+                              const std::uint64_t* c, std::size_t nwords) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  std::size_t w = 0;
+  for (; w + kLaneWords <= nwords; w += kLaneWords) {
+    const uint64x2_t v = vandq_u64(vandq_u64(load(a + w), load(b + w)), load(c + w));
+    acc = vaddq_u64(acc, popcnt64(v));
+  }
+  std::uint64_t total = vaddvq_u64(acc);
+  for (; w < nwords; ++w)
+    total += static_cast<std::uint64_t>(std::popcount(a[w] & b[w] & c[w]));
+  return total;
+}
+
+std::uint64_t k_intersect_interval(const std::uint64_t* a, const std::uint64_t* b,
+                                   const std::uint64_t* mask, std::uint64_t* dst,
+                                   std::size_t nwords, std::size_t lo, std::size_t hi) {
+  std::memset(dst, 0, nwords * sizeof(std::uint64_t));
+  if (hi < lo) return 0;
+  const std::size_t wlo = word_index(lo);
+  const std::size_t whi = word_index(hi);
+  const std::uint64_t head = ~std::uint64_t{0} << (lo % kWordBits);
+  const std::uint64_t tail = (hi % kWordBits) == 63
+                                 ? ~std::uint64_t{0}
+                                 : ((std::uint64_t{1} << ((hi % kWordBits) + 1)) - 1);
+  if (wlo == whi) {
+    const std::uint64_t m = a[wlo] & b[wlo] & mask[wlo] & head & tail;
+    dst[wlo] = m;
+    return static_cast<std::uint64_t>(std::popcount(m));
+  }
+  std::uint64_t m = a[wlo] & b[wlo] & mask[wlo] & head;
+  dst[wlo] = m;
+  std::uint64_t total = static_cast<std::uint64_t>(std::popcount(m));
+  uint64x2_t acc = vdupq_n_u64(0);
+  std::size_t w = wlo + 1;
+  for (; w + kLaneWords <= whi; w += kLaneWords) {
+    const uint64x2_t v = vandq_u64(vandq_u64(load(a + w), load(b + w)), load(mask + w));
+    store(dst + w, v);
+    acc = vaddq_u64(acc, popcnt64(v));
+  }
+  total += vaddvq_u64(acc);
+  for (; w < whi; ++w) {
+    m = a[w] & b[w] & mask[w];
+    dst[w] = m;
+    total += static_cast<std::uint64_t>(std::popcount(m));
+  }
+  m = a[whi] & b[whi] & mask[whi] & tail;
+  dst[whi] = m;
+  total += static_cast<std::uint64_t>(std::popcount(m));
+  return total;
+}
+
+std::uint64_t k_intersect_above(const std::uint64_t* a, const std::uint64_t* mask,
+                                std::uint64_t* dst, std::size_t nwords, std::size_t x) {
+  const std::size_t wx = word_index(x);
+  std::memset(dst, 0, wx * sizeof(std::uint64_t));
+  const std::uint64_t keep =
+      (x % kWordBits) == 63 ? 0 : ~std::uint64_t{0} << ((x % kWordBits) + 1);
+  dst[wx] = a[wx] & mask[wx] & keep;
+  std::uint64_t total = static_cast<std::uint64_t>(std::popcount(dst[wx]));
+  uint64x2_t acc = vdupq_n_u64(0);
+  std::size_t w = wx + 1;
+  for (; w + kLaneWords <= nwords; w += kLaneWords) {
+    const uint64x2_t v = vandq_u64(load(a + w), load(mask + w));
+    store(dst + w, v);
+    acc = vaddq_u64(acc, popcnt64(v));
+  }
+  total += vaddvq_u64(acc);
+  for (; w < nwords; ++w) {
+    dst[w] = a[w] & mask[w];
+    total += static_cast<std::uint64_t>(std::popcount(dst[w]));
+  }
+  return total;
+}
+
+void k_for_each_bit_and(const std::uint64_t* a, const std::uint64_t* b, std::size_t nwords,
+                        void* ctx, void (*fn)(void* ctx, std::size_t bit)) {
+  std::size_t w = 0;
+  for (; w + kLaneWords <= nwords; w += kLaneWords) {
+    const uint64x2_t v = vandq_u64(load(a + w), load(b + w));
+    if (vmaxvq_u32(vreinterpretq_u32_u64(v)) == 0) continue;  // skip empty lanes
+    std::uint64_t lanes[kLaneWords];
+    store(lanes, v);
+    for (std::size_t i = 0; i < kLaneWords; ++i) {
+      std::uint64_t word = lanes[i];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn(ctx, (w + i) * kWordBits + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+  for (; w < nwords; ++w) {
+    std::uint64_t word = a[w] & b[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      fn(ctx, w * kWordBits + static_cast<std::size_t>(bit));
+      word &= word - 1;
+    }
+  }
+}
+
+constexpr KernelTable kTable{
+    k_and_into,        k_and_assign,    k_popcount,           k_popcount_and,
+    k_popcount_and3,   k_intersect_interval,
+    k_intersect_above, k_for_each_bit_and,
+    KernelBackend::NEON,
+};
+
+}  // namespace
+
+namespace detail {
+const KernelTable* neon_table() noexcept { return &kTable; }
+}  // namespace detail
+
+}  // namespace c3::bits
+
+#else  // !C3_BITKERNELS_NEON
+
+namespace c3::bits::detail {
+const KernelTable* neon_table() noexcept { return nullptr; }
+}  // namespace c3::bits::detail
+
+#endif

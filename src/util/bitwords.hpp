@@ -142,4 +142,54 @@ constexpr void for_each_bit_and(const std::uint64_t* a, const std::uint64_t* b, 
   }
 }
 
+/// Fused masked-interval intersect+count: dst = a & b & mask restricted to
+/// the *inclusive* bit range [lo, hi], zero outside; returns popcount(dst).
+/// This is one recursion step of Algorithm 2 (I' <- I ∩ C(e), where the
+/// community of the pair is the common neighborhood restricted to vertices
+/// ordered strictly between the endpoints) collapsed into a single pass.
+/// When hi < lo the destination is cleared and the count is 0. The scalar
+/// reference for the vector backends in util/bitkernels.hpp.
+constexpr std::uint64_t intersect_interval(const std::uint64_t* a, const std::uint64_t* b,
+                                           const std::uint64_t* mask, std::uint64_t* dst,
+                                           std::size_t nwords, std::size_t lo,
+                                           std::size_t hi) noexcept {
+  clear_words(dst, nwords);
+  if (hi < lo) return 0;
+  const std::size_t wlo = word_index(lo);
+  const std::size_t whi = word_index(hi);
+  const std::uint64_t head = ~std::uint64_t{0} << (lo % kWordBits);
+  const std::uint64_t tail =
+      (hi % kWordBits) == 63 ? ~std::uint64_t{0} : ((std::uint64_t{1} << ((hi % kWordBits) + 1)) - 1);
+  std::uint64_t count = 0;
+  for (std::size_t w = wlo; w <= whi; ++w) {
+    std::uint64_t m = a[w] & b[w] & mask[w];
+    if (w == wlo) m &= head;
+    if (w == whi) m &= tail;
+    dst[w] = m;
+    count += static_cast<std::uint64_t>(std::popcount(m));
+  }
+  return count;
+}
+
+/// Fused suffix intersect+count: dst = a & mask restricted to bits strictly
+/// greater than `x`, zero at and below; returns popcount(dst). One step of
+/// the vertex-growth recursions (candidates after x adjacent to x). The
+/// scalar reference for the vector backends in util/bitkernels.hpp.
+constexpr std::uint64_t intersect_above(const std::uint64_t* a, const std::uint64_t* mask,
+                                        std::uint64_t* dst, std::size_t nwords,
+                                        std::size_t x) noexcept {
+  const std::size_t wx = word_index(x);
+  for (std::size_t w = 0; w < wx; ++w) dst[w] = 0;
+  const std::uint64_t keep =
+      (x % kWordBits) == 63 ? 0 : ~std::uint64_t{0} << ((x % kWordBits) + 1);
+  std::uint64_t count = 0;
+  dst[wx] = a[wx] & mask[wx] & keep;
+  count += static_cast<std::uint64_t>(std::popcount(dst[wx]));
+  for (std::size_t w = wx + 1; w < nwords; ++w) {
+    dst[w] = a[w] & mask[w];
+    count += static_cast<std::uint64_t>(std::popcount(dst[w]));
+  }
+  return count;
+}
+
 }  // namespace c3::bits

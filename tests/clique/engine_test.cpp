@@ -10,12 +10,14 @@
 
 #include "clique/api.hpp"
 #include "clique/bruteforce.hpp"
+#include "clique/local_graph.hpp"
 #include "clique/max_clique.hpp"
 #include "clique/spectrum.hpp"
 #include "clique/vertex_counts.hpp"
 #include "graph/gen/generators.hpp"
 #include "parallel/parallel.hpp"
 #include "test_helpers.hpp"
+#include "util/bitkernels.hpp"
 
 namespace c3 {
 namespace {
@@ -228,6 +230,67 @@ TEST(Engine, SpectrumHonorsKmaxForTrivialSizes) {
   EXPECT_EQ(s2.counts[2], 120u);
   // Trivial-size spectra need no artifacts.
   EXPECT_EQ(engine.artifacts_built(), 0);
+}
+
+TEST(Engine, CountsAreKernelBackendIndependent) {
+  // Prepared-query equivalence with the bit-kernel dispatch pinned to
+  // scalar vs the host default: the SIMD substrate must be invisible in
+  // results for every algorithm, count and listing alike.
+  const bits::KernelBackend host = bits::active_kernel_backend();
+  const Graph g = social_like(300, 2600, 0.45, 33);
+  for (const Algorithm alg : kAllAlgorithms) {
+    CliqueOptions opts;
+    opts.algorithm = alg;
+    const PreparedGraph engine(g, opts);
+    for (int k = 3; k <= 6; ++k) {
+      ASSERT_TRUE(bits::set_kernel_backend(host));
+      const count_t with_host = engine.count(k).count;
+      ASSERT_TRUE(bits::set_kernel_backend(bits::KernelBackend::Scalar));
+      const count_t with_scalar = engine.count(k).count;
+      EXPECT_EQ(with_host, with_scalar) << algorithm_name(alg) << " k=" << k;
+    }
+    ASSERT_TRUE(bits::set_kernel_backend(host));
+  }
+}
+
+TEST(Engine, ListingIsKernelBackendIndependent) {
+  const bits::KernelBackend host = bits::active_kernel_backend();
+  const Graph g = erdos_renyi(60, 480, 19);
+  for (const Algorithm alg : kPreparedAlgorithms) {
+    CliqueOptions opts;
+    opts.algorithm = alg;
+    const PreparedGraph engine(g, opts);
+    const count_t expect = brute_force_count(g, 4);
+    for (const bits::KernelBackend backend : {host, bits::KernelBackend::Scalar}) {
+      ASSERT_TRUE(bits::set_kernel_backend(backend));
+      testing::CliqueCollector collector(g, 4);
+      const CliqueResult r = engine.list(4, collector.callback());
+      EXPECT_EQ(r.count, expect)
+          << algorithm_name(alg) << " backend=" << bits::kernel_backend_name(backend);
+      collector.expect_valid(expect);
+    }
+    ASSERT_TRUE(bits::set_kernel_backend(host));
+  }
+}
+
+TEST(Engine, KclistDenseAndCsrPathsAgree) {
+  // Force the dense-subproblem selection all the way on and all the way off:
+  // the bitset vertex-growth path and the CSR label recursion must count the
+  // same cliques on the same prepared engine.
+  const int saved = dense_subproblem_min_vertices();
+  const Graph g = social_like(300, 2600, 0.5, 91);
+  CliqueOptions opts;
+  opts.algorithm = Algorithm::KCList;
+  const PreparedGraph engine(g, opts);
+  for (int k = 3; k <= 6; ++k) {
+    set_dense_subproblem_min_vertices(1);  // every subproblem dense-eligible
+    const count_t dense = engine.count(k).count;
+    set_dense_subproblem_min_vertices(1 << 30);  // never dense
+    const count_t csr = engine.count(k).count;
+    EXPECT_EQ(dense, csr) << "k=" << k;
+    EXPECT_EQ(csr, count_cliques(g, k).count) << "k=" << k;
+  }
+  set_dense_subproblem_min_vertices(saved);
 }
 
 TEST(Engine, UpperBoundIsValid) {

@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "clique/combinatorics.hpp"
+#include "util/bitkernels.hpp"
 
 namespace c3 {
 namespace {
@@ -21,6 +24,13 @@ struct EngineFixture {
   }
 
   count_t count_all(int c) { return search_cliques_all(ctx, c); }
+  count_t count_vertex_all(int c) { return search_cliques_vertex_all(ctx, c); }
+};
+
+/// Restores the active kernel backend on scope exit.
+struct BackendGuard {
+  bits::KernelBackend saved = bits::active_kernel_backend();
+  ~BackendGuard() { bits::set_kernel_backend(saved); }
 };
 
 TEST(RecursiveEngine, BaseCaseCountsCandidates) {
@@ -99,6 +109,125 @@ TEST(RecursiveEngine, PruneFlagOnlyChangesWork) {
     f.ctx.prune = prune;
     EXPECT_EQ(f.count_all(6), binomial(12, 6)) << "prune=" << prune;
   }
+}
+
+TEST(RecursiveEngine, VertexGrowthMatchesEdgeGrowth) {
+  // The vertex-at-a-time recursion (ArbCount / kcList dense path) must agree
+  // with the edge-growth recursion on random local graphs, across word
+  // boundaries and clique sizes.
+  std::mt19937 rng(7);
+  for (const int n : {6, 40, 70, 130}) {
+    EngineFixture f(n);
+    std::bernoulli_distribution edge(0.35);
+    for (int a = 0; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b) {
+        if (edge(rng)) f.lg.add_edge(a, b);
+      }
+    }
+    for (int c = 1; c <= 5; ++c) {
+      EXPECT_EQ(f.count_vertex_all(c), f.count_all(c)) << "n=" << n << " c=" << c;
+    }
+  }
+}
+
+TEST(RecursiveEngine, VertexGrowthCompleteGraphClosedForms) {
+  const int n = 70;  // crosses the word boundary
+  EngineFixture f(n);
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) f.lg.add_edge(a, b);
+  }
+  for (int c = 1; c <= 6; ++c) {
+    EXPECT_EQ(f.count_vertex_all(c), binomial(n, c)) << "c=" << c;
+  }
+}
+
+TEST(RecursiveEngine, VertexGrowthListsCliques) {
+  EngineFixture f(4);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) f.lg.add_edge(a, b);
+  }
+  const node_t to_orig[] = {100, 101, 102, 103};
+  std::vector<std::vector<node_t>> reported;
+  const CliqueCallback cb = [&](std::span<const node_t> clique) {
+    reported.emplace_back(clique.begin(), clique.end());
+    return true;
+  };
+  f.ctx.callback = &cb;
+  f.ctx.member_to_orig = to_orig;
+  EXPECT_EQ(f.count_vertex_all(3), 4u);
+  ASSERT_EQ(reported.size(), 4u);
+  for (const auto& c : reported) ASSERT_EQ(c.size(), 3u);
+}
+
+TEST(RecursiveEngine, ScalarBackendMatchesHostDefault) {
+  // Same graph, same counts, with the dispatch pinned to scalar vs whatever
+  // the host selected — the substrate must be invisible to results.
+  std::mt19937 rng(11);
+  EngineFixture f(150);  // wide enough for padded (8-word) rows
+  std::bernoulli_distribution edge(0.3);
+  for (int a = 0; a < 150; ++a) {
+    for (int b = a + 1; b < 150; ++b) {
+      if (edge(rng)) f.lg.add_edge(a, b);
+    }
+  }
+  const BackendGuard guard;
+  std::vector<count_t> host, scalar;
+  for (int c = 2; c <= 5; ++c) {
+    host.push_back(f.count_all(c));
+    host.push_back(f.count_vertex_all(c));
+  }
+  ASSERT_TRUE(bits::set_kernel_backend(bits::KernelBackend::Scalar));
+  for (int c = 2; c <= 5; ++c) {
+    scalar.push_back(f.count_all(c));
+    scalar.push_back(f.count_vertex_all(c));
+  }
+  EXPECT_EQ(host, scalar);
+}
+
+TEST(RecursiveEngine, LocalGraphResetClearsLazily) {
+  LocalGraph lg;
+  lg.reset(200);
+  EXPECT_EQ(lg.dirty_rows(), 0);
+  lg.add_edge(3, 150);
+  lg.add_edge(3, 7);
+  EXPECT_EQ(lg.dirty_rows(), 3);  // rows 3, 150, 7
+  EXPECT_TRUE(lg.has_edge(150, 3));
+
+  // Shrinking reset: previously-populated rows must read empty again even
+  // though only the dirty ones were cleared.
+  lg.reset(160);
+  EXPECT_EQ(lg.dirty_rows(), 0);
+  for (int a = 0; a < 160; ++a) ASSERT_EQ(lg.degree(a), 0) << "a=" << a;
+  EXPECT_FALSE(lg.has_edge(3, 7));
+
+  // Re-population under the new (smaller) universe behaves normally.
+  lg.add_edge(0, 159);
+  EXPECT_TRUE(lg.has_edge(159, 0));
+  EXPECT_EQ(lg.degree(0), 1);
+
+  // Growing reset after use: the new rows are zero too.
+  lg.reset(500);
+  for (int a = 0; a < 500; ++a) ASSERT_EQ(lg.degree(a), 0) << "a=" << a;
+}
+
+TEST(RecursiveEngine, LocalGraphStrideFollowsKernelContract) {
+  LocalGraph lg;
+  lg.reset(64);
+  EXPECT_EQ(lg.words(), 1);  // narrow rows stay exact
+  lg.reset(256);
+  EXPECT_EQ(lg.words(), 4);
+  lg.reset(257);
+  EXPECT_EQ(lg.words(), 8);  // wide rows pad to the 512-bit width
+}
+
+TEST(RecursiveEngine, DenseSubproblemThresholdRoundTrip) {
+  const int saved = dense_subproblem_min_vertices();
+  set_dense_subproblem_min_vertices(1);
+  EXPECT_TRUE(use_dense_subproblem(2, 4));        // tiny but dense
+  EXPECT_FALSE(use_dense_subproblem(100, 100));   // big but sparse
+  set_dense_subproblem_min_vertices(1000);
+  EXPECT_FALSE(use_dense_subproblem(100, 10000));  // dense but below the floor
+  set_dense_subproblem_min_vertices(saved);
 }
 
 TEST(RecursiveEngine, ListingReportsChosenVertices) {

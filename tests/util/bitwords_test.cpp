@@ -1,9 +1,15 @@
-// Tests for the word-level bitset helpers that carry the clique engine.
+// Tests for the word-level bitset helpers that carry the clique engine, and
+// backend-parity property tests for the SIMD kernel substrate built on them.
 #include "util/bitwords.hpp"
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <random>
+#include <string>
 #include <vector>
+
+#include "util/bitkernels.hpp"
 
 namespace c3 {
 namespace {
@@ -107,6 +113,206 @@ TEST(Bitwords, AndIntoAndAssign) {
   bits::and_assign(a.data(), b.data(), 2);
   EXPECT_EQ(a, dst);
 }
+
+TEST(Bitwords, IntersectIntervalScalarReference) {
+  // dst = a & b & mask over the inclusive [lo, hi]; verified bit by bit.
+  const std::size_t nwords = 3;
+  std::vector<std::uint64_t> a(nwords, 0), b(nwords, 0), mask(nwords, 0), dst(nwords, ~0ull);
+  for (std::size_t i = 0; i < 192; i += 2) bits::set_bit(a.data(), i);
+  for (std::size_t i = 0; i < 192; i += 3) bits::set_bit(b.data(), i);
+  bits::fill_prefix(mask.data(), 190, nwords);
+  for (const std::size_t lo : {0u, 1u, 63u, 64u, 65u, 127u, 128u}) {
+    for (const std::size_t hi : {0u, 62u, 63u, 64u, 126u, 127u, 128u, 191u}) {
+      const std::uint64_t got =
+          bits::intersect_interval(a.data(), b.data(), mask.data(), dst.data(), nwords, lo, hi);
+      std::uint64_t want = 0;
+      for (std::size_t i = 0; i < 192; ++i) {
+        const bool in = i >= lo && i <= hi && bits::test_bit(a.data(), i) &&
+                        bits::test_bit(b.data(), i) && bits::test_bit(mask.data(), i);
+        ASSERT_EQ(bits::test_bit(dst.data(), i), in) << "lo=" << lo << " hi=" << hi << " i=" << i;
+        if (in) ++want;
+      }
+      ASSERT_EQ(got, want) << "lo=" << lo << " hi=" << hi;
+    }
+  }
+}
+
+TEST(Bitwords, IntersectAboveScalarReference) {
+  const std::size_t nwords = 2;
+  std::vector<std::uint64_t> a(nwords, 0), mask(nwords, 0), dst(nwords, ~0ull);
+  for (std::size_t i = 0; i < 128; i += 2) bits::set_bit(a.data(), i);
+  bits::fill_prefix(mask.data(), 120, nwords);
+  for (const std::size_t x : {0u, 1u, 62u, 63u, 64u, 65u, 126u, 127u}) {
+    const std::uint64_t got = bits::intersect_above(a.data(), mask.data(), dst.data(), nwords, x);
+    std::uint64_t want = 0;
+    for (std::size_t i = 0; i < 128; ++i) {
+      const bool in = i > x && bits::test_bit(a.data(), i) && bits::test_bit(mask.data(), i);
+      ASSERT_EQ(bits::test_bit(dst.data(), i), in) << "x=" << x << " i=" << i;
+      if (in) ++want;
+    }
+    ASSERT_EQ(got, want) << "x=" << x;
+  }
+}
+
+// ------------------------------------------------------------------------
+// Kernel substrate: dispatch plumbing and backend-vs-scalar parity.
+
+TEST(Bitkernels, KernelStrideWords) {
+  EXPECT_EQ(bits::kernel_stride_words(0), 0u);
+  EXPECT_EQ(bits::kernel_stride_words(1), 1u);
+  EXPECT_EQ(bits::kernel_stride_words(64), 1u);
+  EXPECT_EQ(bits::kernel_stride_words(256), 4u);    // narrow rows stay exact
+  EXPECT_EQ(bits::kernel_stride_words(257), 8u);    // wide rows pad to 512 bits
+  EXPECT_EQ(bits::kernel_stride_words(512), 8u);
+  EXPECT_EQ(bits::kernel_stride_words(513), 16u);
+  EXPECT_EQ(bits::kernel_stride_words(1024), 16u);
+}
+
+TEST(Bitkernels, BackendNamesRoundTrip) {
+  for (const bits::KernelBackend b : bits::available_kernel_backends()) {
+    bits::KernelBackend parsed{};
+    ASSERT_TRUE(bits::parse_kernel_backend(bits::kernel_backend_name(b), parsed));
+    EXPECT_EQ(parsed, b);
+  }
+  bits::KernelBackend out{};
+  EXPECT_TRUE(bits::parse_kernel_backend("AUTO", out));
+  EXPECT_EQ(out, bits::best_kernel_backend());
+  EXPECT_FALSE(bits::parse_kernel_backend("sse9", out));
+  EXPECT_FALSE(bits::parse_kernel_backend(nullptr, out));
+}
+
+TEST(Bitkernels, ScalarTableAlwaysAvailable) {
+  ASSERT_NE(bits::kernel_table(bits::KernelBackend::Scalar), nullptr);
+  const auto avail = bits::available_kernel_backends();
+  ASSERT_FALSE(avail.empty());
+  EXPECT_EQ(avail.back(), bits::KernelBackend::Scalar);
+}
+
+TEST(Bitkernels, SetKernelBackendRoundTrip) {
+  const bits::KernelBackend before = bits::active_kernel_backend();
+  ASSERT_TRUE(bits::set_kernel_backend(bits::KernelBackend::Scalar));
+  EXPECT_EQ(bits::active_kernel_backend(), bits::KernelBackend::Scalar);
+  ASSERT_TRUE(bits::set_kernel_backend(before));
+  EXPECT_EQ(bits::active_kernel_backend(), before);
+}
+
+TEST(Bitkernels, KernelAllocatorAlignment) {
+  bits::KernelWords v(100, 0);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % bits::kKernelAlignBytes, 0u);
+}
+
+/// Property suite: every backend the host can run must agree bit-for-bit
+/// with the scalar reference on randomized inputs, across word-boundary
+/// universes, empty masks, and interval edge cases.
+class BackendParity : public ::testing::TestWithParam<bits::KernelBackend> {
+ protected:
+  const bits::KernelTable& table() const { return *bits::kernel_table(GetParam()); }
+};
+
+TEST_P(BackendParity, MatchesScalarOnRandomInputs) {
+  std::mt19937_64 rng(12345);
+  const bits::KernelTable& t = table();
+  // Word-boundary universes in bits, including the padded-row widths the
+  // search uses and sizes that exercise every vector tail length.
+  for (const std::size_t nbits : {1u, 63u, 64u, 65u, 127u, 128u, 129u, 255u, 256u, 257u, 511u,
+                                  512u, 640u, 1024u, 1031u}) {
+    const std::size_t nwords = bits::words_for(nbits);
+    bits::KernelWords a(nwords), b(nwords), c(nwords), want_dst(nwords), got_dst(nwords);
+    for (int round = 0; round < 8; ++round) {
+      for (std::size_t w = 0; w < nwords; ++w) {
+        // Mix densities: full random, sparse, empty.
+        const std::uint64_t r = rng();
+        a[w] = round == 7 ? 0 : r;
+        b[w] = rng() & (round >= 4 ? rng() : ~0ull);
+        c[w] = rng();
+      }
+      // Trim to the universe so padding stays zero like real rows.
+      if (nbits % 64 != 0) {
+        const std::uint64_t last = (std::uint64_t{1} << (nbits % 64)) - 1;
+        a[nwords - 1] &= last;
+        b[nwords - 1] &= last;
+        c[nwords - 1] &= last;
+      }
+
+      ASSERT_EQ(t.popcount(a.data(), nwords), bits::popcount(a.data(), nwords));
+      ASSERT_EQ(t.popcount_and(a.data(), b.data(), nwords),
+                bits::popcount_and(a.data(), b.data(), nwords));
+      ASSERT_EQ(t.popcount_and3(a.data(), b.data(), c.data(), nwords),
+                bits::popcount_and3(a.data(), b.data(), c.data(), nwords));
+
+      bits::and_into(want_dst.data(), a.data(), b.data(), nwords);
+      t.and_into(got_dst.data(), a.data(), b.data(), nwords);
+      ASSERT_EQ(got_dst, want_dst) << "and_into nbits=" << nbits;
+
+      want_dst = a;
+      got_dst = a;
+      bits::and_assign(want_dst.data(), c.data(), nwords);
+      t.and_assign(got_dst.data(), c.data(), nwords);
+      ASSERT_EQ(got_dst, want_dst) << "and_assign nbits=" << nbits;
+
+      // Interval kernel across boundary-straddling and empty intervals.
+      for (const std::size_t lo : {std::size_t{0}, std::size_t{1}, nbits / 2, nbits - 1}) {
+        for (const std::size_t hi : {std::size_t{0}, nbits / 2, nbits - 1}) {
+          const std::uint64_t want = bits::intersect_interval(a.data(), b.data(), c.data(),
+                                                              want_dst.data(), nwords, lo, hi);
+          const std::uint64_t got =
+              t.intersect_interval(a.data(), b.data(), c.data(), got_dst.data(), nwords, lo, hi);
+          ASSERT_EQ(got, want) << "nbits=" << nbits << " lo=" << lo << " hi=" << hi;
+          ASSERT_EQ(got_dst, want_dst) << "nbits=" << nbits << " lo=" << lo << " hi=" << hi;
+        }
+      }
+
+      for (const std::size_t x : {std::size_t{0}, std::size_t{1}, nbits / 2, nbits - 1}) {
+        const std::uint64_t want =
+            bits::intersect_above(a.data(), c.data(), want_dst.data(), nwords, x);
+        const std::uint64_t got = t.intersect_above(a.data(), c.data(), got_dst.data(), nwords, x);
+        ASSERT_EQ(got, want) << "nbits=" << nbits << " x=" << x;
+        ASSERT_EQ(got_dst, want_dst) << "nbits=" << nbits << " x=" << x;
+      }
+
+      // Set-bit iteration: same bits, same (ascending) order.
+      std::vector<std::size_t> want_bits, got_bits;
+      bits::for_each_bit_and(a.data(), b.data(), nwords,
+                             [&](std::size_t i) { want_bits.push_back(i); });
+      t.for_each_bit_and(
+          a.data(), b.data(), nwords, &got_bits,
+          [](void* ctx, std::size_t i) { static_cast<std::vector<std::size_t>*>(ctx)->push_back(i); });
+      ASSERT_EQ(got_bits, want_bits) << "for_each_bit_and nbits=" << nbits;
+    }
+  }
+}
+
+TEST_P(BackendParity, EmptyMasksAndAllOnes) {
+  const bits::KernelTable& t = table();
+  for (const std::size_t nwords : {1u, 2u, 8u, 16u, 17u}) {
+    const bits::KernelWords zero(nwords, 0), ones(nwords, ~0ull);
+    bits::KernelWords dst(nwords, 0xDEAD);
+    EXPECT_EQ(t.popcount(zero.data(), nwords), 0u);
+    EXPECT_EQ(t.popcount(ones.data(), nwords), nwords * 64);
+    EXPECT_EQ(t.popcount_and(ones.data(), zero.data(), nwords), 0u);
+    EXPECT_EQ(t.intersect_interval(ones.data(), ones.data(), zero.data(), dst.data(), nwords, 0,
+                                   nwords * 64 - 1),
+              0u);
+    EXPECT_EQ(dst, zero);
+    // hi < lo clears and returns 0.
+    dst.assign(nwords, 0xBEEF);
+    EXPECT_EQ(t.intersect_interval(ones.data(), ones.data(), ones.data(), dst.data(), nwords, 5, 4),
+              0u);
+    EXPECT_EQ(dst, zero);
+    // x at the last bit leaves nothing above.
+    EXPECT_EQ(t.intersect_above(ones.data(), ones.data(), dst.data(), nwords, nwords * 64 - 1),
+              0u);
+    EXPECT_EQ(dst, zero);
+  }
+}
+
+std::string backend_param_name(const ::testing::TestParamInfo<bits::KernelBackend>& info) {
+  return bits::kernel_backend_name(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAvailable, BackendParity,
+                         ::testing::ValuesIn(bits::available_kernel_backends()),
+                         backend_param_name);
 
 }  // namespace
 }  // namespace c3
