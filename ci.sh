@@ -32,9 +32,10 @@ run_config() {
   if [ "${name}" = "tsan" ]; then
     # The race-sensitive surfaces: the concurrent engine/batch/stream suites,
     # the parallel substrate, concurrent queries over snapshot-loaded
-    # engines, the multi-graph CliqueService, and the TCP front end
-    # (answer cache + admission + server threads).
-    label_args=(-L "clique|parallel|snapshot|service|net")
+    # engines, the multi-graph CliqueService, the TCP front end (answer
+    # cache + admission + server threads), and the telemetry layer the hot
+    # paths write into (sharded counters, trace ring, slow-query log).
+    label_args=(-L "clique|parallel|snapshot|service|net|obs")
   fi
   echo "==== [${name}] configure ===="
   cmake -B "${dir}" -S . "$@"
@@ -105,7 +106,94 @@ run_config() {
       exit 1
     fi
     "${dir}/bench/bench_kernels" --out BENCH_pr7.json
+    # Observability smoke: exposition syntax + counter monotonicity across
+    # scrapes + instrumented-vs-dark hot-path overhead (budget 2%, min of
+    # reps). Emits BENCH_pr9.json.
+    echo "==== [${name}] bench smoke (observability) ===="
+    if [ ! -x "${dir}/bench/bench_obs" ]; then
+      echo "bench_obs not built (is C3_BUILD_BENCH off?)" >&2
+      exit 1
+    fi
+    "${dir}/bench/bench_obs" --out BENCH_pr9.json --reps 7
+    # Wire-level metrics smoke: a real c3serve on an ephemeral port, queries
+    # driven through the socket, `metrics` scraped twice and checked for
+    # valid exposition + monotonically increasing request counters.
+    echo "==== [${name}] c3serve metrics smoke ===="
+    metrics_smoke "${dir}"
   fi
+}
+
+# Starts c3serve --demo on an ephemeral port, drives queries over /dev/tcp,
+# scrapes `metrics` twice, and validates the exposition: the serving counters
+# must be present, parse as numbers, and increase between the scrapes.
+metrics_smoke() {
+  local dir="$1"
+  if [ ! -x "${dir}/examples/c3serve" ]; then
+    echo "c3serve not built" >&2
+    exit 1
+  fi
+  local log port pid
+  log="$(mktemp)"
+  "${dir}/examples/c3serve" --demo --port 0 >"${log}" 2>&1 &
+  pid=$!
+  trap 'kill "${pid}" 2>/dev/null || true' RETURN
+  # The port line is printed and flushed before the accept loop starts.
+  for _ in $(seq 1 50); do
+    port="$(sed -n 's/.*listening on [^:]*:\([0-9]*\).*/\1/p' "${log}" | head -1)"
+    [ -n "${port}" ] && break
+    kill -0 "${pid}" 2>/dev/null || { echo "c3serve exited early:" >&2; cat "${log}" >&2; exit 1; }
+    sleep 0.1
+  done
+  if [ -z "${port}" ]; then
+    echo "c3serve never reported a port:" >&2; cat "${log}" >&2; exit 1
+  fi
+
+  # One connection per step via /dev/tcp (no nc dependency). `metrics` ends
+  # with "# EOF"; queries answer one line each.
+  wire() {  # wire <request...> — sends each argument as one request line
+    local req out
+    exec 3<>"/dev/tcp/127.0.0.1/${port}"
+    for req in "$@"; do printf '%s\n' "${req}" >&3; done
+    printf 'quit\n' >&3
+    out="$(cat <&3)"
+    exec 3<&- 3>&-
+    printf '%s\n' "${out}"
+  }
+  requests_sample() {  # total c3_requests_total across instances in a scrape
+    printf '%s\n' "$1" | awk '/^c3_requests_total/ { sum += $NF } END { printf "%d", sum }'
+  }
+
+  local scrape1 scrape2 r1 r2
+  wire "social count 4" "er hasclique 3" "social spectrum 5" >/dev/null
+  # The connection also carries the closing "bye"; the exposition proper
+  # ends at "# EOF".
+  scrape1="$(wire "metrics" | sed -n '1,/^# EOF$/p')"
+  printf '%s\n' "${scrape1}" | grep -q '^# EOF$' || {
+    echo "metrics scrape missing # EOF" >&2; exit 1; }
+  printf '%s\n' "${scrape1}" | grep -q '^# TYPE c3_requests_total counter$' || {
+    echo "metrics scrape missing c3_requests_total TYPE line" >&2; exit 1; }
+  printf '%s\n' "${scrape1}" | grep -q '^c3_stage_seconds{stage="search",quantile="0.5"}' || {
+    echo "metrics scrape missing per-stage latency summaries" >&2; exit 1; }
+  # Every sample line must end in a number (integer or float, possibly
+  # negative or exponent-form).
+  if printf '%s\n' "${scrape1}" | grep -v '^#' | grep -qv ' -\?[0-9.][0-9.eE+-]*$'; then
+    echo "metrics scrape has an unparseable sample line:" >&2
+    printf '%s\n' "${scrape1}" | grep -v '^#' | grep -v ' -\?[0-9.][0-9.eE+-]*$' >&2
+    exit 1
+  fi
+  wire "social count 5" "er count 4" >/dev/null
+  scrape2="$(wire "metrics" | sed -n '1,/^# EOF$/p')"
+  r1="$(requests_sample "${scrape1}")"
+  r2="$(requests_sample "${scrape2}")"
+  if [ -z "${r1}" ] || [ -z "${r2}" ] || [ "${r2}" -le "${r1}" ]; then
+    echo "c3_requests_total not monotonic across scrapes (${r1} -> ${r2})" >&2
+    exit 1
+  fi
+  kill "${pid}" 2>/dev/null || true
+  wait "${pid}" 2>/dev/null || true
+  rm -f "${log}"
+  trap - RETURN
+  echo "metrics smoke ok: requests ${r1} -> ${r2}"
 }
 
 for config in "${configs[@]}"; do

@@ -31,6 +31,14 @@
 //   --cache N            answer-cache entries, 0 = off (default 4096)
 //   --idle-timeout SEC   close silent connections (default 300)
 //   --prepare            build/open every graph before accepting traffic
+//   --slow-query-ms MS   log requests slower than MS (structured one-line
+//                        records; 0 = off, default)
+//   --slow-query-log F   append slow-query records to file F (default stderr)
+//
+// Monitoring: the `metrics` admin word returns a Prometheus text exposition
+// (request counters, per-stage latency summaries, cache and admission
+// state), `trace` the recent-request ring as chrome://tracing JSON. Set
+// C3_OBS=off to disable all telemetry recording.
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -43,6 +51,7 @@
 #include "graph/gen/generators.hpp"
 #include "graph/io.hpp"
 #include "net/server.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -65,8 +74,10 @@ void usage(const char* argv0) {
       "usage: %s [--snapshot ID=PATH]... [--graph ID=PATH]... [--demo]\n"
       "          [--bind ADDR] [--port N] [--inflight N] [--cache N]\n"
       "          [--idle-timeout SEC] [--prepare]\n"
+      "          [--slow-query-ms MS] [--slow-query-log FILE]\n"
       "Serves the catalog over TCP: one '<graph-id> <query>' request per\n"
-      "line, one answer per line; admin commands stats/catalog/ping/quit.\n",
+      "line, one answer per line; admin commands stats/metrics/trace/\n"
+      "catalog/ping/quit.\n",
       argv0);
 }
 
@@ -123,6 +134,19 @@ int main(int argc, char** argv) {
   opts.max_inflight_per_graph = static_cast<int>(cli.get_int("inflight", 4));
   opts.cache_capacity = static_cast<std::size_t>(cli.get_int("cache", 4096));
   opts.idle_timeout_seconds = cli.get_double("idle-timeout", 300.0);
+
+  const double slow_ms = cli.get_double("slow-query-ms", 0.0);
+  if (slow_ms > 0.0) {
+    const std::string slow_log = cli.get_string("slow-query-log", "");
+    if (slow_log.empty()) {
+      obs::SlowQueryLog::global().configure(slow_ms * 1e-3);
+    } else if (!obs::SlowQueryLog::global().configure_file(slow_ms * 1e-3, slow_log)) {
+      std::fprintf(stderr, "c3serve: cannot open --slow-query-log '%s'\n", slow_log.c_str());
+      return 2;
+    }
+    std::printf("c3serve: slow-query log at %.1f ms -> %s\n", slow_ms,
+                slow_log.empty() ? "stderr" : slow_log.c_str());
+  }
 
   if (cli.has_flag("prepare")) {
     for (const std::string& id : ids) {

@@ -14,6 +14,9 @@
 //                   (prepare once, run a query file through QueryBatch; the
 //                   file holds one typed query per line — parse_query's
 //                   grammar, including per-query workers=/limit=/budget=)
+//   c3tool trace    --in g.txt --query 'count 5' --out trace.json   (run with
+//                   tracing on and dump chrome://tracing JSON; --connect
+//                   HOST:PORT fetches a live server's trace ring instead)
 //   c3tool convert  --in g.txt --out g.metis
 //
 // count/sweep/maxclique/batch accept --snapshot g.c3snap in place of --in:
@@ -34,6 +37,9 @@
 #include <vector>
 
 #include "c3list.hpp"
+#include "net/client.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -334,6 +340,73 @@ int cmd_maxclique(const CommandLine& cli) {
   return 0;
 }
 
+/// `c3tool trace` — dump query-lifecycle traces as chrome://tracing JSON
+/// (load the file at chrome://tracing or https://ui.perfetto.dev).
+///
+/// Local mode: run --query (or a --queries file) against --in/--snapshot
+/// with tracing forced on, then dump the trace ring. Connect mode
+/// (--connect HOST:PORT): fetch a running server's ring via the `trace`
+/// admin word instead.
+int cmd_trace(const CommandLine& cli) {
+  const std::string out_path = cli.get_string("out", "trace.json");
+  std::string json;
+  if (const auto connect = cli.get("connect")) {
+    const std::size_t colon = connect->rfind(':');
+    if (colon == std::string::npos || colon + 1 == connect->size()) {
+      std::fprintf(stderr, "c3tool trace: bad --connect '%s' (want HOST:PORT)\n",
+                   connect->c_str());
+      return 2;
+    }
+    const std::string host = connect->substr(0, colon);
+    const auto port = static_cast<std::uint16_t>(std::stoul(connect->substr(colon + 1)));
+    // The whole ring arrives as one JSON line; give it generous headroom.
+    net::LineClient client(host, port, 10.0, std::size_t{64} << 20);
+    json = client.request("trace");
+  } else {
+    obs::set_enabled(true);  // --in mode forces tracing even under C3_OBS=off
+    obs::TraceRing::global().clear();
+    const EngineSource src = make_engine(cli);
+    const PreparedGraph& engine = src.engine();
+    const std::string graph_id = cli.get_string("snapshot", cli.get_string("in", "graph.txt"));
+
+    std::vector<Query> queries;
+    try {
+      if (const auto queries_path = cli.get("queries")) {
+        std::ifstream in(*queries_path);
+        if (!in) {
+          std::fprintf(stderr, "c3tool trace: cannot read %s\n", queries_path->c_str());
+          return 2;
+        }
+        queries = parse_query_file(in);
+      } else {
+        queries.push_back(parse_query(cli.get_string("query", "count 5")));
+      }
+    } catch (const QueryParseError& e) {
+      std::fprintf(stderr, "c3tool trace: %s\n", e.what());
+      return 2;
+    }
+
+    for (const Query& q : queries) {
+      auto trace = std::make_unique<obs::TraceContext>(graph_id, format_query(q));
+      const Answer answer = engine.run(q, trace.get());
+      trace.reset();  // publish into the ring
+      std::printf("%s -> %s\n", format_query(q).c_str(), format_answer(answer).c_str());
+    }
+    json = obs::chrome_trace_json(obs::TraceRing::global().snapshot());
+  }
+
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "c3tool trace: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  out << json << '\n';
+  out.close();
+  std::printf("wrote %s (%zu bytes) — load at chrome://tracing\n", out_path.c_str(),
+              json.size() + 1);
+  return 0;
+}
+
 int cmd_convert(const CommandLine& cli) {
   const Graph g = read_graph_any(cli.get_string("in", "graph.txt"));
   const std::string out = cli.get_string("out", "graph.bin");
@@ -345,7 +418,8 @@ int cmd_convert(const CommandLine& cli) {
 
 void usage() {
   std::puts(
-      "usage: c3tool <gen|stats|prepare|inspect|count|sweep|maxclique|batch|convert> [--flags]\n"
+      "usage: c3tool <gen|stats|prepare|inspect|count|sweep|maxclique|batch|trace|convert>"
+      " [--flags]\n"
       "  gen       --kind K --n N [--m M --seed S] --out FILE\n"
       "  stats     --in FILE\n"
       "  prepare   --in FILE --out FILE.c3snap [--alg A]  (build artifacts offline,\n"
@@ -360,6 +434,9 @@ void usage() {
       "            vertexcounts K | edgecounts K | spectrum [KMAX] | maxclique,\n"
       "            each optionally followed by workers=N limit=N budget=SECONDS\n"
       "            witness=0|1 (per-query worker caps, result limits, deadlines)\n"
+      "  trace     --in FILE [--query 'count 5' | --queries FILE] [--out trace.json]\n"
+      "            or --connect HOST:PORT — dump query-lifecycle stage spans as\n"
+      "            chrome://tracing JSON (local run, or a server's trace ring)\n"
       "  convert   --in FILE --out FILE\n"
       "\n"
       "count/sweep/maxclique/batch also take --snapshot FILE.c3snap instead of\n"
@@ -396,6 +473,7 @@ int main(int argc, char** argv) {
     if (command == "sweep") return cmd_sweep(cli);
     if (command == "maxclique") return cmd_maxclique(cli);
     if (command == "batch") return cmd_batch(cli);
+    if (command == "trace") return cmd_trace(cli);
     if (command == "convert") return cmd_convert(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "c3tool: %s\n", e.what());

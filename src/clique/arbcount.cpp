@@ -43,6 +43,7 @@ CliqueResult arbcount_search(const Digraph& dag, int k, const CliqueCallback* ca
 
         w.ctx.lg = &w.lg;
         w.ctx.ctr = &w.ctr;
+        ++w.ctr.dense_subproblems;
         w.ctx.callback = callback;
         w.ctx.stop = callback != nullptr ? &stop : nullptr;
         if (callback != nullptr) {

@@ -5,11 +5,30 @@
 #include <exception>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "parallel/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace c3 {
 namespace {
+
+/// Scheduler depth gauges (process-global, aggregated over all instances —
+/// the serving layer runs one scheduler per engine, and a monitor wants the
+/// machine-wide picture anyway). The gauges move unconditionally so they
+/// stay balanced across obs::enabled() flips; each move is one relaxed
+/// fetch_add on a path that already holds the scheduler mutex.
+obs::Gauge& stream_queue_depth_gauge() {
+  static obs::Gauge& g = obs::Registry::global().gauge("c3_stream_queue_depth");
+  return g;
+}
+obs::Gauge& stream_inflight_gauge() {
+  static obs::Gauge& g = obs::Registry::global().gauge("c3_stream_inflight");
+  return g;
+}
+obs::Gauge& batch_inflight_gauge() {
+  static obs::Gauge& g = obs::Registry::global().gauge("c3_batch_inflight");
+  return g;
+}
 
 /// Concurrent-phase admission bar: queries whose estimated work is at most
 /// this many elementary steps run on the executor threads; anything above
@@ -58,12 +77,14 @@ void run_light_concurrent(const PreparedGraph& engine, const std::vector<Query>&
           const std::size_t slot = cursor.fetch_add(1, std::memory_order_relaxed);
           if (slot >= light.size()) return;
           const std::size_t i = light[slot];
+          batch_inflight_gauge().add();
           try {
             results[i] = engine.run(queries[i]);
           } catch (...) {
             const std::lock_guard<std::mutex> lock(error_guard);
             if (first_error == nullptr) first_error = std::current_exception();
           }
+          batch_inflight_gauge().sub();
         }
       });
     }
@@ -148,12 +169,20 @@ std::vector<Answer> QueryBatch::answers(int concurrency) const {
     }
   }
   if (!light_done) {
-    for (const std::size_t i : light) results[i] = engine.run(queries_[i]);
+    for (const std::size_t i : light) {
+      batch_inflight_gauge().add();
+      results[i] = engine.run(queries_[i]);
+      batch_inflight_gauge().sub();
+    }
   }
 
   // Sequential phase: heavy queries keep the full pool for their internal
   // parallelism (a per-query max_workers still caps inside run()).
-  for (const std::size_t i : heavy) results[i] = engine.run(queries_[i]);
+  for (const std::size_t i : heavy) {
+    batch_inflight_gauge().add();
+    results[i] = engine.run(queries_[i]);
+    batch_inflight_gauge().sub();
+  }
   return results;
 }
 
@@ -200,6 +229,7 @@ std::uint64_t QueryStream::submit(Query query) {
     if (closing_) throw std::logic_error("QueryStream: submit after close()");
     ticket = next_ticket_++;
     queue_.emplace_back(ticket, std::move(query));
+    stream_queue_depth_gauge().add();
   }
   work_ready_.notify_one();
   return ticket;
@@ -263,6 +293,8 @@ void QueryStream::executor_loop(int split_cap) {
       job = std::move(queue_.front());
       queue_.pop_front();
       ++in_flight_;
+      stream_queue_depth_gauge().sub();
+      stream_inflight_gauge().add();
     }
 
     Completed done;
@@ -293,6 +325,7 @@ void QueryStream::executor_loop(int split_cap) {
       const std::lock_guard<std::mutex> lock(mutex_);
       completed_.push_back(std::move(done));
       --in_flight_;
+      stream_inflight_gauge().sub();
     }
     all_done_.notify_all();
   }

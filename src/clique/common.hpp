@@ -70,6 +70,8 @@ struct CliqueStats {
   count_t edges_matched = 0;       ///< probed pairs that were edges (recursed)
   count_t intersection_words = 0;  ///< 64-bit words touched by intersections
   count_t leaf_work = 0;           ///< work at recursion leaves (c <= 2)
+  count_t dense_subproblems = 0;   ///< subproblems routed to the dense
+                                   ///< (bitset local-graph) path vs CSR
   node_t gamma = 0;                ///< largest community / candidate set
   node_t order_quality = 0;        ///< max out-degree (or max |V'|) induced by the order
   double preprocess_seconds = 0.0;
@@ -90,6 +92,7 @@ struct LocalCounters {
   count_t edges_matched = 0;
   count_t intersection_words = 0;
   count_t leaf_work = 0;
+  count_t dense_subproblems = 0;
 
   void merge_into(CliqueStats& s) const noexcept {
     s.cliques += cliques;
@@ -98,6 +101,7 @@ struct LocalCounters {
     s.edges_matched += edges_matched;
     s.intersection_words += intersection_words;
     s.leaf_work += leaf_work;
+    s.dense_subproblems += dense_subproblems;
   }
 };
 

@@ -1,6 +1,7 @@
 #include "clique/engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <mutex>
@@ -8,6 +9,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "clique/api.hpp"
 #include "clique/arbcount.hpp"
 #include "clique/bruteforce.hpp"
 #include "clique/c3list.hpp"
@@ -15,10 +17,12 @@
 #include "clique/hybrid.hpp"
 #include "clique/kclist.hpp"
 #include "clique/order_util.hpp"
+#include "obs/metrics.hpp"
 #include "order/approx_degeneracy.hpp"
 #include "order/degeneracy.hpp"
 #include "parallel/parallel.hpp"
 #include "parallel/scratch_pool.hpp"
+#include "util/bitkernels.hpp"
 #include "util/timer.hpp"
 
 namespace c3 {
@@ -557,6 +561,73 @@ Answer PreparedGraph::run(const Query& query) const {
       break;
   }
   answer.seconds = timer.seconds();
+  return answer;
+}
+
+namespace {
+
+/// Per-kind registry series, resolved once (the registry lookup takes a
+/// mutex; the hot path must not).
+struct KindMetrics {
+  obs::Counter* total;
+  obs::Histogram* seconds;
+};
+
+KindMetrics& kind_metrics(QueryKind kind) {
+  static std::array<KindMetrics, 8> table = [] {
+    std::array<KindMetrics, 8> t{};
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const std::string labels =
+          std::string("kind=\"") + query_kind_name(static_cast<QueryKind>(i)) + "\"";
+      t[i] = {&obs::Registry::global().counter("c3_queries_total", labels),
+              &obs::Registry::global().histogram("c3_query_seconds", labels)};
+    }
+    return t;
+  }();
+  return table[static_cast<std::size_t>(kind)];
+}
+
+}  // namespace
+
+Answer PreparedGraph::run(const Query& query, obs::TraceContext* trace) const {
+  const bool telemetry = obs::enabled();
+  if (trace == nullptr && !telemetry) return run(query);
+
+  const std::uint64_t search_start_ns = trace != nullptr ? trace->now_ns() : 0;
+  const Answer answer = run(query);
+
+  if (trace != nullptr) {
+    const std::uint64_t end_ns = trace->now_ns();
+    // Preparation runs inside the search (lazily, at its start); report it
+    // as a sub-span so the trace shows the first-query build cost that the
+    // reuse guarantee later makes vanish.
+    const auto prep_ns = static_cast<std::uint64_t>(
+        std::max(0.0, answer.stats.preprocess_seconds) * 1e9);
+    if (prep_ns > 0) trace->add_span(obs::Stage::Prepare, search_start_ns, prep_ns);
+    trace->add_span(obs::Stage::Search, search_start_ns,
+                    end_ns > search_start_ns ? end_ns - search_start_ns : 0);
+    trace->mark_truncated(answer.truncated);
+    trace->annotate("algorithm", algorithm_name(opts_.algorithm));
+    trace->annotate("kernel_backend",
+                    bits::kernel_backend_name(bits::active_kernel_backend()));
+    const CliqueStats& s = answer.stats;
+    // dense_subproblems counts the searches routed to the bitset local-graph
+    // path; with top_level_tasks it answers "which representation ran".
+    trace->annotate("dense_subproblems", std::to_string(s.dense_subproblems));
+    trace->annotate("top_level_tasks", std::to_string(s.top_level_tasks));
+    trace->annotate("recursive_calls", std::to_string(s.recursive_calls));
+    trace->annotate("pairs_probed", std::to_string(s.pairs_probed));
+    trace->annotate("edges_matched", std::to_string(s.edges_matched));
+    trace->annotate("intersection_words", std::to_string(s.intersection_words));
+    trace->annotate("leaf_work", std::to_string(s.leaf_work));
+    trace->annotate("count", std::to_string(answer.count));
+  }
+
+  if (telemetry) {
+    KindMetrics& m = kind_metrics(query.kind);
+    m.total->add();
+    m.seconds->observe(answer.seconds);
+  }
   return answer;
 }
 

@@ -45,6 +45,7 @@
 #include "clique/spectrum.hpp"
 #include "graph/digraph.hpp"
 #include "graph/graph.hpp"
+#include "obs/trace.hpp"
 #include "order/community_degeneracy.hpp"
 #include "triangle/communities.hpp"
 
@@ -92,6 +93,14 @@ class PreparedGraph {
   /// like the matching named method below; the named methods are thin
   /// wrappers over this.
   [[nodiscard]] Answer run(const Query& query) const;
+
+  /// run() with telemetry: when `trace` is non-null the engine records
+  /// Prepare and Search spans into it and annotates the search — algorithm,
+  /// kernel backend, dense-vs-CSR routing, and the CliqueStats work counters
+  /// (recursive_calls, leaf_work, ...). Also feeds the per-kind registry
+  /// metrics (c3_queries_total{kind=...}, c3_query_seconds{kind=...}) when
+  /// telemetry is enabled; a null trace with obs off costs one branch.
+  [[nodiscard]] Answer run(const Query& query, obs::TraceContext* trace) const;
 
   /// Counts all k-cliques.
   [[nodiscard]] CliqueResult count(int k) const;

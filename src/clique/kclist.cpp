@@ -122,6 +122,7 @@ CliqueResult kclist_search(const Digraph& dag, int k, const CliqueCallback* call
               build_local_graph(dag, out, w.lg);
               w.ctx.lg = &w.lg;
               w.ctx.ctr = &w.ctr;
+              ++w.ctr.dense_subproblems;
               w.count += search_cliques_vertex_all(w.ctx, k - 1);
               return;
             }

@@ -13,6 +13,20 @@ std::string LineClient::request(std::string_view line) {
   return *std::move(response);
 }
 
+std::string LineClient::scrape_metrics() {
+  if (!send("metrics")) throw std::runtime_error("c3::net: send failed (connection lost)");
+  std::string out;
+  for (;;) {
+    std::optional<std::string> line = read_line();
+    if (!line.has_value()) {
+      throw std::runtime_error("c3::net: connection closed mid-exposition (no # EOF)");
+    }
+    out += *line;
+    out += '\n';
+    if (*line == "# EOF") return out;
+  }
+}
+
 std::optional<std::string> LineClient::read_line() {
   std::string line;
   switch (channel_.read_line(line, timeout_)) {

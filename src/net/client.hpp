@@ -15,13 +15,22 @@ namespace c3::net {
 class LineClient {
  public:
   /// Connects (throws std::runtime_error on refusal/timeout).
-  LineClient(const std::string& address, std::uint16_t port, double timeout_seconds = 10.0)
-      : channel_(connect_tcp(address, port, timeout_seconds)), timeout_(timeout_seconds) {}
+  /// `max_line_bytes` bounds one received line — raise it when fetching the
+  /// big multi-line/one-line admin payloads (`metrics`, `trace`).
+  LineClient(const std::string& address, std::uint16_t port, double timeout_seconds = 10.0,
+             std::size_t max_line_bytes = 1 << 16)
+      : channel_(connect_tcp(address, port, timeout_seconds), max_line_bytes),
+        timeout_(timeout_seconds) {}
 
   /// Sends one request line and blocks for the one response line. Throws
   /// std::runtime_error when the connection drops or the read times out.
   /// (Blank/comment lines get no response — don't send them through here.)
   [[nodiscard]] std::string request(std::string_view line);
+
+  /// Sends `metrics` and reads the multi-line exposition through its `# EOF`
+  /// terminator line; returns the full text (terminator included, lines
+  /// newline-joined). Throws like request().
+  [[nodiscard]] std::string scrape_metrics();
 
   /// Sends without waiting (for quit, or deliberate pipelining).
   [[nodiscard]] bool send(std::string_view line) { return channel_.write_line(line); }

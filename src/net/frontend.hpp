@@ -9,8 +9,11 @@
 //   web maxclique witness=0       ->  maxclique: omega 9
 //   web list 3 limit=2            ->  list 3: 2 cliques [truncated]
 //
-// plus four admin commands: `stats` (one line of counters, including the
-// answer cache's hits/misses/evictions), `catalog` (the graph ids), `ping`
+// plus the admin commands: `stats` (one line of counters, including the
+// answer cache's hits/misses/evictions), `metrics` (Prometheus text
+// exposition of the whole obs registry — the only multi-line reply, closed
+// by its `# EOF` terminator line), `trace` (the recent-trace ring as one
+// line of chrome://tracing JSON), `catalog` (the graph ids), `ping`
 // (liveness), and `quit` (close after the reply). Blank and '#'-comment
 // lines are skipped without a response. Every failure — unknown graph, parse
 // error, snapshot open failure, execution error — becomes one line starting
@@ -31,10 +34,19 @@
 //     other graphs' slots stay free — fairness across the catalog by
 //     construction.
 //
+// Telemetry (obs/): the serving counters live in the metrics registry as
+// instance-labeled series (instance="N", one N per front end), so stats()
+// and the `stats` line are *views* of the registry while concurrent front
+// ends (tests, multiple servers in one process) stay isolated. When
+// obs::enabled(), each query request additionally carries a TraceContext
+// whose stage spans (parse, admission wait, cache lookup, prepare, search,
+// format) feed the c3_stage_seconds histograms; the context rides out on
+// Reply::trace so the transport can add its socket-write span before the
+// trace publishes into the ring.
+//
 // process() is safe to call from any number of connection threads.
 #pragma once
 
-#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -48,6 +60,8 @@
 
 #include "clique/answer_cache.hpp"
 #include "clique/service.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace c3::net {
 
@@ -57,7 +71,8 @@ struct FrontEndOptions {
   int max_inflight_per_graph = 4;
 };
 
-/// Counter snapshot for stats()/the `stats` admin line.
+/// Counter snapshot for stats()/the `stats` admin line. Sourced from this
+/// instance's registry series (see the header comment).
 struct FrontEndStats {
   std::uint64_t requests = 0;   ///< query requests (admin lines not counted)
   std::uint64_t answered = 0;   ///< successful answers (cache hits included)
@@ -77,6 +92,10 @@ class LineFrontEnd {
     std::string line;      ///< the one response line (empty if !respond)
     bool respond = true;   ///< false: blank/comment input, send nothing
     bool close = false;    ///< true after `quit`: reply, then hang up
+    /// The request's trace, when tracing is on (query requests only). The
+    /// transport may record its write into it (Stage::SocketWrite); the
+    /// trace publishes to the ring/histograms when this pointer dies.
+    std::unique_ptr<obs::TraceContext> trace;
   };
 
   /// Handles one request line (newline already stripped). Never throws —
@@ -85,8 +104,15 @@ class LineFrontEnd {
 
   [[nodiscard]] FrontEndStats stats() const;
 
+  /// The `metrics` admin payload: Prometheus text exposition of the whole
+  /// registry (instantaneous serving-layer state — cache counters, catalog
+  /// size, peak inflight — is mirrored into gauges at scrape time). The
+  /// final line is the `# EOF` terminator.
+  [[nodiscard]] std::string metrics_text() const;
+
   /// Extra "key=value" text appended to the `stats` admin line — the server
   /// hooks its connection gauges in here. Set once, before traffic.
+  /// Embedded newlines are folded to spaces (one-answer-per-line protocol).
   void set_stats_suffix_source(std::function<std::string()> source);
 
  private:
@@ -98,6 +124,9 @@ class LineFrontEnd {
     /// with notify_one could hand A's wakeup to a B-waiter whose predicate
     /// is still false, losing it and stranding A's waiter.
     std::condition_variable free_slot;
+    /// Registry mirror of `inflight` (c3_graph_inflight{graph="..."}),
+    /// resolved once when the gate is created.
+    obs::Gauge* inflight_gauge = nullptr;
   };
 
   /// Blocks until an execution slot for `id` is free; RAII-released.
@@ -118,10 +147,16 @@ class LineFrontEnd {
   mutable std::shared_mutex fingerprint_mutex_;
   std::unordered_map<std::string, std::uint64_t> fingerprints_;
 
-  std::atomic<std::uint64_t> requests_{0};
-  std::atomic<std::uint64_t> answered_{0};
-  std::atomic<std::uint64_t> cache_hits_{0};
-  std::atomic<std::uint64_t> errors_{0};
+  // This instance's registry series (instance="N" label). The request
+  // counters move unconditionally — they are the serving stats, not optional
+  // telemetry — so `stats` keeps working under C3_OBS=off; the off switch
+  // gates tracing and the latency histograms.
+  std::string instance_label_;
+  obs::Counter* requests_;
+  obs::Counter* answered_;
+  obs::Counter* cache_hits_;
+  obs::Counter* errors_;
+  obs::Histogram* admission_wait_;  // c3_admission_wait_seconds (shared)
 };
 
 }  // namespace c3::net

@@ -5,7 +5,30 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace c3::net {
+namespace {
+
+/// Connection-lifecycle registry series (process-global: a monitor wants the
+/// machine view, and one process runs one server in practice). The open
+/// gauge moves unconditionally so it stays balanced across obs::enabled()
+/// flips.
+struct ConnMetrics {
+  obs::Counter& accepted;
+  obs::Gauge& open;
+  obs::Counter& idle_closes;
+
+  static ConnMetrics& global() {
+    static ConnMetrics m{obs::Registry::global().counter("c3_connections_accepted_total"),
+                         obs::Registry::global().gauge("c3_connections_open"),
+                         obs::Registry::global().counter("c3_connections_idle_closed_total")};
+    return m;
+  }
+};
+
+}  // namespace
 
 CliqueServer::CliqueServer(const CliqueService& service, ServerOptions opts)
     : service_(&service),
@@ -93,6 +116,8 @@ void CliqueServer::accept_loop() {
 
     accepted_.fetch_add(1, std::memory_order_relaxed);
     open_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) ConnMetrics::global().accepted.add();
+    ConnMetrics::global().open.add();
     auto conn = std::make_unique<Connection>(LineChannel(std::move(fd), opts_.max_line_bytes));
     Connection& ref = *conn;
     {
@@ -105,6 +130,7 @@ void CliqueServer::accept_loop() {
       // send the FIN now so the peer sees EOF the moment we are done.
       ref.channel.shutdown();
       open_.fetch_sub(1, std::memory_order_relaxed);
+      ConnMetrics::global().open.sub();
       ref.done.store(true, std::memory_order_release);
     });
   }
@@ -118,6 +144,7 @@ void CliqueServer::serve_connection(Connection& conn) {
         break;
       case LineChannel::ReadStatus::Timeout:
         idle_closes_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::enabled()) ConnMetrics::global().idle_closes.add();
         (void)conn.channel.write_line("error: idle timeout, closing");
         return;
       case LineChannel::ReadStatus::TooLong:
@@ -129,8 +156,17 @@ void CliqueServer::serve_connection(Connection& conn) {
       case LineChannel::ReadStatus::Failed:
         return;
     }
-    const LineFrontEnd::Reply reply = frontend_.process(line);
-    if (reply.respond && !conn.channel.write_line(reply.line)) return;
+    LineFrontEnd::Reply reply = frontend_.process(line);
+    if (reply.respond) {
+      bool ok = true;
+      {
+        // The last stage of the request's lifecycle; the trace publishes
+        // when `reply.trace` dies at the end of this iteration.
+        obs::TraceContext::Scope write_span(reply.trace.get(), obs::Stage::SocketWrite);
+        ok = conn.channel.write_line(reply.line);
+      }
+      if (!ok) return;
+    }
     if (reply.close) return;
   }
 }

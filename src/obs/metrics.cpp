@@ -1,0 +1,232 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "util/run_stats.hpp"
+#include "util/table.hpp"
+
+namespace c3::obs {
+namespace {
+
+bool initial_enabled() noexcept {
+  if (const char* env = std::getenv("C3_OBS"); env != nullptr) {
+    const std::string_view v(env);
+    if (v == "off" || v == "0" || v == "false") return false;
+  }
+  return true;
+}
+
+std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> flag{initial_enabled()};
+  return flag;
+}
+
+}  // namespace
+
+bool enabled() noexcept { return enabled_flag().load(std::memory_order_relaxed); }
+void set_enabled(bool on) noexcept { enabled_flag().store(on, std::memory_order_relaxed); }
+
+std::size_t thread_stripe() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t stripe = next.fetch_add(1, std::memory_order_relaxed);
+  return stripe;
+}
+
+// ----------------------------------------------------------------- histogram
+
+void Histogram::observe(double seconds) noexcept {
+  std::size_t index = 0;
+  if (seconds > kMinSeconds) {
+    const double octaves = std::log2(seconds / kMinSeconds);
+    const auto raw = static_cast<long>(std::ceil(octaves * kBucketsPerOctave));
+    index = raw < 0 ? 0 : std::min<std::size_t>(static_cast<std::size_t>(raw), kBuckets - 1);
+  }
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  const double ns = seconds * 1e9;
+  const auto whole_ns = ns > 0.0 ? static_cast<std::uint64_t>(ns) : 0;
+  sum_ns_.fetch_add(whole_ns, std::memory_order_relaxed);
+}
+
+double Histogram::bucket_upper_bound(std::size_t i) noexcept {
+  return kMinSeconds * std::exp2(static_cast<double>(i) / kBucketsPerOctave);
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::sum_seconds() const noexcept {
+  return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) * 1e-9;
+}
+
+std::array<std::uint64_t, Histogram::kBuckets> Histogram::snapshot() const noexcept {
+  std::array<std::uint64_t, kBuckets> out{};
+  for (std::size_t i = 0; i < kBuckets; ++i) out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  const std::array<std::uint64_t, kBuckets> counts = snapshot();
+  return quantile_from_log_buckets(counts.data(), kBuckets, q,
+                                   [](std::size_t i) noexcept { return bucket_upper_bound(i); });
+}
+
+// ------------------------------------------------------------------ registry
+
+namespace {
+
+enum class MetricType { Counter, Gauge, Histogram };
+
+const char* type_name(MetricType t) noexcept {
+  switch (t) {
+    case MetricType::Counter:
+      return "counter";
+    case MetricType::Gauge:
+      return "gauge";
+    case MetricType::Histogram:
+      return "summary";
+  }
+  return "untyped";
+}
+
+struct AnyMetric {
+  MetricType type;
+  std::string labels;  // rendered body without braces; "" for none
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+/// One metric name with all its labeled series, in registration order.
+struct Family {
+  MetricType type = MetricType::Counter;
+  std::vector<AnyMetric> series;
+};
+
+void append_sample(std::string& out, std::string_view name, std::string_view labels,
+                   std::string_view extra_label, const std::string& value) {
+  out += name;
+  if (!labels.empty() || !extra_label.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !extra_label.empty()) out += ',';
+    out += extra_label;
+    out += '}';
+  }
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+std::string format_double(double v) {
+  std::string s = strfmt("%.9g", v);
+  return s;
+}
+
+}  // namespace
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  // std::map: deterministic (sorted) exposition order, stable node addresses.
+  std::map<std::string, Family, std::less<>> families;
+
+  AnyMetric& series(std::string_view name, std::string_view labels, MetricType type) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    const auto it = families.find(name);
+    Family& family = it != families.end()
+                         ? it->second
+                         : families.emplace(std::string(name), Family{type, {}}).first->second;
+    if (family.type != type) {
+      throw std::logic_error("obs::Registry: metric '" + std::string(name) +
+                             "' re-registered as a different type (" + type_name(family.type) +
+                             " vs " + type_name(type) + ")");
+    }
+    for (AnyMetric& m : family.series) {
+      if (m.labels == labels) return m;
+    }
+    AnyMetric metric;
+    metric.type = type;
+    metric.labels = std::string(labels);
+    switch (type) {
+      case MetricType::Counter:
+        metric.counter = std::make_unique<Counter>();
+        break;
+      case MetricType::Gauge:
+        metric.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricType::Histogram:
+        metric.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    family.series.push_back(std::move(metric));
+    return family.series.back();
+  }
+};
+
+Registry::Registry() : impl_(std::make_unique<Impl>()) {}
+Registry::~Registry() = default;
+
+Registry& Registry::global() {
+  // Leaked on purpose: record sites in static-destruction order (worker
+  // threads, pool teardown) must never touch a destroyed registry.
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view labels) {
+  return *impl_->series(name, labels, MetricType::Counter).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view labels) {
+  return *impl_->series(name, labels, MetricType::Gauge).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view labels) {
+  return *impl_->series(name, labels, MetricType::Histogram).histogram;
+}
+
+std::string Registry::render() const {
+  std::string out;
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& [name, family] : impl_->families) {
+    out += "# TYPE ";
+    out += name;
+    out += ' ';
+    out += type_name(family.type);
+    out += '\n';
+    for (const AnyMetric& m : family.series) {
+      switch (m.type) {
+        case MetricType::Counter:
+          append_sample(out, name, m.labels, {}, std::to_string(m.counter->value()));
+          break;
+        case MetricType::Gauge:
+          append_sample(out, name, m.labels, {}, std::to_string(m.gauge->value()));
+          break;
+        case MetricType::Histogram: {
+          const Histogram& h = *m.histogram;
+          // Consistent snapshot is not required (scrapes race writes by
+          // design), but quantiles come from one snapshot each.
+          append_sample(out, name, m.labels, "quantile=\"0.5\"", format_double(h.quantile(0.5)));
+          append_sample(out, name, m.labels, "quantile=\"0.95\"", format_double(h.quantile(0.95)));
+          append_sample(out, name, m.labels, "quantile=\"0.99\"", format_double(h.quantile(0.99)));
+          append_sample(out, std::string(name) + "_sum", m.labels, {},
+                        format_double(h.sum_seconds()));
+          append_sample(out, std::string(name) + "_count", m.labels, {},
+                        std::to_string(h.count()));
+          break;
+        }
+      }
+    }
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+}  // namespace c3::obs

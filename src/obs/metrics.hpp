@@ -1,0 +1,160 @@
+// Process-wide metrics registry: counters, gauges, and log-scale latency
+// histograms, registered by name + labels and rendered as Prometheus text.
+//
+// The paper's own evaluation is measurement-driven — per-phase runtimes,
+// work counters, variance over repetitions — and the serving layers each
+// grew a private counter block (CliqueStats, FrontEndStats, AnswerCache
+// shards). This registry is the one place those signals meet so an external
+// monitor can read them continuously: the `metrics` admin word on a running
+// server renders every registered metric as text exposition.
+//
+// Design constraints, in order:
+//
+//   * The *record* path must be cheap enough to sit on the query hot path.
+//     Counter::add is one relaxed fetch_add on a per-thread cache-line
+//     shard (merge-on-read), Gauge::add one relaxed fetch_add, and
+//     Histogram::observe one log2 + one relaxed fetch_add on a bucket.
+//     Nothing on the record path takes a lock or allocates.
+//   * Reads are rare (a scrape every few seconds) and may be approximate
+//     under concurrent writes — sums of relaxed loads, exactly like the
+//     sharded AnswerCache counters.
+//   * Registration is rare and serialized by a mutex; a (name, labels) pair
+//     registered twice returns the *same* metric object, so independent
+//     subsystems (or repeated constructions in tests) can share series
+//     without coordinating. Registering the same pair as a different
+//     metric type throws.
+//
+// Histograms use fixed log-scale buckets (4 per octave from 1 microsecond
+// to ~2 minutes) and render as Prometheus *summaries* with precomputed
+// p50/p95/p99 — the quantile interpolation itself lives in
+// util/run_stats.hpp (quantile_from_log_buckets) next to the Welford
+// accumulator it complements.
+//
+// The whole subsystem has an off switch: C3_OBS=off in the environment (or
+// set_enabled(false)) makes every record site skip its work, which is what
+// the overhead benchmark (bench_obs) compares against.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace c3::obs {
+
+/// Global telemetry switch. Initialized from the environment: C3_OBS=off
+/// (or 0/false) disables every record site. Reads are one relaxed load.
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Stable small index for the calling thread (assigned round-robin on first
+/// use), used to stripe counters across cache lines.
+[[nodiscard]] std::size_t thread_stripe() noexcept;
+
+/// Monotonic counter, per-thread sharded: add() touches only the calling
+/// thread's cache-line slot, value() merges on read. Never decrements.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 16;  // power of two
+
+  void add(std::uint64_t n = 1) noexcept {
+    shards_[thread_stripe() & (kShards - 1)].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.value.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Instantaneous signed value (queue depths, in-flight counts, open
+/// connections). add/sub from any thread; set() for sampled values.
+class Gauge {
+ public:
+  void add(std::int64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  void sub(std::int64_t n = 1) noexcept { value_.fetch_sub(n, std::memory_order_relaxed); }
+  void set(std::int64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket log-scale latency histogram over seconds. Buckets span
+/// [1 microsecond, ~2 minutes) at 4 per octave (ratio 2^(1/4) ~ 19% relative
+/// resolution, which also bounds the quantile interpolation error); values
+/// outside the span land in the first/last bucket. observe() is one log2
+/// plus one relaxed fetch_add; quantile() walks the cumulative counts.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 112;  // 27 octaves x 4 + 4 overflow
+  static constexpr double kMinSeconds = 1e-6;
+  static constexpr double kBucketsPerOctave = 4.0;
+
+  void observe(double seconds) noexcept;
+
+  /// Upper bound (seconds) of bucket `i` — the value quantiles interpolate
+  /// against. Exposed for rendering and tests.
+  [[nodiscard]] static double bucket_upper_bound(std::size_t i) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] double sum_seconds() const noexcept;
+  /// q in [0,1]; 0 with no observations. Error bounded by the bucket ratio.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  /// Copies the bucket counts (index i = observations <= bucket_upper_bound(i)
+  /// and > the previous bound) for rendering.
+  [[nodiscard]] std::array<std::uint64_t, kBuckets> snapshot() const noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_ns_{0};
+};
+
+/// The process-wide name -> metric table. Lookup/registration is mutex-
+/// serialized (rare); the returned references stay valid for the process
+/// lifetime — call sites cache them in function-local statics so the hot
+/// path never re-enters the registry.
+///
+/// `labels` is the rendered Prometheus label body without braces, e.g.
+/// `stage="parse"` or `kind="count",graph="web"`; empty for none. Samples of
+/// one name render grouped under one # TYPE line, as the exposition format
+/// requires.
+class Registry {
+ public:
+  static Registry& global();
+
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  [[nodiscard]] Counter& counter(std::string_view name, std::string_view labels = {});
+  [[nodiscard]] Gauge& gauge(std::string_view name, std::string_view labels = {});
+  [[nodiscard]] Histogram& histogram(std::string_view name, std::string_view labels = {});
+
+  /// Prometheus text exposition of every registered metric: counters and
+  /// gauges as single samples, histograms as summaries with quantile="0.5/
+  /// 0.95/0.99" samples plus _sum and _count. Ends with "# EOF\n"
+  /// (OpenMetrics-style), which doubles as the line protocol's terminator.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace c3::obs

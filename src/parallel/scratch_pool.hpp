@@ -19,7 +19,29 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace c3 {
+
+namespace detail {
+/// Process-global scratch-lease telemetry, aggregated over every
+/// ScratchPool<T> instantiation (the registry keys by name, not by T).
+/// Resolved in acquire() — never first-resolved from the noexcept put()
+/// path — and cached per instantiation via function-local statics.
+struct ScratchPoolMetrics {
+  obs::Gauge& outstanding;
+  obs::Counter& leases;
+  obs::Counter& created;
+
+  static ScratchPoolMetrics& global() {
+    static ScratchPoolMetrics m{
+        obs::Registry::global().gauge("c3_scratch_leases_outstanding"),
+        obs::Registry::global().counter("c3_scratch_leases_total"),
+        obs::Registry::global().counter("c3_scratch_objects_created_total")};
+    return m;
+  }
+};
+}  // namespace detail
 
 template <typename T>
 class ScratchPool {
@@ -71,6 +93,14 @@ class ScratchPool {
   /// default-constructs (growing the pool's eventual size by one). Never
   /// blocks on other leases.
   [[nodiscard]] Lease acquire() {
+    // Resolve the registry series here, before any lease exists: put() is
+    // noexcept and must never be the first caller (registration allocates).
+    // The outstanding gauge moves on every checkout/return regardless of
+    // obs::enabled() so it can never drift out of balance when the switch
+    // flips mid-lease; the monotonic counters are gated like every other
+    // record site.
+    detail::ScratchPoolMetrics& metrics = detail::ScratchPoolMetrics::global();
+    if (obs::enabled()) metrics.leases.add();
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (!free_.empty()) {
@@ -82,15 +112,18 @@ class ScratchPool {
         ++outstanding_;
         std::unique_ptr<T> item = std::move(free_.back());
         free_.pop_back();
+        metrics.outstanding.add();
         return Lease(this, std::move(item));
       }
     }
     // Construct outside the lock and before the checkout is counted: if
     // T's constructor throws, no lease exists and nothing leaks.
     std::unique_ptr<T> item = std::make_unique<T>();
+    if (obs::enabled()) metrics.created.add();
     const std::lock_guard<std::mutex> lock(mutex_);
     free_.reserve(free_.size() + outstanding_ + 1);
     ++outstanding_;
+    metrics.outstanding.add();
     return Lease(this, std::move(item));
   }
 
@@ -102,6 +135,9 @@ class ScratchPool {
 
  private:
   void put(std::unique_ptr<T> item) noexcept {
+    // Already-initialized (this lease's acquire() resolved it), so the
+    // lookup cannot throw here.
+    detail::ScratchPoolMetrics::global().outstanding.sub();
     const std::lock_guard<std::mutex> lock(mutex_);
     --outstanding_;
     free_.push_back(std::move(item));  // capacity guaranteed by acquire()

@@ -10,11 +10,13 @@
 
 #include "clique/api.hpp"
 #include "graph/digraph.hpp"
+#include "obs/metrics.hpp"
 #include "order/community_degeneracy.hpp"
 #include "parallel/parallel.hpp"
 #include "snapshot/mapped_file.hpp"
 #include "triangle/communities.hpp"
 #include "util/array_store.hpp"
+#include "util/timer.hpp"
 
 namespace c3::snapshot {
 namespace {
@@ -421,6 +423,7 @@ void check_fingerprint(const std::filesystem::path& path, const CliqueOptions& s
 
 Snapshot Snapshot::open_with(const std::filesystem::path& path, const CliqueOptions* expected,
                              const SnapshotOpenOptions& open_opts) {
+  const WallTimer open_timer;
   Snapshot snap;
   Impl& impl = *snap.impl_;
   impl.map = open_opts.force_heap_fallback ? MappedFile::read_heap(path)
@@ -428,7 +431,13 @@ Snapshot Snapshot::open_with(const std::filesystem::path& path, const CliqueOpti
   // Read-ahead before validation: the checksum scan (when on) is the first
   // beneficiary of the whole file streaming in.
   if (open_opts.prefault) impl.map.prefault();
+  const WallTimer validate_timer;
   const Layout lay = validate(impl.map, path, open_opts.verify_checksums);
+  if (obs::enabled()) {
+    static obs::Histogram& validate_hist =
+        obs::Registry::global().histogram("c3_snapshot_validate_seconds");
+    validate_hist.observe(validate_timer.seconds());
+  }
   // Pin only a validated mapping — garbage should be refused, not locked.
   if (open_opts.lock_memory) impl.memory_locked = impl.map.lock_memory();
   impl.info = info_from_layout(lay, path);
@@ -506,6 +515,13 @@ Snapshot Snapshot::open_with(const std::filesystem::path& path, const CliqueOpti
   }
 
   impl.engine.emplace(impl.graph, opts, std::move(arts));
+  if (obs::enabled()) {
+    static obs::Counter& opens = obs::Registry::global().counter("c3_snapshot_opens_total");
+    static obs::Histogram& open_hist =
+        obs::Registry::global().histogram("c3_snapshot_open_seconds");
+    opens.add();
+    open_hist.observe(open_timer.seconds());
+  }
   return snap;
 }
 

@@ -4,14 +4,59 @@
 // the empirical standard deviation of runtimes (Appendix B.2); this
 // accumulator provides exactly those summary statistics for the bench
 // harness, using Welford's numerically stable online update.
+//
+// Percentiles: RunStats deliberately does NOT grow a percentile() method.
+// Welford's update is O(1) memory precisely because it forgets the samples,
+// and any exact quantile needs them all back; sketch estimators (P², GK)
+// trade that for data-dependent error bounds that are hard to reason about
+// in a latency SLO. The system's quantiles therefore live in the telemetry
+// histograms (obs/metrics.hpp): fixed log-scale buckets hold p50/p95/p99
+// with a *fixed* relative error (the bucket ratio, ~19% at 4 buckets per
+// octave), bounded memory, and lock-free merges. The bucket-walking
+// interpolation itself is shared here — quantile_from_log_buckets below —
+// so the math sits next to the accumulator it complements and is tested
+// with it (tests/util/misc_test.cpp).
 #pragma once
 
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 
 namespace c3 {
+
+/// Quantile extraction over histogram bucket counts. `counts[i]` holds the
+/// number of observations v with lower(i) < v <= upper(i), where
+/// upper = `upper_bound(i)` and lower(i) = upper(i-1) (lower(0) = 0).
+/// Returns the value at quantile `q` (clamped to [0,1]) by rank-walking the
+/// cumulative counts and interpolating linearly inside the hit bucket; 0
+/// when every bucket is empty. The error is bounded by the bucket width at
+/// the hit rank.
+template <typename UpperBound>
+[[nodiscard]] double quantile_from_log_buckets(const std::uint64_t* counts, std::size_t n,
+                                               double q, UpperBound&& upper_bound) noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += counts[i];
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // 1-based rank of the requested quantile; q=0 -> first, q=1 -> last.
+  const auto rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (counts[i] == 0) continue;
+    if (cumulative + counts[i] >= rank) {
+      const double hi = upper_bound(i);
+      const double lo = i == 0 ? 0.0 : upper_bound(i - 1);
+      const double fraction =
+          static_cast<double>(rank - cumulative) / static_cast<double>(counts[i]);
+      return lo + fraction * (hi - lo);
+    }
+    cumulative += counts[i];
+  }
+  return upper_bound(n - 1);  // unreachable when counts sum to total
+}
 
 /// Online mean/variance/min/max accumulator (Welford's algorithm).
 class RunStats {

@@ -219,5 +219,131 @@ TEST(FrontEnd, StatsSuffixHookAppends) {
   EXPECT_NE(line.find(" connections=7"), std::string::npos) << line;
 }
 
+TEST(FrontEnd, StatsSuffixNewlinesAreSanitized) {
+  // Regression: the suffix used to be appended verbatim, so a multi-line
+  // suffix source smuggled extra lines into the one-answer-per-line
+  // protocol (the next read parsed half a stats line as a request).
+  CliqueService service;
+  add_two_graphs(service);
+  LineFrontEnd fe(service, nullptr);
+  fe.set_stats_suffix_source([] { return std::string("connections=7\nuptime=3\r\nbad"); });
+  const std::string line = fe.process("stats").line;
+  EXPECT_EQ(line.find('\n'), std::string::npos) << line;
+  EXPECT_EQ(line.find('\r'), std::string::npos) << line;
+  // The suffix content survives, folded onto the single line.
+  EXPECT_NE(line.find("connections=7 uptime=3"), std::string::npos) << line;
+  EXPECT_NE(line.find("bad"), std::string::npos) << line;
+}
+
+TEST(FrontEnd, MetricsWordReturnsExposition) {
+  CliqueService service;
+  add_two_graphs(service);
+  AnswerCache cache(64);
+  LineFrontEnd fe(service, &cache);
+
+  // Drive one miss and one hit so the serving counters are non-trivial.
+  ASSERT_EQ(fe.process("social count 4").line.rfind("count 4: ", 0), 0u);
+  ASSERT_EQ(fe.process("social count 4").line.rfind("count 4: ", 0), 0u);
+
+  const auto reply = fe.process("metrics");
+  EXPECT_TRUE(reply.respond);
+  EXPECT_FALSE(reply.close);
+  const std::string& text = reply.line;
+  // Exposition ends with the "# EOF" terminator; the transport appends the
+  // final newline, so the reply itself must not carry a trailing one.
+  ASSERT_GE(text.size(), 5u);
+  EXPECT_EQ(text.substr(text.size() - 5), "# EOF") << "...'" << text.substr(text.size() - 16) << "'";
+  // Serving counters, catalog and cache mirrors, and (when telemetry is on)
+  // the per-stage latency summaries all land in one exposition.
+  EXPECT_NE(text.find("# TYPE c3_requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("c3_requests_total{instance="), std::string::npos);
+  EXPECT_NE(text.find("c3_catalog_graphs 2"), std::string::npos);
+  EXPECT_NE(text.find("c3_answer_cache_hits{instance="), std::string::npos);
+  EXPECT_NE(text.find("c3_answer_cache_misses{instance="), std::string::npos);
+  EXPECT_NE(text.find("c3_peak_inflight{instance="), std::string::npos);
+  if (obs::enabled()) {
+    EXPECT_NE(text.find("# TYPE c3_stage_seconds summary"), std::string::npos);
+    EXPECT_NE(text.find("c3_stage_seconds{stage=\"search\",quantile=\"0.5\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("c3_queries_total{kind=\"count\"}"), std::string::npos);
+  }
+}
+
+TEST(FrontEnd, ConcurrentMixedTrafficStatsReconcile) {
+  // FrontEndStats accounting under concurrent mixed traffic: valid queries
+  // (mostly cache hits after warmup), guaranteed errors, and admin words all
+  // interleaved. The totals must reconcile exactly — every non-admin request
+  // is either answered or an error, the front end's hit counter agrees with
+  // the sharded AnswerCache counters, and admission never exceeds its cap.
+  CliqueService service;
+  add_two_graphs(service);
+  AnswerCache cache(256);
+  FrontEndOptions opts;
+  opts.max_inflight_per_graph = 2;
+  LineFrontEnd fe(service, &cache, opts);
+
+  constexpr int kThreads = 8;
+  constexpr int kReps = 12;
+  std::atomic<std::uint64_t> sent_valid{0};
+  std::atomic<std::uint64_t> sent_errors{0};
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int rep = 0; rep < kReps; ++rep) {
+        switch ((t + rep) % 5) {
+          case 0:
+          case 1: {  // valid query from a tiny set — repeats become hits
+            const std::string id = (t % 2 == 0) ? "social" : "er";
+            const auto reply = fe.process(id + " count " + std::to_string(3 + rep % 2));
+            if (reply.line.rfind("count ", 0) != 0) failures[t] = reply.line;
+            sent_valid.fetch_add(1);
+            break;
+          }
+          case 2: {  // unknown graph — always an error
+            const auto reply = fe.process("nosuch count 3");
+            if (reply.line.rfind("error: ", 0) != 0) failures[t] = reply.line;
+            sent_errors.fetch_add(1);
+            break;
+          }
+          case 3: {  // parse error — always an error
+            const auto reply = fe.process("social cuont 3");
+            if (reply.line.rfind("error: ", 0) != 0) failures[t] = reply.line;
+            sent_errors.fetch_add(1);
+            break;
+          }
+          case 4: {  // admin words — must not count as requests
+            if (fe.process("ping").line != "pong") failures[t] = "bad ping";
+            if (fe.process("stats").line.rfind("stats: ", 0) != 0) failures[t] = "bad stats";
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::string& f : failures) EXPECT_EQ(f, "");
+
+  const FrontEndStats s = fe.stats();
+  const AnswerCacheStats c = cache.stats();
+  EXPECT_EQ(s.requests, sent_valid.load() + sent_errors.load());
+  EXPECT_EQ(s.answered, sent_valid.load());
+  EXPECT_EQ(s.errors, sent_errors.load());
+  EXPECT_EQ(s.requests, s.answered + s.errors);
+  // The front end's hit counter and the per-shard cache counters agree, and
+  // every valid request did exactly one lookup: hits + misses = answered.
+  EXPECT_EQ(s.cache_hits, c.hits);
+  EXPECT_EQ(c.hits + c.misses, sent_valid.load());
+  // 4 distinct (graph, k) questions exist; every miss beyond the first per
+  // question raced a concurrent miss, so insertions <= misses and the cache
+  // holds at most the distinct questions.
+  EXPECT_LE(c.insertions, c.misses);
+  EXPECT_GE(c.misses, 4u);
+  EXPECT_LE(c.entries, 4u);
+  EXPECT_GE(s.peak_inflight, 1);
+  EXPECT_LE(s.peak_inflight, 2) << "admission let more than the cap through";
+}
+
 }  // namespace
 }  // namespace c3::net

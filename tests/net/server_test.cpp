@@ -161,6 +161,49 @@ TEST_F(ServerTest, AdminCommandsOverTheWire) {
   server.stop();
 }
 
+TEST_F(ServerTest, MetricsScrapeAndTraceExportOverTheWire) {
+  ServerOptions opts;
+  opts.port = 0;
+  CliqueServer server(service_, opts);
+  server.start();
+
+  LineClient client("127.0.0.1", static_cast<std::uint16_t>(server.port()));
+  // Drive a miss, a hit, and an error so the exposition has real values.
+  (void)client.request("mem count 4");
+  (void)client.request("mem count 4");
+  (void)client.request("nosuch count 3");
+
+  const std::string text = client.scrape_metrics();
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+  EXPECT_NE(text.find("# TYPE c3_requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("c3_requests_total{instance="), std::string::npos);
+  EXPECT_NE(text.find("c3_catalog_graphs 2"), std::string::npos);
+  EXPECT_NE(text.find("c3_connections_open"), std::string::npos);
+  EXPECT_NE(text.find("c3_answer_cache_hits{instance="), std::string::npos);
+  if (obs::enabled()) {
+    EXPECT_NE(text.find("c3_stage_seconds{stage=\"socket_write\""), std::string::npos);
+    EXPECT_NE(text.find("c3_connections_accepted_total 1"), std::string::npos);
+  }
+
+  // A second scrape still parses and the counters moved monotonically: the
+  // scrape itself is not a request, but the error request above landed.
+  const std::string again = client.scrape_metrics();
+  EXPECT_EQ(again.substr(again.size() - 6), "# EOF\n");
+
+  if (obs::enabled()) {
+    // The trace ring replays the recent requests as one line of
+    // chrome://tracing JSON.
+    const std::string json = client.request("trace");
+    EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json.substr(0, 40);
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"search\""), std::string::npos);
+    EXPECT_NE(json.find("mem count 4"), std::string::npos);
+  }
+  server.stop();
+}
+
 TEST_F(ServerTest, IdleConnectionsAreClosed) {
   ServerOptions opts;
   opts.port = 0;

@@ -1,0 +1,171 @@
+// Tests for the metrics registry: counter/gauge/histogram semantics, the
+// same-(name,labels)-same-object contract, and the Prometheus exposition.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace c3 {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::Registry;
+
+// Each test registers under a unique label so runs in one process (the whole
+// registry is process-global) never collide.
+std::string unique_label(const char* tag) {
+  static std::atomic<int> next{0};
+  return std::string("test=\"") + tag + "_" + std::to_string(next.fetch_add(1)) + "\"";
+}
+
+TEST(ObsCounter, AddAndMergeOnRead) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.increment();
+  EXPECT_EQ(c.value(), 43u);
+}
+
+TEST(ObsCounter, ConcurrentAddsAllLand) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST(ObsGauge, AddSubSet) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.add(5);
+  g.sub(2);
+  EXPECT_EQ(g.value(), 3);
+  g.sub(10);
+  EXPECT_EQ(g.value(), -7);  // gauges may go negative
+  g.set(123);
+  EXPECT_EQ(g.value(), 123);
+}
+
+TEST(ObsHistogram, CountSumAndBucketBoundsMonotone) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  h.observe(0.001);
+  h.observe(0.002);
+  h.observe(0.004);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.sum_seconds(), 0.007, 1e-6);
+  double prev = 0.0;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    const double b = Histogram::bucket_upper_bound(i);
+    EXPECT_GT(b, prev) << "bucket " << i;
+    prev = b;
+  }
+  // The documented span: first bound ~1us, last covers ~2 minutes.
+  EXPECT_NEAR(Histogram::bucket_upper_bound(0), Histogram::kMinSeconds, 1e-9);
+  EXPECT_GE(Histogram::bucket_upper_bound(Histogram::kBuckets - 1), 120.0);
+}
+
+TEST(ObsHistogram, QuantileWithinBucketResolution) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.observe(0.010);  // all in one bucket
+  const double p50 = h.quantile(0.5);
+  const double p99 = h.quantile(0.99);
+  // Bucket ratio is 2^(1/4) ~ 1.19: the estimate is within ~19% of truth.
+  EXPECT_GT(p50, 0.010 / 1.2);
+  EXPECT_LT(p50, 0.010 * 1.2);
+  EXPECT_GE(p99, p50);
+  // Out-of-range observations clamp to the edge buckets instead of dropping.
+  Histogram edges;
+  edges.observe(1e-9);
+  edges.observe(1e9);
+  EXPECT_EQ(edges.count(), 2u);
+  const auto counts = edges.snapshot();
+  EXPECT_EQ(counts.front(), 1u);
+  EXPECT_EQ(counts.back(), 1u);
+}
+
+TEST(ObsRegistry, SameNameAndLabelsSameObject) {
+  Registry& reg = Registry::global();
+  const std::string label = unique_label("same");
+  Counter& a = reg.counter("c3_test_same_total", label);
+  Counter& b = reg.counter("c3_test_same_total", label);
+  EXPECT_EQ(&a, &b);
+  // Different labels under the same name are distinct series.
+  Counter& c = reg.counter("c3_test_same_total", unique_label("same"));
+  EXPECT_NE(&a, &c);
+}
+
+TEST(ObsRegistry, TypeMismatchThrows) {
+  Registry& reg = Registry::global();
+  const std::string label = unique_label("mismatch");
+  (void)reg.counter("c3_test_mismatch", label);
+  EXPECT_THROW((void)reg.gauge("c3_test_mismatch", label), std::exception);
+  EXPECT_THROW((void)reg.histogram("c3_test_mismatch", label), std::exception);
+}
+
+TEST(ObsRegistry, RenderIsValidExposition) {
+  Registry& reg = Registry::global();
+  const std::string label = unique_label("render");
+  reg.counter("c3_test_render_total", label).add(7);
+  reg.gauge("c3_test_render_gauge", label).set(-3);
+  reg.histogram("c3_test_render_seconds", label).observe(0.5);
+
+  const std::string text = reg.render();
+  // Terminator contract: ends with "# EOF\n", exactly once, at the end.
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+  // Counter and gauge samples carry their labels and values.
+  EXPECT_NE(text.find("# TYPE c3_test_render_total counter"), std::string::npos);
+  EXPECT_NE(text.find("c3_test_render_total{" + label + "} 7"), std::string::npos);
+  EXPECT_NE(text.find("c3_test_render_gauge{" + label + "} -3"), std::string::npos);
+  // Histograms render as summaries: three quantiles plus _sum and _count.
+  EXPECT_NE(text.find("# TYPE c3_test_render_seconds summary"), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.5\""), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.95\""), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(text.find("c3_test_render_seconds_count{" + label + "} 1"), std::string::npos);
+  EXPECT_NE(text.find("c3_test_render_seconds_sum{" + label + "}"), std::string::npos);
+  // Every non-comment line is `name{labels} value` or `name value`.
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos) << "unterminated line";
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_GT(space, 0u) << line;
+    // The value parses as a double.
+    EXPECT_NO_THROW((void)std::stod(line.substr(space + 1))) << line;
+  }
+}
+
+TEST(ObsEnabled, ToggleRoundTrips) {
+  const bool before = obs::enabled();
+  obs::set_enabled(false);
+  EXPECT_FALSE(obs::enabled());
+  obs::set_enabled(true);
+  EXPECT_TRUE(obs::enabled());
+  obs::set_enabled(before);
+}
+
+}  // namespace
+}  // namespace c3

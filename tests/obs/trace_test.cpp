@@ -1,0 +1,229 @@
+// Tests for query-lifecycle tracing: span recording, the trace ring, the
+// chrome://tracing export, and the slow-query log.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace c3 {
+namespace {
+
+using obs::SlowQueryLog;
+using obs::Stage;
+using obs::TraceContext;
+using obs::TraceRecord;
+using obs::TraceRing;
+
+TraceRecord make_record(std::uint64_t id, std::string graph, std::string query) {
+  TraceRecord r;
+  r.request_id = id;
+  r.graph_id = std::move(graph);
+  r.query_text = std::move(query);
+  return r;
+}
+
+TEST(ObsTrace, StageNamesCoverEveryStage) {
+  for (std::size_t i = 0; i < obs::kStageCount; ++i) {
+    const char* name = obs::stage_name(static_cast<Stage>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::string(name).size(), 0u);
+  }
+}
+
+TEST(ObsTrace, ContextRecordsSpansAndMetadata) {
+  TraceContext trace("web", "count 5");
+  EXPECT_EQ(trace.record().graph_id, "web");
+  EXPECT_EQ(trace.record().query_text, "count 5");
+
+  trace.add_span(Stage::Parse, 0, 1000);
+  trace.add_span(Stage::Search, 1000, 5000);
+  trace.annotate("algorithm", "kclist");
+  trace.mark_cache_hit();
+  trace.mark_truncated(true);
+
+  const TraceRecord& r = trace.record();
+  ASSERT_EQ(r.spans.size(), 2u);
+  EXPECT_EQ(r.stage_ns(Stage::Parse), 1000u);
+  EXPECT_EQ(r.stage_ns(Stage::Search), 5000u);
+  EXPECT_EQ(r.stage_ns(Stage::Format), 0u);  // never recorded
+  EXPECT_TRUE(r.cache_hit);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_FALSE(r.error);
+  ASSERT_EQ(r.annotations.size(), 1u);
+  EXPECT_EQ(r.annotations[0].first, "algorithm");
+  EXPECT_EQ(r.annotations[0].second, "kclist");
+  trace.mark_error();
+  EXPECT_TRUE(trace.record().error);
+}
+
+TEST(ObsTrace, NowNsIsMonotone) {
+  TraceContext trace("g", "q");
+  const std::uint64_t a = trace.now_ns();
+  const std::uint64_t b = trace.now_ns();
+  EXPECT_GE(b, a);
+}
+
+TEST(ObsTrace, ScopeToleratesNullAndIsIdempotent) {
+  // Null context: constructing, closing, and destroying must all be no-ops.
+  {
+    TraceContext::Scope null_scope(nullptr, Stage::Parse);
+    null_scope.close();
+  }
+  TraceContext trace("g", "q");
+  {
+    TraceContext::Scope scope(&trace, Stage::Format);
+    scope.close();
+    scope.close();  // second close is a no-op
+  }  // destructor after close must not double-record
+  EXPECT_EQ(trace.record().spans.size(), 1u);
+  EXPECT_EQ(trace.record().spans[0].stage, Stage::Format);
+}
+
+TEST(ObsTrace, FinishPublishesToGlobalRingOnce) {
+  TraceRing& ring = TraceRing::global();
+  ring.clear();
+  {
+    TraceContext trace("ringtest", "count 3");
+    trace.add_span(Stage::Search, 0, 42);
+    trace.finish();
+    trace.finish();  // idempotent
+  }  // destructor after finish must not publish again
+  const std::vector<TraceRecord> traces = ring.snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].graph_id, "ringtest");
+  EXPECT_GT(traces[0].request_id, 0u);
+  ring.clear();
+}
+
+TEST(ObsTraceRing, BoundedOldestFirst) {
+  TraceRing ring(3);
+  for (std::uint64_t i = 1; i <= 5; ++i) ring.push(make_record(i, "g", "q"));
+  EXPECT_EQ(ring.size(), 3u);
+  const std::vector<TraceRecord> traces = ring.snapshot();
+  ASSERT_EQ(traces.size(), 3u);
+  // Capacity 3 after 5 pushes keeps the newest 3, oldest first.
+  EXPECT_EQ(traces[0].request_id, 3u);
+  EXPECT_EQ(traces[1].request_id, 4u);
+  EXPECT_EQ(traces[2].request_id, 5u);
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(ObsTraceRing, SetCapacityShrinksKeepingNewest) {
+  TraceRing ring(8);
+  for (std::uint64_t i = 1; i <= 6; ++i) ring.push(make_record(i, "g", "q"));
+  ring.set_capacity(2);
+  const std::vector<TraceRecord> traces = ring.snapshot();
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].request_id, 5u);
+  EXPECT_EQ(traces[1].request_id, 6u);
+}
+
+TEST(ObsChromeTrace, EmitsLoadableSingleLineJson) {
+  TraceRecord r = make_record(7, "web", "count 5 workers=2");
+  r.start_epoch_us = 1000;
+  r.spans.push_back({Stage::Parse, 0, 1500});
+  r.spans.push_back({Stage::Search, 2000, 250'000});
+  r.annotations.emplace_back("algorithm", "kclist");
+  r.cache_hit = false;
+
+  const std::string json = obs::chrome_trace_json({r});
+  // One line, wrapped in the chrome://tracing envelope.
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(json.back(), '}');
+  // Complete events for both spans, on the request's tid.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"parse\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"search\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":7"), std::string::npos);
+  // Search span carries the annotations; metadata names the request.
+  EXPECT_NE(json.find("\"algorithm\":\"kclist\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  // Balanced braces/brackets — cheap structural validity check.
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{') ++braces;
+    else if (c == '}') --braces;
+    else if (c == '[') ++brackets;
+    else if (c == ']') --brackets;
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(ObsChromeTrace, EscapesQueryText) {
+  TraceRecord r = make_record(1, "g", "count \"quoted\"\nnewline\\slash");
+  r.spans.push_back({Stage::Parse, 0, 10});
+  const std::string json = obs::chrome_trace_json({r});
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\\\slash"), std::string::npos);
+}
+
+TEST(ObsSlowQueryLog, FormatRecordIsOneStructuredLine) {
+  TraceRecord r = make_record(9, "web", "count 5");
+  r.spans.push_back({Stage::Search, 0, 250'000'000});  // 250 ms
+  r.spans.push_back({Stage::Parse, 0, 1'000'000});     // 1 ms
+  r.annotations.emplace_back("algorithm", "kclist");
+  r.error = true;
+
+  const std::string line = SlowQueryLog::format_record(r);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("id=9"), std::string::npos);
+  EXPECT_NE(line.find("graph=web"), std::string::npos);
+  EXPECT_NE(line.find("search_ms=250"), std::string::npos);
+  EXPECT_NE(line.find("algorithm=kclist"), std::string::npos);
+  EXPECT_NE(line.find("error=1"), std::string::npos);
+  EXPECT_NE(line.find("query="), std::string::npos);
+}
+
+TEST(ObsSlowQueryLog, ThresholdGatesLogging) {
+  SlowQueryLog& log = SlowQueryLog::global();
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  log.configure(0.1, sink);  // 100 ms threshold
+  EXPECT_DOUBLE_EQ(log.threshold_seconds(), 0.1);
+
+  const std::uint64_t before = log.logged();
+  TraceRecord fast = make_record(1, "g", "q");
+  fast.spans.push_back({Stage::Search, 0, 1'000'000});  // 1 ms — under
+  log.maybe_log(fast);
+  EXPECT_EQ(log.logged(), before);
+
+  TraceRecord slow = make_record(2, "g", "q");
+  slow.spans.push_back({Stage::Search, 0, 500'000'000});  // 500 ms — over
+  log.maybe_log(slow);
+  EXPECT_EQ(log.logged(), before + 1);
+
+  // The record actually reached the sink.
+  std::fflush(sink);
+  std::rewind(sink);
+  char buf[512] = {};
+  ASSERT_NE(std::fgets(buf, sizeof(buf), sink), nullptr);
+  EXPECT_NE(std::string(buf).find("slow_query"), std::string::npos);
+  EXPECT_NE(std::string(buf).find("id=2"), std::string::npos);
+
+  log.configure(0.0);  // disable and detach the sink before tmpfile closes
+  std::fclose(sink);
+  EXPECT_DOUBLE_EQ(log.threshold_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace c3

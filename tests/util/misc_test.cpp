@@ -1,7 +1,9 @@
-// Tests for RunStats, Table formatting, and the CLI parser.
+// Tests for RunStats, the shared histogram-quantile interpolation, Table
+// formatting, and the CLI parser.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <sstream>
 
 #include "util/cli.hpp"
@@ -34,6 +36,53 @@ TEST(RunStats, EmptyAndSingle) {
   EXPECT_EQ(s.variance(), 0.0);
   EXPECT_EQ(s.min(), 3.5);
   EXPECT_EQ(s.max(), 3.5);
+}
+
+// quantile_from_log_buckets: the interpolation obs::Histogram::quantile is
+// built on. Buckets here use upper bound 2^i (lower(0) = 0), so expected
+// values are easy to compute by hand.
+namespace {
+double pow2_bound(std::size_t i) { return std::exp2(static_cast<double>(i)); }
+}  // namespace
+
+TEST(QuantileFromLogBuckets, EmptyReturnsZero) {
+  const std::uint64_t counts[4] = {0, 0, 0, 0};
+  EXPECT_EQ(quantile_from_log_buckets(counts, 4, 0.5, pow2_bound), 0.0);
+}
+
+TEST(QuantileFromLogBuckets, SingleBucketInterpolatesLinearly) {
+  // 4 observations, all in bucket 2 (range (2, 4]): ranks 1..4 spread
+  // linearly across the bucket.
+  const std::uint64_t counts[4] = {0, 0, 4, 0};
+  EXPECT_NEAR(quantile_from_log_buckets(counts, 4, 0.25, pow2_bound), 2.5, 1e-12);
+  EXPECT_NEAR(quantile_from_log_buckets(counts, 4, 0.5, pow2_bound), 3.0, 1e-12);
+  EXPECT_NEAR(quantile_from_log_buckets(counts, 4, 1.0, pow2_bound), 4.0, 1e-12);
+}
+
+TEST(QuantileFromLogBuckets, WalksCumulativeCounts) {
+  // 10 in (0,1], 10 in (2,4]: p50 is the last of the first bucket, p75 the
+  // middle of the second, p100 its top.
+  const std::uint64_t counts[4] = {10, 0, 10, 0};
+  EXPECT_NEAR(quantile_from_log_buckets(counts, 4, 0.5, pow2_bound), 1.0, 1e-12);
+  EXPECT_NEAR(quantile_from_log_buckets(counts, 4, 0.75, pow2_bound), 3.0, 1e-12);
+  EXPECT_NEAR(quantile_from_log_buckets(counts, 4, 1.0, pow2_bound), 4.0, 1e-12);
+}
+
+TEST(QuantileFromLogBuckets, ClampsQAndHandlesExtremes) {
+  const std::uint64_t counts[4] = {10, 0, 10, 0};
+  // q <= 0 clamps to the first observation's bucket; q > 1 to the last.
+  EXPECT_NEAR(quantile_from_log_buckets(counts, 4, -0.5, pow2_bound), 0.1, 1e-12);
+  EXPECT_NEAR(quantile_from_log_buckets(counts, 4, 2.0, pow2_bound), 4.0, 1e-12);
+}
+
+TEST(QuantileFromLogBuckets, QuantileOrderingIsMonotone) {
+  const std::uint64_t counts[6] = {3, 1, 4, 1, 5, 9};
+  double prev = 0.0;
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    const double v = quantile_from_log_buckets(counts, 6, q, pow2_bound);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
 }
 
 TEST(Table, AlignsAndRules) {
