@@ -1,0 +1,214 @@
+// Shard bench — the perf baseline for the PR 10 sharded engine.
+//
+// For each smoke graph it runs a 1/2/4-shard ablation (EdgeBlock policy)
+// against the unsharded engine: sharded prepare seconds (partition + every
+// shard's artifacts), per-query latency for a count and a spectrum, plus a
+// sharded-manifest write/open round trip so the serve-time path is the one
+// measured. Counts for k = 3..6, the per-vertex/per-edge profiles at k = 4,
+// and the full spectrum are cross-checked against the unsharded engine for
+// every shard count and for the manifest-opened engine — any mismatch is a
+// non-zero exit, so the bench doubles as the acceptance gate's
+// "bit-identical answers" check on realistic graphs.
+//
+//   ./bench_shard [--out BENCH_pr10.json] [--reps 3] [--scale 1.0]
+//
+// Schema: {"bench", "workers", "graphs": [{"name", n, m, "flat_prepare_seconds",
+// "flat_count_seconds", "ablation": [{"shards", "prepare_seconds",
+// "count_seconds", "spectrum_seconds", "manifest_bytes", "open_seconds",
+// "counts_match"}]}]}
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "c3list.hpp"
+#include "datasets.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace c3;
+
+struct Ablation {
+  int shards = 0;
+  double prepare_seconds = 0.0;
+  double count_seconds = 0.0;
+  double spectrum_seconds = 0.0;
+  std::uint64_t manifest_bytes = 0;
+  double open_seconds = 0.0;
+  bool counts_match = true;
+};
+
+Query make_query(QueryKind kind, int k = 0, int kmax = 0) {
+  Query q;
+  q.kind = kind;
+  q.k = k;
+  q.kmax = kmax;
+  return q;
+}
+
+/// Every counting kind, sharded vs flat; prints and flags any mismatch.
+bool cross_check(const char* label, const char* graph, const PreparedGraph& flat,
+                 const shard::ShardedEngine& sharded) {
+  bool ok = true;
+  for (int k = 3; k <= 6; ++k) {
+    const Query q = make_query(QueryKind::Count, k);
+    const count_t a = flat.run(q).count;
+    const count_t b = sharded.run(q).count;
+    if (a != b) {
+      std::printf("!! %s %s k=%d: flat %llu vs sharded %llu\n", graph, label, k,
+                  static_cast<unsigned long long>(a), static_cast<unsigned long long>(b));
+      ok = false;
+    }
+  }
+  const Query pv = make_query(QueryKind::PerVertexCounts, 4);
+  if (flat.run(pv).per_counts != sharded.run(pv).per_counts) {
+    std::printf("!! %s %s: per-vertex profiles disagree\n", graph, label);
+    ok = false;
+  }
+  const Query pe = make_query(QueryKind::PerEdgeCounts, 4);
+  if (flat.run(pe).per_counts != sharded.run(pe).per_counts) {
+    std::printf("!! %s %s: per-edge profiles disagree\n", graph, label);
+    ok = false;
+  }
+  const Query sp = make_query(QueryKind::Spectrum);
+  const Answer sa = flat.run(sp);
+  const Answer sb = sharded.run(sp);
+  if (sa.spectrum.counts != sb.spectrum.counts || sa.omega != sb.omega) {
+    std::printf("!! %s %s: spectra disagree\n", graph, label);
+    ok = false;
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CommandLine cli(argc, argv);
+  const int reps = static_cast<int>(cli.get_int("reps", 3));
+  const double scale = cli.get_double("scale", 1.0);
+  const std::string out_path = cli.get_string("out", "BENCH_pr10.json");
+  const std::filesystem::path manifest_path =
+      std::filesystem::temp_directory_path() / "c3_bench_shard.c3shard";
+
+  std::vector<bench::SmokeGraph> graphs = bench::smoke_graphs();
+  graphs.push_back({"social_like_xl",
+                    social_like(static_cast<node_t>(12'000 * scale),
+                                static_cast<edge_t>(96'000 * scale), 0.4, 7)});
+
+  CliqueOptions opts;
+  opts.algorithm = Algorithm::C3List;
+  const int kShardCounts[] = {1, 2, 4};
+
+  bool failed = false;
+  std::FILE* json = std::fopen(out_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "bench_shard: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(json, "{\"bench\": \"shard\", \"workers\": %d, \"graphs\": [", num_workers());
+
+  Table table({"graph", "shards", "prepare[s]", "count4[s]", "spectrum[s]", "open[s]", "MB"});
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    const bench::SmokeGraph& sg = graphs[gi];
+
+    const PreparedGraph flat(sg.graph, opts);
+    double flat_prepare = 0.0;
+    {
+      WallTimer timer;
+      flat.prepare();
+      (void)flat.clique_number_upper_bound();
+      flat_prepare = timer.seconds();
+    }
+    double flat_count = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      WallTimer timer;
+      (void)flat.run(make_query(QueryKind::Count, 4));
+      const double s = timer.seconds();
+      flat_count = rep == 0 ? s : std::min(flat_count, s);
+    }
+    table.add_row({sg.name, "flat", strfmt("%.4f", flat_prepare), strfmt("%.4f", flat_count),
+                   "-", "-", "-"});
+
+    std::vector<Ablation> ablation;
+    for (const int shards : kShardCounts) {
+      Ablation row;
+      row.shards = shards;
+      shard::ShardingOptions sharding;
+      sharding.shards = shards;
+
+      std::optional<shard::ShardedEngine> sharded;
+      {
+        WallTimer timer;
+        sharded.emplace(sg.graph, sharding, opts);
+        sharded->prepare();
+        row.prepare_seconds = timer.seconds();
+      }
+      for (int rep = 0; rep < reps; ++rep) {
+        WallTimer timer;
+        (void)sharded->run(make_query(QueryKind::Count, 4));
+        const double s = timer.seconds();
+        row.count_seconds = rep == 0 ? s : std::min(row.count_seconds, s);
+      }
+      {
+        WallTimer timer;
+        (void)sharded->run(make_query(QueryKind::Spectrum));
+        row.spectrum_seconds = timer.seconds();
+      }
+      row.counts_match = cross_check("in-memory", sg.name.c_str(), flat, *sharded);
+
+      // Manifest round trip: write, reopen, re-verify — the serve path.
+      snapshot::write_sharded(manifest_path, *sharded);
+      row.manifest_bytes = std::filesystem::file_size(manifest_path);
+      std::optional<snapshot::ShardedSnapshot> snap;
+      for (int rep = 0; rep < reps; ++rep) {
+        snap.reset();
+        WallTimer timer;
+        snap.emplace(snapshot::ShardedSnapshot::open(manifest_path));
+        const double s = timer.seconds();
+        row.open_seconds = rep == 0 ? s : std::min(row.open_seconds, s);
+      }
+      row.counts_match =
+          cross_check("manifest", sg.name.c_str(), flat, snap->engine()) && row.counts_match;
+      failed = failed || !row.counts_match;
+
+      table.add_row({sg.name, std::to_string(shards), strfmt("%.4f", row.prepare_seconds),
+                     strfmt("%.4f", row.count_seconds), strfmt("%.4f", row.spectrum_seconds),
+                     strfmt("%.4f", row.open_seconds),
+                     strfmt("%.1f", static_cast<double>(row.manifest_bytes) / (1024.0 * 1024.0))});
+      ablation.push_back(row);
+    }
+
+    std::fprintf(json,
+                 "%s{\"name\": \"%s\", \"n\": %u, \"m\": %llu, "
+                 "\"flat_prepare_seconds\": %.6f, \"flat_count_seconds\": %.6f, \"ablation\": [",
+                 gi > 0 ? ", " : "", sg.name.c_str(), sg.graph.num_nodes(),
+                 static_cast<unsigned long long>(sg.graph.num_edges()), flat_prepare, flat_count);
+    for (std::size_t i = 0; i < ablation.size(); ++i) {
+      const Ablation& a = ablation[i];
+      std::fprintf(json,
+                   "%s{\"shards\": %d, \"prepare_seconds\": %.6f, \"count_seconds\": %.6f, "
+                   "\"spectrum_seconds\": %.6f, \"manifest_bytes\": %llu, "
+                   "\"open_seconds\": %.6f, \"counts_match\": %s}",
+                   i > 0 ? ", " : "", a.shards, a.prepare_seconds, a.count_seconds,
+                   a.spectrum_seconds, static_cast<unsigned long long>(a.manifest_bytes),
+                   a.open_seconds, a.counts_match ? "true" : "false");
+    }
+    std::fprintf(json, "]}");
+  }
+  std::fprintf(json, "]}\n");
+  std::fclose(json);
+  std::filesystem::remove(manifest_path);
+
+  table.print();
+  std::printf("wrote %s\n", out_path.c_str());
+  if (failed) {
+    std::fprintf(stderr, "bench_shard: sharded/unsharded disagreement\n");
+    return 1;
+  }
+  return 0;
+}

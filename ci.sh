@@ -33,9 +33,10 @@ run_config() {
     # The race-sensitive surfaces: the concurrent engine/batch/stream suites,
     # the parallel substrate, concurrent queries over snapshot-loaded
     # engines, the multi-graph CliqueService, the TCP front end (answer
-    # cache + admission + server threads), and the telemetry layer the hot
-    # paths write into (sharded counters, trace ring, slow-query log).
-    label_args=(-L "clique|parallel|snapshot|service|net|obs")
+    # cache + admission + server threads), the telemetry layer the hot
+    # paths write into (sharded counters, trace ring, slow-query log), and
+    # the scatter-gather sharded engine's parallel sub-queries.
+    label_args=(-L "clique|parallel|snapshot|service|net|obs|shard")
   fi
   echo "==== [${name}] configure ===="
   cmake -B "${dir}" -S . "$@"
@@ -115,6 +116,15 @@ run_config() {
       exit 1
     fi
     "${dir}/bench/bench_obs" --out BENCH_pr9.json --reps 7
+    # Shard smoke: 1/2/4-shard ablation per smoke graph (in-memory and
+    # manifest-opened), every counting kind cross-checked against the
+    # unsharded engine. Emits BENCH_pr10.json.
+    echo "==== [${name}] bench smoke (shard) ===="
+    if [ ! -x "${dir}/bench/bench_shard" ]; then
+      echo "bench_shard not built (is C3_BUILD_BENCH off?)" >&2
+      exit 1
+    fi
+    "${dir}/bench/bench_shard" --out BENCH_pr10.json
     # Wire-level metrics smoke: a real c3serve on an ephemeral port, queries
     # driven through the socket, `metrics` scraped twice and checked for
     # valid exposition + monotonically increasing request counters.

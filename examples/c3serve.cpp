@@ -21,13 +21,21 @@
 // the quickest way to poke at the protocol.
 //
 // Flags:
-//   --snapshot ID=PATH   register a .c3snap (repeatable; lazily opened)
+//   --snapshot ID=PATH   register a .c3snap or sharded .c3shard manifest
+//                        (repeatable; lazily opened — the magic decides)
 //   --graph ID=PATH      register an edge-list/METIS/MatrixMarket graph
 //                        file (repeatable; prepared in-process)
 //   --demo               register two generated demo graphs
+//   --shards N           partition every --graph/--demo registration into N
+//                        vertex-ownership shards served scatter-gather
+//                        (0 = unsharded, default; snapshots carry their own
+//                        shard count)
+//   --shard-policy P     vertex | edge range balancing (default edge)
 //   --bind ADDR          bind address            (default 127.0.0.1)
 //   --port N             TCP port, 0 = ephemeral (default 7433)
 //   --inflight N         concurrent queries per graph (default 4)
+//   --inflight-total N   concurrent queries across the catalog, granted
+//                        round-robin over graphs (0 = no cap, default)
 //   --cache N            answer-cache entries, 0 = off (default 4096)
 //   --idle-timeout SEC   close silent connections (default 300)
 //   --prepare            build/open every graph before accepting traffic
@@ -72,8 +80,9 @@ bool split_spec(const std::string& spec, std::string& id, std::string& path) {
 void usage(const char* argv0) {
   std::printf(
       "usage: %s [--snapshot ID=PATH]... [--graph ID=PATH]... [--demo]\n"
-      "          [--bind ADDR] [--port N] [--inflight N] [--cache N]\n"
-      "          [--idle-timeout SEC] [--prepare]\n"
+      "          [--shards N] [--shard-policy vertex|edge]\n"
+      "          [--bind ADDR] [--port N] [--inflight N] [--inflight-total N]\n"
+      "          [--cache N] [--idle-timeout SEC] [--prepare]\n"
       "          [--slow-query-ms MS] [--slow-query-log FILE]\n"
       "Serves the catalog over TCP: one '<graph-id> <query>' request per\n"
       "line, one answer per line; admin commands stats/metrics/trace/\n"
@@ -93,6 +102,30 @@ int main(int argc, char** argv) {
 
   CliqueService service;
   std::vector<std::string> ids;
+  shard::ShardingOptions sharding;
+  sharding.shards = static_cast<int>(cli.get_int("shards", 0));
+  {
+    const std::string policy = cli.get_string("shard-policy", "edge");
+    if (policy == "vertex") {
+      sharding.policy = shard::PartitionPolicy::VertexRange;
+    } else if (policy == "edge") {
+      sharding.policy = shard::PartitionPolicy::EdgeBlock;
+    } else {
+      std::fprintf(stderr, "c3serve: bad --shard-policy '%s' (want vertex|edge)\n",
+                   policy.c_str());
+      return 2;
+    }
+  }
+  // In-memory registrations honor --shards; snapshots carry their own
+  // partition (or none) in the file.
+  const auto add_in_memory = [&](const std::string& id, Graph g) {
+    if (sharding.shards > 1) {
+      service.add_sharded_graph(id, g, sharding);
+    } else {
+      service.add_graph(id, std::move(g));
+    }
+    ids.push_back(id);
+  };
   try {
     for (const std::string& spec : cli.get_all("snapshot")) {
       std::string id, path;
@@ -109,14 +142,11 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "c3serve: bad --graph '%s' (want ID=PATH)\n", spec.c_str());
         return 2;
       }
-      service.add_graph(id, read_graph_any(path));
-      ids.push_back(id);
+      add_in_memory(id, read_graph_any(path));
     }
     if (cli.has_flag("demo")) {
-      service.add_graph("social", social_like(3000, 24'000, 0.4, 7));
-      service.add_graph("er", erdos_renyi(2000, 20'000, 11));
-      ids.push_back("social");
-      ids.push_back("er");
+      add_in_memory("social", social_like(3000, 24'000, 0.4, 7));
+      add_in_memory("er", erdos_renyi(2000, 20'000, 11));
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "c3serve: %s\n", e.what());
@@ -132,6 +162,7 @@ int main(int argc, char** argv) {
   opts.bind_address = cli.get_string("bind", "127.0.0.1");
   opts.port = static_cast<std::uint16_t>(cli.get_int("port", 7433));
   opts.max_inflight_per_graph = static_cast<int>(cli.get_int("inflight", 4));
+  opts.max_inflight_total = static_cast<int>(cli.get_int("inflight-total", 0));
   opts.cache_capacity = static_cast<std::size_t>(cli.get_int("cache", 4096));
   opts.idle_timeout_seconds = cli.get_double("idle-timeout", 300.0);
 

@@ -1,6 +1,7 @@
 #include "clique/answer_cache.hpp"
 
 #include <functional>
+#include <string_view>
 #include <utility>
 
 #include "clique/engine.hpp"
@@ -68,20 +69,95 @@ AnswerCache::Shard& AnswerCache::shard_for(const std::string& flat, std::uint64_
   return *shards_[h % shards_.size()];
 }
 
-std::optional<Answer> AnswerCache::lookup(const Key& key) {
+std::optional<Answer> AnswerCache::find(const Key& key) {
   const std::string flat = flatten(key);
   Shard& shard = shard_for(flat, key.fingerprint);
-  {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
-    const auto it = shard.index.find(std::string_view(flat));
-    if (it != shard.index.end()) {
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // refresh
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second->second;
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(std::string_view(flat));
+  if (it == shard.index.end()) return std::nullopt;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // refresh
+  return it->second->second;
+}
+
+std::optional<Answer> AnswerCache::lookup(const Key& key) {
+  std::optional<Answer> hit = find(key);
+  if (hit.has_value()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return hit;
+}
+
+std::optional<Answer> AnswerCache::lookup(const Key& key, const Query& query) {
+  std::optional<Answer> hit = find(key);
+  if (hit.has_value()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return hit;
+  }
+  if (query.kind == QueryKind::Count) {
+    SpectrumNote note;
+    {
+      const std::lock_guard<std::mutex> lock(spectrum_mutex_);
+      const auto it = spectrum_index_.find(key.fingerprint);
+      if (it != spectrum_index_.end()) note = it->second;
+    }
+    const int k = query.k;
+    const bool in_range = k >= 0 && static_cast<node_t>(k) <= note.omega;
+    if (!note.text.empty() && (in_range || note.complete)) {
+      std::optional<Answer> spectrum = find(Key{key.fingerprint, note.text});
+      if (spectrum.has_value()) {
+        Answer answer;
+        answer.kind = QueryKind::Count;
+        answer.k = k;
+        answer.count = in_range && static_cast<std::size_t>(k) < spectrum->spectrum.counts.size()
+                           ? spectrum->spectrum.counts[static_cast<std::size_t>(k)]
+                           : 0;
+        answer.stats.cliques = answer.count;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        cross_k_hits_.fetch_add(1, std::memory_order_relaxed);
+        return answer;
+      }
+      // The spectrum entry was evicted out from under its note; drop the
+      // note (unless a newer spectrum already replaced it) and miss.
+      const std::lock_guard<std::mutex> lock(spectrum_mutex_);
+      const auto it = spectrum_index_.find(key.fingerprint);
+      if (it != spectrum_index_.end() && it->second.text == note.text) {
+        spectrum_index_.erase(it);
+      }
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   return std::nullopt;
+}
+
+void AnswerCache::note_spectrum(const Key& key, const Answer& answer) {
+  // Only the two bare canonical spellings are indexable — any extra option
+  // text means the entry answers a differently-shaped question.
+  int kmax = 0;
+  if (key.text != "spectrum") {
+    constexpr std::string_view prefix = "spectrum ";
+    if (key.text.size() <= prefix.size() || key.text.compare(0, prefix.size(), prefix) != 0) {
+      return;
+    }
+    kmax = 0;
+    for (std::size_t i = prefix.size(); i < key.text.size(); ++i) {
+      const char c = key.text[i];
+      if (c < '0' || c > '9') return;
+      kmax = kmax * 10 + (c - '0');
+    }
+  }
+  SpectrumNote note;
+  note.text = key.text;
+  note.omega = answer.omega;
+  // kmax == omega leaves larger cliques unprobed; only a spectrum that ran
+  // past its clamp (or had none) proves every k it does not list counts 0.
+  note.complete = kmax == 0 || answer.omega < static_cast<node_t>(kmax);
+  const std::lock_guard<std::mutex> lock(spectrum_mutex_);
+  SpectrumNote& slot = spectrum_index_[key.fingerprint];
+  const bool better = slot.text.empty() || (note.complete && !slot.complete) ||
+                      (note.complete == slot.complete && note.omega >= slot.omega);
+  if (better) slot = std::move(note);
 }
 
 bool AnswerCache::insert(const Key& key, const Answer& answer) {
@@ -93,21 +169,24 @@ bool AnswerCache::insert(const Key& key, const Answer& answer) {
 
   std::string flat = flatten(key);
   Shard& shard = shard_for(flat, key.fingerprint);
-  const std::lock_guard<std::mutex> lock(shard.mutex);
-  if (const auto it = shard.index.find(std::string_view(flat)); it != shard.index.end()) {
-    it->second->second = answer;
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    insertions_.fetch_add(1, std::memory_order_relaxed);
-    return true;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    if (const auto it = shard.index.find(std::string_view(flat)); it != shard.index.end()) {
+      it->second->second = answer;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      insertions_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      shard.lru.emplace_front(std::move(flat), answer);
+      shard.index.emplace(std::string_view(shard.lru.front().first), shard.lru.begin());
+      while (shard.lru.size() > per_shard_capacity_) {
+        shard.index.erase(std::string_view(shard.lru.back().first));
+        shard.lru.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+      insertions_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
-  shard.lru.emplace_front(std::move(flat), answer);
-  shard.index.emplace(std::string_view(shard.lru.front().first), shard.lru.begin());
-  while (shard.lru.size() > per_shard_capacity_) {
-    shard.index.erase(std::string_view(shard.lru.back().first));
-    shard.lru.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
-  }
-  insertions_.fetch_add(1, std::memory_order_relaxed);
+  if (answer.kind == QueryKind::Spectrum) note_spectrum(key, answer);
   return true;
 }
 
@@ -117,6 +196,7 @@ AnswerCacheStats AnswerCache::stats() const {
   s.misses = misses_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.cross_k_hits = cross_k_hits_.load(std::memory_order_relaxed);
   s.entries = size();
   return s;
 }
@@ -136,6 +216,8 @@ void AnswerCache::clear() {
     shard->index.clear();
     shard->lru.clear();
   }
+  const std::lock_guard<std::mutex> lock(spectrum_mutex_);
+  spectrum_index_.clear();
 }
 
 }  // namespace c3

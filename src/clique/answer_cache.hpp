@@ -54,6 +54,9 @@ struct AnswerCacheStats {
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::uint64_t insertions = 0;
+  /// Subset of `hits` served across keys: a `count k` answered from a
+  /// cached spectrum (see the query-aware lookup overload).
+  std::uint64_t cross_k_hits = 0;
   std::size_t entries = 0;
 };
 
@@ -92,6 +95,16 @@ class AnswerCache {
   /// (counted as hit/miss respectively).
   [[nodiscard]] std::optional<Answer> lookup(const Key& key);
 
+  /// As lookup(), plus cross-k memoization: a missing `count k` is served
+  /// from this fingerprint's cached spectrum when that spectrum pins the
+  /// value down — k <= its omega (the count is counts[k]) or the spectrum
+  /// is complete (ran to the clique number, so any larger k counts 0). A
+  /// spectrum clamped by kmax == omega proves nothing beyond omega and is
+  /// not extrapolated. Served this way counts as a hit (and cross_k_hits),
+  /// never as a miss; the synthesized answer carries count + stats.cliques
+  /// only, exactly what a Count from the engine would pin down.
+  [[nodiscard]] std::optional<Answer> lookup(const Key& key, const Query& query);
+
   /// Caches a *complete* answer under `key`, evicting the shard's least
   /// recently used entries over capacity. Returns false without storing when
   /// the answer is truncated (partial results must never be replayed as the
@@ -113,15 +126,31 @@ class AnswerCache {
         index;  // views into the list nodes' key strings
   };
 
+  /// What a cached spectrum proves about this fingerprint's counts: where
+  /// to fetch it, how far it reaches, and whether it ran to the clique
+  /// number (complete) or was clamped by kmax at omega (not extrapolable).
+  struct SpectrumNote {
+    std::string text;  // the spectrum entry's canonical key text
+    node_t omega = 0;
+    bool complete = false;
+  };
+
   [[nodiscard]] Shard& shard_for(const std::string& flat, std::uint64_t fingerprint);
   [[nodiscard]] static std::string flatten(const Key& key);
+  /// LRU-refreshing fetch without touching the hit/miss counters — the
+  /// public lookups layer their accounting on top.
+  [[nodiscard]] std::optional<Answer> find(const Key& key);
+  void note_spectrum(const Key& key, const Answer& answer);
 
   std::size_t per_shard_capacity_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::mutex spectrum_mutex_;
+  std::unordered_map<std::uint64_t, SpectrumNote> spectrum_index_;  // by fingerprint
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> cross_k_hits_{0};
 };
 
 }  // namespace c3

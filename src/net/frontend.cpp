@@ -38,10 +38,14 @@ std::uint64_t next_instance_id() noexcept {
 }  // namespace
 
 /// RAII slot in a graph's admission gate: the constructor blocks until the
-/// graph has a free execution slot, the destructor frees it and wakes one
-/// waiter. Gates are per graph id, so waiting on a hot graph never consumes
-/// capacity of a cold one. The wait is the AdmissionWait stage: its duration
-/// lands in the request's trace and the c3_admission_wait_seconds histogram.
+/// graph has a free execution slot (under both the per-graph cap and the
+/// optional catalog-wide cap), the destructor frees it and hands the
+/// capacity to the next waiter. Capacity moves as explicit per-gate grants
+/// issued round-robin over the waiting graphs (grant_locked), so wakeup
+/// order is a scheduling decision, not a condvar race — a hot graph's
+/// waiter horde cannot absorb every freed slot while a light graph starves.
+/// The wait is the AdmissionWait stage: its duration lands in the request's
+/// trace and the c3_admission_wait_seconds histogram.
 class LineFrontEnd::Admission {
  public:
   Admission(LineFrontEnd& fe, const std::string& id, obs::TraceContext* trace) : fe_(fe) {
@@ -56,9 +60,25 @@ class LineFrontEnd::Admission {
       gate_->inflight_gauge =
           &obs::Registry::global().gauge("c3_graph_inflight", "graph=\"" + id + "\"");
     }
-    gate_->free_slot.wait(lock,
-                          [&] { return gate_->inflight < fe_.opts_.max_inflight_per_graph; });
+    const int total_cap = fe_.opts_.max_inflight_total;
+    const bool fast = fe_.total_waiting_ == 0 && fe_.total_grants_ == 0 &&
+                      gate_->inflight < fe_.opts_.max_inflight_per_graph &&
+                      (total_cap <= 0 || fe_.total_inflight_ < total_cap);
+    if (!fast) {
+      // Queue behind the grant scheduler even when this gate has room — an
+      // uncontended fast path past *other* gates' waiters would let a busy
+      // graph keep leapfrogging the round-robin order on the total cap.
+      gate_->waiting += 1;
+      fe_.total_waiting_ += 1;
+      fe_.grant_locked();
+      gate_->free_slot.wait(lock, [&] { return gate_->grants > 0; });
+      gate_->grants -= 1;
+      fe_.total_grants_ -= 1;
+      gate_->waiting -= 1;
+      fe_.total_waiting_ -= 1;
+    }
     gate_->inflight += 1;
+    fe_.total_inflight_ += 1;
     gate_->peak = std::max(gate_->peak, gate_->inflight);
     gate_->inflight_gauge->add();
     if (trace != nullptr) {
@@ -68,12 +88,11 @@ class LineFrontEnd::Admission {
   }
 
   ~Admission() {
-    {
-      const std::lock_guard<std::mutex> lock(fe_.gate_mutex_);
-      gate_->inflight -= 1;
-      gate_->inflight_gauge->sub();
-    }
-    gate_->free_slot.notify_one();
+    const std::lock_guard<std::mutex> lock(fe_.gate_mutex_);
+    gate_->inflight -= 1;
+    fe_.total_inflight_ -= 1;
+    gate_->inflight_gauge->sub();
+    fe_.grant_locked();  // hand the freed capacity to the next gate in turn
   }
 
   Admission(const Admission&) = delete;
@@ -84,10 +103,39 @@ class LineFrontEnd::Admission {
   GraphGate* gate_ = nullptr;
 };
 
+void LineFrontEnd::grant_locked() {
+  if (gates_.empty() || total_waiting_ == total_grants_) return;
+  for (;;) {
+    bool granted = false;
+    auto it = gates_.lower_bound(rr_cursor_);
+    for (std::size_t scanned = 0; scanned < gates_.size(); ++scanned) {
+      if (it == gates_.end()) it = gates_.begin();
+      GraphGate& gate = it->second;
+      ++it;
+      const bool has_waiter = gate.waiting > gate.grants;  // ungranted waiters
+      const bool per_ok = gate.inflight + gate.grants < opts_.max_inflight_per_graph;
+      const bool total_ok = opts_.max_inflight_total <= 0 ||
+                            total_inflight_ + total_grants_ < opts_.max_inflight_total;
+      if (!total_ok) return;
+      if (has_waiter && per_ok) {
+        gate.grants += 1;
+        total_grants_ += 1;
+        gate.free_slot.notify_one();
+        // Restart the scan one past the granted gate — strict round-robin.
+        rr_cursor_ = it == gates_.end() ? std::string() : it->first;
+        granted = true;
+        break;
+      }
+    }
+    if (!granted) return;
+  }
+}
+
 LineFrontEnd::LineFrontEnd(const CliqueService& service, AnswerCache* cache,
                            FrontEndOptions opts)
     : service_(&service), cache_(cache), opts_(opts) {
   opts_.max_inflight_per_graph = std::max(1, opts_.max_inflight_per_graph);
+  opts_.max_inflight_total = std::max(0, opts_.max_inflight_total);  // 0 = no total cap
   // Register this instance's serving counters. The instance label keeps
   // concurrent front ends (tests, multiple servers in one process) from
   // polluting each other's stats while every series still lands in one
@@ -105,12 +153,14 @@ void LineFrontEnd::set_stats_suffix_source(std::function<std::string()> source) 
   stats_suffix_ = std::move(source);
 }
 
-std::uint64_t LineFrontEnd::fingerprint_for(const std::string& id, const PreparedGraph& engine) {
+std::uint64_t LineFrontEnd::fingerprint_for(const std::string& id) {
   {
     const std::shared_lock<std::shared_mutex> lock(fingerprint_mutex_);
     if (const auto it = fingerprints_.find(id); it != fingerprints_.end()) return it->second;
   }
-  const std::uint64_t fp = engine_fingerprint(id, engine);
+  // May open a snapshot entry on first touch; the service picks the flat or
+  // sharded fingerprint to match whichever engine serves the id.
+  const std::uint64_t fp = service_->fingerprint(id);
   const std::unique_lock<std::shared_mutex> lock(fingerprint_mutex_);
   return fingerprints_.emplace(id, fp).first->second;
 }
@@ -125,7 +175,8 @@ std::string LineFrontEnd::stats_line() const {
   line += " cache_hits=" + std::to_string(s.cache.hits) +
           " cache_misses=" + std::to_string(s.cache.misses) +
           " cache_evictions=" + std::to_string(s.cache.evictions) +
-          " cache_entries=" + std::to_string(s.cache.entries);
+          " cache_entries=" + std::to_string(s.cache.entries) +
+          " cache_cross_k_hits=" + std::to_string(s.cache.cross_k_hits);
   line += std::string(" kernel=") + bits::kernel_backend_name(bits::active_kernel_backend());
   if (stats_suffix_) {
     // one_line: a multi-line suffix must not corrupt the one-answer-per-line
@@ -154,6 +205,8 @@ std::string LineFrontEnd::metrics_text() const {
         .set(static_cast<std::int64_t>(c.insertions));
     reg.gauge("c3_answer_cache_entries", instance_label_)
         .set(static_cast<std::int64_t>(c.entries));
+    reg.gauge("c3_answer_cache_cross_k_hits", instance_label_)
+        .set(static_cast<std::int64_t>(c.cross_k_hits));
   }
   {
     const std::lock_guard<std::mutex> lock(gate_mutex_);
@@ -223,22 +276,21 @@ LineFrontEnd::Reply LineFrontEnd::process(std::string_view raw) {
   parse_span.close();
 
   try {
-    const PreparedGraph* engine = nullptr;
+    std::uint64_t fp = 0;
     {
       // May open a snapshot on first touch — that cost is this request's
       // preparation, distinct from the engine's in-search artifact builds
       // (which run() reports as its own Prepare sub-span).
       obs::TraceContext::Scope prepare_span(trace.get(), obs::Stage::Prepare);
-      engine = &service_->engine(id);
+      fp = fingerprint_for(id);
     }
-    const std::uint64_t fp = fingerprint_for(id, *engine);
     AnswerCache::Key key;
     if (cache_ != nullptr) {
       key = AnswerCache::make_key(fp, query);
       std::optional<Answer> hit;
       {
         obs::TraceContext::Scope lookup_span(trace.get(), obs::Stage::CacheLookup);
-        hit = cache_->lookup(key);
+        hit = cache_->lookup(key, query);  // query-aware: may serve cross-k
       }
       if (hit.has_value()) {
         cache_hits_->add();
@@ -254,7 +306,7 @@ LineFrontEnd::Reply LineFrontEnd::process(std::string_view raw) {
     Answer answer;
     {
       const Admission slot(*this, id, trace.get());  // bounded per-graph execution
-      answer = engine->run(query, trace.get());
+      answer = service_->run(id, query, trace.get());
     }
     if (cache_ != nullptr) (void)cache_->insert(key, answer);  // refuses truncated
     answered_->add();

@@ -28,11 +28,13 @@
 //     never are.
 //
 //   * per-graph admission control: at most `max_inflight_per_graph`
-//     requests execute per graph at a time; excess requests *block* (their
-//     connection threads wait FIFO-ish on a condvar) rather than fail, so a
-//     flood against one hot graph queues against that graph's slots while
-//     other graphs' slots stay free — fairness across the catalog by
-//     construction.
+//     requests execute per graph at a time (plus an optional
+//     `max_inflight_total` across the catalog); excess requests *block*
+//     rather than fail. Freed capacity is handed out as explicit grants in
+//     round-robin order over the waiting graphs, so a flood against one hot
+//     graph queues against that graph's slots while other graphs' waiters
+//     get their fair turn at the shared budget — fairness across the
+//     catalog by construction, not by condvar race.
 //
 // Telemetry (obs/): the serving counters live in the metrics registry as
 // instance-labeled series (instance="N", one N per front end), so stats()
@@ -69,6 +71,12 @@ struct FrontEndOptions {
   /// Queries executing concurrently per graph; further requests for that
   /// graph block until a slot frees. >= 1.
   int max_inflight_per_graph = 4;
+  /// Queries executing concurrently across the whole catalog (0 = no total
+  /// cap). When contended, freed capacity is handed to waiters *round-robin
+  /// across graphs* — not to whichever connection thread wins the condvar
+  /// race — so a flood against one hot graph cannot starve light traffic on
+  /// the others out of the shared budget.
+  int max_inflight_total = 0;
 };
 
 /// Counter snapshot for stats()/the `stats` admin line. Sourced from this
@@ -119,6 +127,12 @@ class LineFrontEnd {
   struct GraphGate {
     int inflight = 0;
     int peak = 0;
+    int waiting = 0;  ///< threads blocked in Admission for this graph
+    /// Capacity grants handed to this gate's waiters but not yet consumed.
+    /// Grants are issued by grant_locked() in round-robin gate order and
+    /// count against both caps until the woken waiter converts its grant
+    /// into an inflight slot — so a grant can never be stolen by a barger.
+    int grants = 0;
     /// Per-gate condvar (all gates share gate_mutex_): freeing a slot on
     /// graph A wakes a waiter for A, never one for B — a shared condvar
     /// with notify_one could hand A's wakeup to a B-waiter whose predicate
@@ -132,8 +146,12 @@ class LineFrontEnd {
   /// Blocks until an execution slot for `id` is free; RAII-released.
   class Admission;
 
-  [[nodiscard]] std::uint64_t fingerprint_for(const std::string& id,
-                                              const PreparedGraph& engine);
+  /// Hands freed capacity to blocked waiters, scanning the gates round-robin
+  /// from rr_cursor_ and granting while both caps have room. Must hold
+  /// gate_mutex_.
+  void grant_locked();
+
+  [[nodiscard]] std::uint64_t fingerprint_for(const std::string& id);
   [[nodiscard]] std::string stats_line() const;
 
   const CliqueService* service_;
@@ -143,6 +161,10 @@ class LineFrontEnd {
 
   mutable std::mutex gate_mutex_;
   std::map<std::string, GraphGate, std::less<>> gates_;
+  int total_inflight_ = 0;  // guarded by gate_mutex_
+  int total_grants_ = 0;
+  int total_waiting_ = 0;
+  std::string rr_cursor_;  ///< next gate to consider for a grant
 
   mutable std::shared_mutex fingerprint_mutex_;
   std::unordered_map<std::string, std::uint64_t> fingerprints_;

@@ -37,7 +37,7 @@ CliqueServer::CliqueServer(const CliqueService& service, ServerOptions opts)
                  ? std::make_unique<AnswerCache>(opts_.cache_capacity, opts_.cache_shards)
                  : nullptr),
       frontend_(service, cache_.get(),
-                FrontEndOptions{opts_.max_inflight_per_graph}) {
+                FrontEndOptions{opts_.max_inflight_per_graph, opts_.max_inflight_total}) {
   frontend_.set_stats_suffix_source([this] {
     return "connections=" + std::to_string(open_.load(std::memory_order_relaxed)) +
            " accepted=" + std::to_string(accepted_.load(std::memory_order_relaxed));

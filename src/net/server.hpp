@@ -46,6 +46,9 @@ struct ServerOptions {
   std::uint16_t port = 0;  ///< 0 = ephemeral; port() reports the real one
   /// Concurrent query executions per graph (LineFrontEnd admission).
   int max_inflight_per_graph = 4;
+  /// Concurrent query executions across the whole catalog (0 = no total
+  /// cap); contended capacity is granted round-robin over graphs.
+  int max_inflight_total = 0;
   /// A connection with no complete request line for this long is told
   /// "error: idle timeout" and closed. <= 0: never.
   double idle_timeout_seconds = 300.0;

@@ -86,6 +86,8 @@ const char* stage_name(Stage s) noexcept {
       return "format";
     case Stage::SocketWrite:
       return "socket_write";
+    case Stage::ShardSearch:
+      return "shard_search";
   }
   return "unknown";
 }

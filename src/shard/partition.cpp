@@ -1,0 +1,96 @@
+#include "shard/partition.hpp"
+
+#include <algorithm>
+
+namespace c3::shard {
+
+const char* partition_policy_name(PartitionPolicy p) noexcept {
+  switch (p) {
+    case PartitionPolicy::VertexRange:
+      return "vertex_range";
+    case PartitionPolicy::EdgeBlock:
+      return "edge_block";
+  }
+  return "unknown";
+}
+
+std::vector<ShardRange> partition_ranges(const Graph& g, const ShardingOptions& opts) {
+  const auto shards = static_cast<std::size_t>(std::max(1, opts.shards));
+  const node_t n = g.num_nodes();
+  std::vector<ShardRange> ranges(shards);
+
+  if (opts.policy == PartitionPolicy::VertexRange || g.num_edges() == 0) {
+    // Equal vertex counts; the i-th boundary at floor(n*i/s) keeps every
+    // range within one vertex of n/s. An edgeless graph has uniform degree
+    // mass, so EdgeBlock degrades to the same split.
+    for (std::size_t i = 0; i < shards; ++i) {
+      ranges[i].lo = static_cast<node_t>(static_cast<std::uint64_t>(n) * i / shards);
+      ranges[i].hi = static_cast<node_t>(static_cast<std::uint64_t>(n) * (i + 1) / shards);
+    }
+    return ranges;
+  }
+
+  // EdgeBlock: walk the degree prefix sum, closing shard i at the first
+  // vertex where the accumulated mass reaches i/s of the total — contiguous
+  // ranges of ~2m/s degree mass each, so a hub-heavy prefix doesn't load one
+  // shard with most of the edges.
+  const std::uint64_t total = 2 * static_cast<std::uint64_t>(g.num_edges());
+  std::uint64_t cum = 0;
+  node_t v = 0;
+  for (std::size_t i = 0; i < shards; ++i) {
+    ranges[i].lo = v;
+    const std::uint64_t target = total * (i + 1) / shards;
+    while (v < n && cum < target) {
+      cum += g.degree(v);
+      ++v;
+    }
+    ranges[i].hi = i + 1 == shards ? n : v;
+  }
+  ranges.back().hi = n;
+  return ranges;
+}
+
+namespace {
+
+/// Local-edge -> parent-edge map for an induced subgraph. Every local edge
+/// is an edge of the parent (induced subgraphs add none), so edge_id never
+/// misses.
+std::vector<edge_t> map_edges(const Graph& g, const InducedSubgraph& sub) {
+  const std::span<const Edge> local = sub.graph.endpoints();
+  std::vector<edge_t> map(local.size());
+  for (std::size_t e = 0; e < local.size(); ++e) {
+    map[e] = g.edge_id(sub.to_parent[local[e].u], sub.to_parent[local[e].v]);
+  }
+  return map;
+}
+
+}  // namespace
+
+ShardPart build_shard(const Graph& g, ShardRange range) {
+  ShardPart part;
+  part.range = range;
+
+  // Halo: neighbors of owned vertices with id >= hi, deduplicated ascending.
+  for (node_t u = range.lo; u < range.hi; ++u) {
+    for (const node_t w : g.neighbors(u)) {
+      if (w >= range.hi) part.halo.push_back(w);
+    }
+  }
+  std::sort(part.halo.begin(), part.halo.end());
+  part.halo.erase(std::unique(part.halo.begin(), part.halo.end()), part.halo.end());
+
+  // owned ++ halo, both ascending: to_parent is strictly increasing, so
+  // local id order mirrors global id order (the root test depends on it).
+  std::vector<node_t> vertices;
+  vertices.reserve(static_cast<std::size_t>(range.size()) + part.halo.size());
+  for (node_t u = range.lo; u < range.hi; ++u) vertices.push_back(u);
+  vertices.insert(vertices.end(), part.halo.begin(), part.halo.end());
+
+  part.main = induced_subgraph(g, vertices);
+  part.edge_map = map_edges(g, part.main);
+  part.halo_sub = induced_subgraph(g, part.halo);
+  part.halo_edge_map = map_edges(g, part.halo_sub);
+  return part;
+}
+
+}  // namespace c3::shard

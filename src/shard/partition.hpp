@@ -1,0 +1,87 @@
+// Partitioner — splits a graph into vertex-ownership shards (DESIGN.md
+// Section 9).
+//
+// A shard owns a contiguous vertex range [lo, hi). Ownership of *cliques*
+// follows from ownership of vertices: every k-clique belongs to the shard
+// owning its minimum vertex id (its root under the identity order). That
+// makes ownership a true partition of the clique set — the property every
+// scatter-gather merge in ShardedEngine rests on — without constraining
+// which vertex order or algorithm each shard's engine uses internally.
+//
+// To let a shard count its owned cliques locally, its subgraph must contain
+// every clique rooted in it. A clique rooted at u consists of u plus
+// neighbors of u with larger ids, so it suffices to add the *halo*: the
+// neighbors of owned vertices with id >= hi. (Neighbors with id < lo root
+// their cliques in an earlier shard; ids in [lo, hi) are already owned.)
+// The shard subgraph is the induced graph on owned ++ halo, relabeled
+// 0..|V_s|-1 with owned vertices first — ascending relabeling, so local id
+// order mirrors global id order and "min vertex is owned" becomes the O(1)
+// test "min local id < owned_count".
+//
+// A shard's local count over-counts by exactly the cliques rooted in its
+// halo — and those are precisely the cliques of the induced halo subgraph
+// (every vertex of a halo-rooted clique has id >= hi, hence lies in the
+// halo). So each shard also carries G[halo] and its owned tally is the
+// difference of two black-box engine answers. See ShardedEngine.
+//
+// Two policies pick the ranges: VertexRange (equal vertex counts) and
+// EdgeBlock (ranges balanced by degree mass — contiguous edge blocks, the
+// better proxy for per-shard work on skewed graphs).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/subgraph.hpp"
+#include "graph/types.hpp"
+
+namespace c3::shard {
+
+enum class PartitionPolicy : std::uint8_t {
+  VertexRange,  ///< ranges of (near-)equal vertex count
+  EdgeBlock,    ///< ranges of (near-)equal degree mass
+};
+
+[[nodiscard]] const char* partition_policy_name(PartitionPolicy p) noexcept;
+
+struct ShardingOptions {
+  int shards = 2;  ///< clamped to [1, num_nodes] range count (empty shards allowed)
+  PartitionPolicy policy = PartitionPolicy::EdgeBlock;
+};
+
+/// One shard's owned vertex range [lo, hi). Ranges are contiguous,
+/// non-overlapping, and cover [0, n) in order; a range may be empty.
+struct ShardRange {
+  node_t lo = 0;
+  node_t hi = 0;
+  [[nodiscard]] node_t size() const noexcept { return hi - lo; }
+};
+
+/// The owned ranges for `opts.shards` shards under `opts.policy`. Always
+/// returns exactly max(1, opts.shards) ranges.
+[[nodiscard]] std::vector<ShardRange> partition_ranges(const Graph& g,
+                                                       const ShardingOptions& opts);
+
+/// Everything one shard needs, extracted from the parent graph:
+///   * main: the induced subgraph on owned ++ halo (owned first, both
+///     ascending — main.to_parent is strictly increasing);
+///   * halo: the halo's global ids (ascending; to_parent[owned_count + i]);
+///   * halo_sub: the induced subgraph on the halo alone (empty when no halo);
+///   * edge maps: local undirected edge id -> parent edge id, for main and
+///     halo_sub (the per-edge merge needs them; every local edge exists in
+///     the parent by construction).
+struct ShardPart {
+  ShardRange range;
+  std::vector<node_t> halo;
+  InducedSubgraph main;
+  std::vector<edge_t> edge_map;
+  InducedSubgraph halo_sub;
+  std::vector<edge_t> halo_edge_map;
+
+  [[nodiscard]] node_t owned_count() const noexcept { return range.size(); }
+};
+
+/// Extracts the shard for `range` from `g`.
+[[nodiscard]] ShardPart build_shard(const Graph& g, ShardRange range);
+
+}  // namespace c3::shard

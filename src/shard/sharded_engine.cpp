@@ -1,0 +1,497 @@
+#include "shard/sharded_engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "parallel/parallel.hpp"
+#include "util/timer.hpp"
+
+namespace c3::shard {
+
+/// One shard: the engine views every query path uses, plus (in-memory mode)
+/// the storage those views borrow from. In view mode the storage members
+/// stay empty and everything points into memory owned by the caller (a
+/// sharded snapshot's mapping).
+struct ShardedEngine::Shard {
+  // Owned storage — in-memory construction only.
+  std::unique_ptr<Graph> main_graph;
+  std::unique_ptr<Graph> halo_graph;
+  std::unique_ptr<PreparedGraph> main_owned;
+  std::unique_ptr<PreparedGraph> halo_owned;
+  std::vector<node_t> halo_ids_store;
+  std::vector<edge_t> edge_map_store;
+  std::vector<edge_t> halo_edge_map_store;
+
+  // Views — both modes. (Moving a Shard keeps them valid: vector moves
+  // preserve heap buffers, unique_ptr moves preserve pointees.)
+  const PreparedGraph* main = nullptr;
+  const PreparedGraph* halo = nullptr;  // nullptr when the halo is empty
+  node_t first_owned = 0;
+  node_t owned_count = 0;
+  std::span<const node_t> halo_ids;
+  std::span<const edge_t> edge_map;
+  std::span<const edge_t> halo_edge_map;
+
+  /// Local id -> global id. Owned locals come first (ascending), halo after.
+  [[nodiscard]] node_t global_of(node_t local) const noexcept {
+    return local < owned_count ? first_owned + local
+                               : halo_ids[static_cast<std::size_t>(local) - owned_count];
+  }
+};
+
+ShardedEngine::ShardedEngine(const Graph& g, const ShardingOptions& sharding,
+                             const CliqueOptions& opts)
+    : num_nodes_(g.num_nodes()), num_edges_(g.num_edges()), opts_(opts),
+      policy_(sharding.policy) {
+  const std::vector<ShardRange> ranges = partition_ranges(g, sharding);
+  shards_.reserve(ranges.size());
+  for (const ShardRange& range : ranges) {
+    ShardPart part = build_shard(g, range);
+    Shard s;
+    s.first_owned = range.lo;
+    s.owned_count = range.size();
+    s.main_graph = std::make_unique<Graph>(std::move(part.main.graph));
+    s.main_owned = std::make_unique<PreparedGraph>(*s.main_graph, opts_);
+    s.main = s.main_owned.get();
+    s.halo_ids_store = std::move(part.halo);
+    s.edge_map_store = std::move(part.edge_map);
+    s.halo_edge_map_store = std::move(part.halo_edge_map);
+    if (!s.halo_ids_store.empty()) {
+      s.halo_graph = std::make_unique<Graph>(std::move(part.halo_sub.graph));
+      s.halo_owned = std::make_unique<PreparedGraph>(*s.halo_graph, opts_);
+      s.halo = s.halo_owned.get();
+    }
+    s.halo_ids = s.halo_ids_store;
+    s.edge_map = s.edge_map_store;
+    s.halo_edge_map = s.halo_edge_map_store;
+    shards_.push_back(std::move(s));
+  }
+}
+
+ShardedEngine::ShardedEngine(std::vector<LoadedShard> shards, node_t num_nodes,
+                             edge_t num_edges, const CliqueOptions& opts,
+                             PartitionPolicy policy)
+    : num_nodes_(num_nodes), num_edges_(num_edges), opts_(opts), policy_(policy) {
+  if (shards.empty()) throw std::invalid_argument("ShardedEngine: no shards");
+  node_t expect = 0;
+  shards_.reserve(shards.size());
+  for (const LoadedShard& in : shards) {
+    if (in.main == nullptr) throw std::invalid_argument("ShardedEngine: shard without an engine");
+    if (in.first_owned != expect) {
+      throw std::invalid_argument("ShardedEngine: shard ranges do not tile [0, n)");
+    }
+    expect = in.first_owned + in.owned_count;
+    Shard s;
+    s.main = in.main;
+    s.halo = in.halo;
+    s.first_owned = in.first_owned;
+    s.owned_count = in.owned_count;
+    s.halo_ids = in.halo_ids;
+    s.edge_map = in.edge_map;
+    s.halo_edge_map = in.halo_edge_map;
+    shards_.push_back(std::move(s));
+  }
+  if (expect != num_nodes_) {
+    throw std::invalid_argument("ShardedEngine: shard ranges do not cover [0, n)");
+  }
+}
+
+ShardedEngine::ShardedEngine(ShardedEngine&&) noexcept = default;
+ShardedEngine& ShardedEngine::operator=(ShardedEngine&&) noexcept = default;
+ShardedEngine::~ShardedEngine() = default;
+
+std::size_t ShardedEngine::num_shards() const noexcept { return shards_.size(); }
+node_t ShardedEngine::num_nodes() const noexcept { return num_nodes_; }
+edge_t ShardedEngine::num_edges() const noexcept { return num_edges_; }
+const CliqueOptions& ShardedEngine::options() const noexcept { return opts_; }
+PartitionPolicy ShardedEngine::policy() const noexcept { return policy_; }
+
+const PreparedGraph& ShardedEngine::main_engine(std::size_t shard) const {
+  return *shards_.at(shard).main;
+}
+const PreparedGraph* ShardedEngine::halo_engine(std::size_t shard) const {
+  return shards_.at(shard).halo;
+}
+node_t ShardedEngine::first_owned(std::size_t shard) const {
+  return shards_.at(shard).first_owned;
+}
+node_t ShardedEngine::owned_count(std::size_t shard) const {
+  return shards_.at(shard).owned_count;
+}
+std::span<const node_t> ShardedEngine::halo_ids(std::size_t shard) const {
+  return shards_.at(shard).halo_ids;
+}
+std::span<const edge_t> ShardedEngine::edge_map(std::size_t shard) const {
+  return shards_.at(shard).edge_map;
+}
+std::span<const edge_t> ShardedEngine::halo_edge_map(std::size_t shard) const {
+  return shards_.at(shard).halo_edge_map;
+}
+
+void ShardedEngine::prepare() const {
+  // One shard at a time: each prepare() parallelizes internally over the
+  // full worker pool, so stacking shards would only oversubscribe it.
+  for (const Shard& s : shards_) {
+    for (const PreparedGraph* e : {s.main, s.halo}) {
+      if (e == nullptr) continue;
+      e->prepare();
+      const Graph& g = e->graph();
+      if (g.num_nodes() > 0 && g.num_edges() > 0) (void)e->clique_number_upper_bound();
+    }
+  }
+}
+
+node_t ShardedEngine::clique_number_upper_bound() const {
+  node_t bound = 0;
+  for (const Shard& s : shards_) {
+    const Graph& g = s.main->graph();
+    if (g.num_nodes() == 0) continue;
+    if (g.num_edges() == 0) {
+      bound = std::max<node_t>(bound, 1);
+      continue;
+    }
+    bound = std::max(bound, s.main->clique_number_upper_bound());
+  }
+  return bound;
+}
+
+namespace {
+
+/// Which kinds need the halo sub-query (the inclusion-exclusion merges).
+/// The others compose from the main sub-answers alone (see the header).
+bool needs_halo(QueryKind kind) noexcept {
+  switch (kind) {
+    case QueryKind::Count:
+    case QueryKind::PerVertexCounts:
+    case QueryKind::PerEdgeCounts:
+    case QueryKind::Spectrum:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool sub_truncated(const Answer& main, const Answer& halo) noexcept {
+  return main.truncated || halo.truncated;
+}
+
+std::uint64_t steady_ns(std::chrono::steady_clock::time_point t) noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t.time_since_epoch()).count());
+}
+
+}  // namespace
+
+Answer ShardedEngine::run(const Query& query) const { return run(query, nullptr); }
+
+Answer ShardedEngine::run(const Query& query, obs::TraceContext* trace) const {
+  const WallTimer timer;
+  const std::size_t count = shards_.size();
+
+  // Split the effective worker budget across the shard lanes, QueryBatch
+  // style: each sub-query runs under its own per-thread cap, so a
+  // `workers=N` request stays a true N-worker request in aggregate.
+  const int pool = std::max(1, num_workers());
+  const int requested =
+      query.opts.max_workers > 0 ? std::min(query.opts.max_workers, pool) : pool;
+  const auto lanes = static_cast<std::size_t>(
+      std::min<std::size_t>(count, static_cast<std::size_t>(std::max(1, requested))));
+  const int per_shard = std::max(1, requested / static_cast<int>(lanes));
+
+  // HasClique/FindClique stop the other shards once any shard has found a
+  // clique — but only through a token we own; a caller's token is passed
+  // through untouched so its cancellation semantics stay the caller's.
+  std::shared_ptr<std::atomic<bool>> stop;
+  if ((query.kind == QueryKind::HasClique || query.kind == QueryKind::FindClique) &&
+      query.opts.cancel == nullptr && count > 1) {
+    stop = std::make_shared<std::atomic<bool>>(false);
+  }
+
+  const bool run_halo = needs_halo(query.kind);
+  std::vector<Answer> mains(count);
+  std::vector<Answer> halos(count);
+  std::vector<std::exception_ptr> errors(count);
+  std::vector<std::uint64_t> start_ns(count, 0);
+  std::vector<std::uint64_t> dur_ns(count, 0);
+
+  const auto scatter_steady = std::chrono::steady_clock::now();
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&]() noexcept {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        Query sub = query;
+        sub.opts.max_workers = per_shard;
+        if (stop != nullptr) sub.opts.cancel = stop;
+        // The result limit is applied at the merge: a per-shard limit could
+        // fill with halo-rooted cliques the merge then filters out.
+        if (query.kind == QueryKind::List) sub.opts.result_limit = 0;
+        mains[i] = shards_[i].main->run(sub);
+        if (run_halo && shards_[i].halo != nullptr) halos[i] = shards_[i].halo->run(sub);
+        if (stop != nullptr && mains[i].found) stop->store(true, std::memory_order_relaxed);
+      } catch (...) {
+        errors[i] = std::current_exception();
+        if (stop != nullptr) stop->store(true, std::memory_order_relaxed);
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      start_ns[i] = steady_ns(t0) - steady_ns(scatter_steady);
+      dur_ns[i] = steady_ns(t1) - steady_ns(t0);
+    }
+  };
+
+  if (lanes <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(lanes);
+    for (std::size_t t = 0; t < lanes; ++t) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+  }
+
+  if (obs::enabled()) {
+    static obs::Counter& shard_queries =
+        obs::Registry::global().counter("c3_shard_queries_total");
+    for (std::size_t i = 0; i < count; ++i) {
+      shard_queries.add(run_halo && shards_[i].halo != nullptr ? 2 : 1);
+    }
+  }
+  if (trace != nullptr) {
+    // TraceContext is single-threaded: the workers recorded offsets relative
+    // to the scatter start; the gathering thread rebases them onto the trace
+    // clock and publishes.
+    const std::uint64_t elapsed =
+        steady_ns(std::chrono::steady_clock::now()) - steady_ns(scatter_steady);
+    const std::uint64_t now = trace->now_ns();
+    const std::uint64_t scatter_base = now > elapsed ? now - elapsed : 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      trace->add_span(obs::Stage::ShardSearch, scatter_base + start_ns[i], dur_ns[i]);
+    }
+    trace->annotate("shards", std::to_string(count));
+    trace->annotate("shard_policy", partition_policy_name(policy_));
+  }
+  for (const std::exception_ptr& e : errors) {
+    if (e != nullptr) std::rethrow_exception(e);
+  }
+
+  Answer answer = gather(query, std::move(mains), std::move(halos));
+  answer.seconds = timer.seconds();
+  if (trace != nullptr) trace->mark_truncated(answer.truncated);
+  return answer;
+}
+
+Answer ShardedEngine::gather(const Query& query, std::vector<Answer> mains,
+                             std::vector<Answer> halos) const {
+  Answer answer;
+  answer.kind = query.kind;
+  answer.k = query.k;
+  const std::size_t count = shards_.size();
+  const auto minus = [](count_t a, count_t b) { return a >= b ? a - b : 0; };
+
+  for (std::size_t i = 0; i < count; ++i) {
+    accumulate_stats(answer.stats, mains[i].stats);
+    accumulate_stats(answer.stats, halos[i].stats);
+  }
+
+  switch (query.kind) {
+    case QueryKind::Count: {
+      count_t total = 0;
+      for (std::size_t i = 0; i < count; ++i) {
+        // owned(s) = count(G_s) - count(G_s[halo]); saturating only matters
+        // for truncated sub-answers, which mark the merge truncated anyway.
+        total += minus(mains[i].count, halos[i].count);
+        answer.truncated |= sub_truncated(mains[i], halos[i]);
+      }
+      answer.count = total;
+      answer.stats.cliques = total;
+      break;
+    }
+    case QueryKind::PerVertexCounts: {
+      answer.per_counts.assign(num_nodes_, 0);
+      for (std::size_t i = 0; i < count; ++i) {
+        const Shard& s = shards_[i];
+        const std::vector<count_t>& main = mains[i].per_counts;
+        for (std::size_t v = 0; v < main.size(); ++v) {
+          answer.per_counts[s.global_of(static_cast<node_t>(v))] += main[v];
+        }
+        const std::vector<count_t>& halo = halos[i].per_counts;
+        for (std::size_t h = 0; h < halo.size(); ++h) {
+          count_t& slot = answer.per_counts[s.halo_ids[h]];
+          slot = minus(slot, halo[h]);
+        }
+        answer.truncated |= sub_truncated(mains[i], halos[i]);
+      }
+      break;
+    }
+    case QueryKind::PerEdgeCounts: {
+      answer.per_counts.assign(num_edges_, 0);
+      for (std::size_t i = 0; i < count; ++i) {
+        const Shard& s = shards_[i];
+        const std::vector<count_t>& main = mains[i].per_counts;
+        for (std::size_t e = 0; e < main.size(); ++e) {
+          answer.per_counts[s.edge_map[e]] += main[e];
+        }
+        const std::vector<count_t>& halo = halos[i].per_counts;
+        for (std::size_t e = 0; e < halo.size(); ++e) {
+          count_t& slot = answer.per_counts[s.halo_edge_map[e]];
+          slot = minus(slot, halo[e]);
+        }
+        answer.truncated |= sub_truncated(mains[i], halos[i]);
+      }
+      break;
+    }
+    case QueryKind::Spectrum: {
+      // Per-k owned sums: all mains in, then all halos out (at subtraction
+      // time sums[k] >= the halo total, so the unsigned walk never dips).
+      std::vector<count_t> sums;
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::vector<count_t>& c = mains[i].spectrum.counts;
+        if (c.size() > sums.size()) sums.resize(c.size(), 0);
+        for (std::size_t k = 0; k < c.size(); ++k) sums[k] += c[k];
+        answer.truncated |= sub_truncated(mains[i], halos[i]);
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::vector<count_t>& c = halos[i].spectrum.counts;
+        for (std::size_t k = 0; k < c.size() && k < sums.size(); ++k) {
+          sums[k] = minus(sums[k], c[k]);
+        }
+      }
+      // Reassemble exactly the way PreparedGraph::run builds a spectrum, so
+      // the merged counts/omega are bit-identical to the unsharded answer.
+      CliqueSpectrum& out = answer.spectrum;
+      out.counts.assign(2, 0);
+      for (std::size_t i = 0; i < count; ++i) {
+        out.preprocess_seconds += mains[i].spectrum.preprocess_seconds;
+        out.preprocess_seconds += halos[i].spectrum.preprocess_seconds;
+        out.search_seconds += mains[i].spectrum.search_seconds;
+        out.search_seconds += halos[i].spectrum.search_seconds;
+      }
+      if (num_nodes_ > 0) {
+        out.counts[1] = num_nodes_;
+        out.omega = 1;
+        if (num_edges_ > 0 && query.kmax != 1) {
+          out.counts.push_back(num_edges_);
+          out.omega = 2;
+          if (query.kmax != 2) {
+            for (int k = 3; query.kmax <= 0 || k <= query.kmax; ++k) {
+              const count_t c =
+                  static_cast<std::size_t>(k) < sums.size() ? sums[static_cast<std::size_t>(k)]
+                                                            : 0;
+              if (c == 0) break;
+              out.counts.push_back(c);
+              out.omega = static_cast<node_t>(k);
+            }
+          }
+        }
+      }
+      answer.stats.preprocess_seconds = out.preprocess_seconds;
+      answer.stats.search_seconds = out.search_seconds;
+      answer.omega = out.omega;
+      answer.count = out.counts.empty() ? 0 : out.counts.back();
+      break;
+    }
+    case QueryKind::List: {
+      for (std::size_t i = 0; i < count; ++i) {
+        const Shard& s = shards_[i];
+        answer.truncated |= mains[i].truncated;
+        for (std::vector<node_t>& clique : mains[i].cliques) {
+          node_t min_local = clique.empty() ? 0 : clique[0];
+          for (const node_t v : clique) min_local = std::min(min_local, v);
+          // Ascending relabeling: min local id < owned_count <=> the root
+          // (global min) is owned — this shard's clique, everyone else skips.
+          if (min_local >= s.owned_count) continue;
+          for (node_t& v : clique) v = s.global_of(v);
+          answer.cliques.push_back(std::move(clique));
+        }
+      }
+      const count_t limit = query.opts.result_limit;
+      if (limit > 0 && answer.cliques.size() > static_cast<std::size_t>(limit)) {
+        answer.cliques.resize(static_cast<std::size_t>(limit));
+        answer.truncated = true;
+      }
+      answer.count = static_cast<count_t>(answer.cliques.size());
+      answer.stats.cliques = answer.count;
+      break;
+    }
+    case QueryKind::HasClique:
+    case QueryKind::FindClique: {
+      for (std::size_t i = 0; i < count; ++i) {
+        if (!mains[i].found) continue;
+        answer.found = true;
+        if (query.kind == QueryKind::FindClique && !mains[i].witness.empty()) {
+          answer.witness = std::move(mains[i].witness);
+          for (node_t& v : answer.witness) v = shards_[i].global_of(v);
+        }
+        break;
+      }
+      if (!answer.found) {
+        for (const Answer& m : mains) answer.truncated |= m.truncated;
+      }
+      break;
+    }
+    case QueryKind::MaxClique: {
+      std::size_t best = count;  // first shard attaining the max omega
+      for (std::size_t i = 0; i < count; ++i) {
+        answer.truncated |= mains[i].truncated;
+        if (best == count || mains[i].omega > answer.omega) {
+          answer.omega = mains[i].omega;
+          best = i;
+        }
+      }
+      if (best < count && !mains[best].witness.empty()) {
+        answer.witness = std::move(mains[best].witness);
+        for (node_t& v : answer.witness) v = shards_[best].global_of(v);
+      }
+      answer.found =
+          query.opts.want_witness ? !answer.witness.empty() : answer.omega > 0;
+      break;
+    }
+  }
+  return answer;
+}
+
+std::uint64_t sharded_fingerprint(std::string_view graph_id, const ShardedEngine& engine) {
+  // FNV-1a, same fold as engine_fingerprint — plus the partition identity
+  // and a domain tag, so sharded/unsharded registrations never alias.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto fold = [&h](const void* data, std::size_t bytes) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      h ^= p[i];
+      h *= 0x100000001b3ull;
+    }
+  };
+  const auto fold_u64 = [&fold](std::uint64_t v) { fold(&v, sizeof v); };
+  fold("sharded", 7);
+  fold(graph_id.data(), graph_id.size());
+  const CliqueOptions& o = engine.options();
+  fold_u64(static_cast<std::uint32_t>(o.algorithm));
+  fold_u64(static_cast<std::uint32_t>(o.vertex_order));
+  fold_u64(static_cast<std::uint32_t>(o.edge_order));
+  std::uint64_t eps_bits = 0;
+  static_assert(sizeof eps_bits == sizeof o.eps);
+  std::memcpy(&eps_bits, &o.eps, sizeof eps_bits);
+  fold_u64(eps_bits);
+  fold_u64(o.order_seed);
+  fold_u64(o.distance_pruning ? 1 : 0);
+  fold_u64(o.triangle_growth ? 1 : 0);
+  fold_u64(engine.num_nodes());
+  fold_u64(engine.num_edges());
+  fold_u64(static_cast<std::uint32_t>(engine.policy()));
+  fold_u64(engine.num_shards());
+  for (std::size_t i = 0; i < engine.num_shards(); ++i) {
+    fold_u64(engine.first_owned(i));
+    fold_u64(engine.owned_count(i));
+  }
+  return h;
+}
+
+}  // namespace c3::shard

@@ -1,0 +1,138 @@
+// ShardedEngine — scatter-gather query execution over a vertex-ownership
+// partition (DESIGN.md Section 9).
+//
+// Each shard is an independent PreparedGraph over its subgraph (owned
+// vertices plus halo, see partition.hpp) — prepared, snapshotted, and
+// queried exactly like any unsharded engine. A query scatters one sub-query
+// per shard (the per-query worker cap split across shards, budget and
+// cancel token passed through), then gathers the sub-answers into one
+// Answer whose counting results are *bit-identical* to an unsharded engine
+// over the whole graph:
+//
+//   owned(s) = answer(G_s) - answer(G_s[halo])
+//
+// Cliques of G_s rooted in the halo are exactly the cliques of the induced
+// halo subgraph, so the difference of two black-box engine answers is the
+// count of cliques owned by s — and owned cliques partition the clique set,
+// so the per-shard differences sum to the global answer. This works per
+// total count, per vertex, per edge (through the shard's local->global edge
+// maps), and per spectrum entry, for any of the six algorithms, because
+// nothing about the engines' internals is assumed.
+//
+// The non-counting kinds compose without halo runs: HasClique ORs the
+// shards (a clique in any induced subgraph is a clique of G; the root shard
+// finds every clique of G), FindClique takes any shard's witness mapped to
+// global ids, MaxClique takes the max omega (same two-sided argument), and
+// List filters each shard's enumeration down to its owned cliques — the
+// result limit is applied at the merge, not per shard, so halo-rooted
+// duplicates can never crowd out owned cliques.
+//
+// Stats merge through accumulate_stats (common.hpp): counters and times
+// sum across sub-queries, quality figures take the max, and the merged
+// count overwrites stats.cliques. A sub-answer cut by budget/cancel marks
+// the merged answer truncated.
+//
+// Two construction modes: from a Graph (partition + build + own
+// everything), or from LoadedShard views handed out by an open sharded
+// manifest (snapshot/shard_manifest.hpp) — the engine then borrows
+// everything and owns nothing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "clique/engine.hpp"
+#include "clique/query.hpp"
+#include "shard/partition.hpp"
+
+namespace c3::shard {
+
+/// One shard's borrowed pieces, for constructing a ShardedEngine over
+/// memory owned elsewhere (a sharded snapshot's mapping). All spans and
+/// engines must outlive the ShardedEngine.
+struct LoadedShard {
+  const PreparedGraph* main = nullptr;  ///< engine over owned ++ halo
+  const PreparedGraph* halo = nullptr;  ///< engine over the halo; null when empty
+  node_t first_owned = 0;
+  node_t owned_count = 0;
+  std::span<const node_t> halo_ids;            ///< ascending global ids
+  std::span<const edge_t> edge_map;            ///< main local edge -> global edge
+  std::span<const edge_t> halo_edge_map;       ///< halo local edge -> global edge
+};
+
+class ShardedEngine {
+ public:
+  /// Partitions `g` under `sharding` and builds every shard in place: the
+  /// subgraphs, edge maps, and one PreparedGraph per shard (plus one per
+  /// non-empty halo), all owned by this engine. `g` itself is not retained.
+  ShardedEngine(const Graph& g, const ShardingOptions& sharding, const CliqueOptions& opts = {});
+
+  /// Wraps shards loaded from a sharded manifest. `shards` must be ordered
+  /// by first_owned and form a partition of [0, num_nodes).
+  ShardedEngine(std::vector<LoadedShard> shards, node_t num_nodes, edge_t num_edges,
+                const CliqueOptions& opts, PartitionPolicy policy);
+
+  ShardedEngine(ShardedEngine&&) noexcept;
+  ShardedEngine& operator=(ShardedEngine&&) noexcept;
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+  ~ShardedEngine();
+
+  /// Scatter-gather execution (see header comment). Thread-safe: the
+  /// per-shard engines are reentrant and the merge is per-call state.
+  [[nodiscard]] Answer run(const Query& query) const;
+
+  /// As run(), recording one Stage::ShardSearch span per shard sub-query
+  /// into `trace` (from the gathering thread — TraceContext is
+  /// single-threaded) and annotating shard count and policy. `trace` may be
+  /// nullptr.
+  [[nodiscard]] Answer run(const Query& query, obs::TraceContext* trace) const;
+
+  /// Forces every shard engine (main and halo) fully prepared, including
+  /// the clique-number upper bound — one shard at a time, each engine
+  /// parallelizing internally over the full worker pool.
+  void prepare() const;
+
+  [[nodiscard]] std::size_t num_shards() const noexcept;
+  [[nodiscard]] node_t num_nodes() const noexcept;
+  [[nodiscard]] edge_t num_edges() const noexcept;
+  [[nodiscard]] const CliqueOptions& options() const noexcept;
+  [[nodiscard]] PartitionPolicy policy() const noexcept;
+
+  /// Max over the shard engines' bounds — valid globally, since every
+  /// clique of G lives inside its root's shard subgraph.
+  [[nodiscard]] node_t clique_number_upper_bound() const;
+
+  // Per-shard access (the manifest writer and tests).
+  [[nodiscard]] const PreparedGraph& main_engine(std::size_t shard) const;
+  [[nodiscard]] const PreparedGraph* halo_engine(std::size_t shard) const;  ///< null: empty halo
+  [[nodiscard]] node_t first_owned(std::size_t shard) const;
+  [[nodiscard]] node_t owned_count(std::size_t shard) const;
+  [[nodiscard]] std::span<const node_t> halo_ids(std::size_t shard) const;
+  [[nodiscard]] std::span<const edge_t> edge_map(std::size_t shard) const;
+  [[nodiscard]] std::span<const edge_t> halo_edge_map(std::size_t shard) const;
+
+ private:
+  struct Shard;
+  [[nodiscard]] Answer gather(const Query& query, std::vector<Answer> mains,
+                              std::vector<Answer> halos) const;
+
+  std::vector<Shard> shards_;
+  node_t num_nodes_ = 0;
+  edge_t num_edges_ = 0;
+  CliqueOptions opts_;
+  PartitionPolicy policy_ = PartitionPolicy::EdgeBlock;
+};
+
+/// Identity of a sharded engine for answer-cache keying — the sharded
+/// analogue of engine_fingerprint. Folds the graph id, the
+/// artifact-determining options, the global shape, and the partition
+/// (policy, shard count, per-shard ranges), plus a domain tag so a sharded
+/// and unsharded registration of the same graph never alias.
+[[nodiscard]] std::uint64_t sharded_fingerprint(std::string_view graph_id,
+                                                const ShardedEngine& engine);
+
+}  // namespace c3::shard

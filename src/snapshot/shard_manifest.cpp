@@ -1,0 +1,437 @@
+#include "snapshot/shard_manifest.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "snapshot/mapped_file.hpp"
+
+namespace c3::snapshot {
+namespace {
+
+[[noreturn]] void fail(const std::filesystem::path& path, const std::string& what) {
+  throw std::runtime_error("c3::snapshot: " + what + ": " + path.string());
+}
+
+std::string u64s(std::uint64_t v) { return std::to_string(v); }
+
+std::filesystem::path shard_label(const std::filesystem::path& path, std::size_t i,
+                                  bool halo) {
+  return path.string() + "#shard" + std::to_string(i) + (halo ? ".halo" : "");
+}
+
+// ------------------------------------------------------------------ writing
+
+/// Section placement cursor: every section lands kSectionAlign-aligned.
+struct Cursor {
+  std::uint64_t offset;
+  std::uint64_t place(std::uint64_t bytes) {
+    offset = align_up(offset, kSectionAlign);
+    const std::uint64_t at = offset;
+    offset += bytes;
+    return at;
+  }
+};
+
+struct PendingShard {
+  ShardRecord rec;
+  std::string snap;       // serialized main image
+  std::string halo_snap;  // serialized halo image ("" when no halo)
+};
+
+// ------------------------------------------------------------------ reading
+
+struct ManifestLayout {
+  ShardManifestHeader header;
+  std::vector<ShardRecord> records;
+};
+
+/// Header + record table, validated and copied out of the mapping. Proves
+/// the shard ranges tile [0, num_nodes) — the partition property every
+/// merged answer rests on — and bounds-checks every section.
+ManifestLayout validate_manifest(const MappedFile& map, const std::filesystem::path& path) {
+  if (map.size() < sizeof(ShardManifestHeader)) {
+    fail(path, "truncated header: file holds " + u64s(map.size()) +
+                   " bytes, a shard manifest needs " + u64s(sizeof(ShardManifestHeader)));
+  }
+  ManifestLayout lay;
+  std::memcpy(&lay.header, map.data(), sizeof lay.header);
+  const ShardManifestHeader& h = lay.header;
+  if (std::memcmp(h.magic, kShardMagic, sizeof kShardMagic) != 0) {
+    fail(path, "bad magic at offset 0 (not a c3 shard manifest)");
+  }
+  if (h.format_version != kShardFormatVersion) {
+    fail(path, "manifest format version mismatch: file has v" + u64s(h.format_version) +
+                   ", this build reads v" + u64s(kShardFormatVersion));
+  }
+  if (h.header_bytes != sizeof(ShardManifestHeader)) {
+    fail(path, "header size mismatch: file says " + u64s(h.header_bytes) + ", expected " +
+                   u64s(sizeof(ShardManifestHeader)));
+  }
+  if (h.node_bytes != sizeof(node_t) || h.edge_bytes != sizeof(edge_t)) {
+    fail(path, "id-width mismatch: manifest written with " + u64s(h.node_bytes) +
+                   "-byte node / " + u64s(h.edge_bytes) + "-byte edge ids, this build uses " +
+                   u64s(sizeof(node_t)) + "/" + u64s(sizeof(edge_t)));
+  }
+  if (h.file_bytes != map.size()) {
+    fail(path, "truncated or padded file: header records " + u64s(h.file_bytes) +
+                   " bytes, file holds " + u64s(map.size()));
+  }
+  if (h.shard_count == 0) fail(path, "manifest declares zero shards");
+  if (h.partition_policy > static_cast<std::uint32_t>(shard::PartitionPolicy::EdgeBlock)) {
+    fail(path, "unknown partition policy " + u64s(h.partition_policy));
+  }
+  const std::uint64_t table_offset = sizeof(ShardManifestHeader);
+  const std::uint64_t table_bytes =
+      static_cast<std::uint64_t>(h.shard_count) * sizeof(ShardRecord);
+  if (table_bytes > map.size() - table_offset) {
+    fail(path, "shard table out of bounds: " + u64s(h.shard_count) + " records at offset " +
+                   u64s(table_offset) + " exceed the " + u64s(map.size()) + "-byte file");
+  }
+  lay.records.resize(h.shard_count);
+  std::memcpy(lay.records.data(), map.data() + table_offset, table_bytes);
+
+  ShardManifestHeader unsummed = h;
+  unsummed.header_checksum = 0;
+  std::uint64_t hc = checksum64(&unsummed, sizeof unsummed);
+  hc = checksum64(lay.records.data(), table_bytes, hc);
+  if (hc != h.header_checksum) fail(path, "header checksum mismatch");
+
+  std::uint64_t expect = 0;
+  const auto check_section = [&](const char* name, std::size_t i, std::uint64_t offset,
+                                 std::uint64_t bytes) {
+    if (bytes == 0) return;
+    if (offset == 0 || offset % kSectionAlign != 0) {
+      fail(path, "shard " + u64s(i) + " " + name + ": offset " + u64s(offset) + " is not " +
+                     u64s(kSectionAlign) + "-byte aligned");
+    }
+    if (offset > map.size() || bytes > map.size() - offset) {
+      fail(path, "shard " + u64s(i) + " " + name + " out of bounds: offset " + u64s(offset) +
+                     " + " + u64s(bytes) + " bytes exceed the " + u64s(map.size()) +
+                     "-byte file");
+    }
+  };
+  for (std::size_t i = 0; i < lay.records.size(); ++i) {
+    const ShardRecord& r = lay.records[i];
+    if (r.first_owned != expect) {
+      fail(path, "shard ranges do not tile [0, n): shard " + u64s(i) + " starts at " +
+                     u64s(r.first_owned) + ", expected " + u64s(expect));
+    }
+    expect = r.first_owned + r.owned_count;
+    if (r.snap_offset == 0 || r.snap_bytes < sizeof(SnapshotHeader)) {
+      fail(path, "shard " + u64s(i) + " has no usable snapshot image");
+    }
+    check_section("snapshot image", i, r.snap_offset, r.snap_bytes);
+    if ((r.halo_snap_offset == 0) != (r.halo_count == 0)) {
+      fail(path, "shard " + u64s(i) + ": halo image and halo id count disagree");
+    }
+    check_section("halo image", i, r.halo_snap_offset, r.halo_snap_bytes);
+    check_section("halo ids", i, r.halo_ids_offset, r.halo_count * sizeof(node_t));
+    check_section("edge map", i, r.edge_map_offset, r.edge_map_count * sizeof(edge_t));
+    check_section("halo edge map", i, r.halo_edge_map_offset,
+                  r.halo_edge_map_count * sizeof(edge_t));
+  }
+  if (expect != h.num_nodes) {
+    fail(path, "shard ranges do not cover [0, n): last shard ends at " + u64s(expect) +
+                   ", the graph has " + u64s(h.num_nodes) + " vertices");
+  }
+  return lay;
+}
+
+void verify_fingerprints(const MappedFile& map, const std::filesystem::path& path,
+                         const ManifestLayout& lay) {
+  const auto check = [&](const char* name, std::size_t i, std::uint64_t offset,
+                         std::uint64_t bytes, std::uint64_t expected) {
+    if (bytes == 0) return;
+    if (checksum64(map.data() + offset, bytes) != expected) {
+      fail(path, "shard " + u64s(i) + " " + name + " checksum mismatch");
+    }
+  };
+  for (std::size_t i = 0; i < lay.records.size(); ++i) {
+    const ShardRecord& r = lay.records[i];
+    check("snapshot image", i, r.snap_offset, r.snap_bytes, r.snap_fingerprint);
+    check("halo image", i, r.halo_snap_offset, r.halo_snap_bytes, r.halo_snap_fingerprint);
+    check("halo ids", i, r.halo_ids_offset, r.halo_count * sizeof(node_t),
+          r.halo_ids_checksum);
+    check("edge map", i, r.edge_map_offset, r.edge_map_count * sizeof(edge_t),
+          r.edge_map_checksum);
+    check("halo edge map", i, r.halo_edge_map_offset, r.halo_edge_map_count * sizeof(edge_t),
+          r.halo_edge_map_checksum);
+  }
+}
+
+template <typename T>
+std::span<const T> array_span(const MappedFile& map, std::uint64_t offset,
+                              std::uint64_t count) {
+  if (count == 0) return {};
+  return {reinterpret_cast<const T*>(map.data() + offset), static_cast<std::size_t>(count)};
+}
+
+/// The embedded image's validated-enough header: magic and size are checked
+/// here, everything else by Snapshot::open_buffer when the image is opened.
+SnapshotHeader image_header(const MappedFile& map, const std::filesystem::path& path,
+                            std::size_t i, const ShardRecord& r) {
+  SnapshotHeader h;
+  std::memcpy(&h, map.data() + r.snap_offset, sizeof h);
+  if (std::memcmp(h.magic, kMagic, sizeof kMagic) != 0) {
+    fail(path, "shard " + u64s(i) + " image is not a c3 snapshot");
+  }
+  return h;
+}
+
+}  // namespace
+
+bool is_shard_manifest(const std::filesystem::path& path) noexcept {
+  std::ifstream in(path, std::ios::binary);
+  char magic[sizeof kShardMagic];
+  if (!in.read(magic, sizeof magic)) return false;
+  return std::memcmp(magic, kShardMagic, sizeof magic) == 0;
+}
+
+void write_sharded(const std::filesystem::path& path, const shard::ShardedEngine& engine) {
+  engine.prepare();
+
+  std::vector<PendingShard> pending(engine.num_shards());
+  for (std::size_t i = 0; i < engine.num_shards(); ++i) {
+    PendingShard& p = pending[i];
+    p.rec.first_owned = engine.first_owned(i);
+    p.rec.owned_count = engine.owned_count(i);
+    std::ostringstream main_out(std::ios::binary);
+    write_stream(main_out, engine.main_engine(i), shard_label(path, i, false));
+    p.snap = std::move(main_out).str();
+    if (const PreparedGraph* halo = engine.halo_engine(i); halo != nullptr) {
+      std::ostringstream halo_out(std::ios::binary);
+      write_stream(halo_out, *halo, shard_label(path, i, true));
+      p.halo_snap = std::move(halo_out).str();
+    }
+  }
+
+  Cursor cursor{sizeof(ShardManifestHeader) +
+                static_cast<std::uint64_t>(pending.size()) * sizeof(ShardRecord)};
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    PendingShard& p = pending[i];
+    const std::span<const node_t> halo_ids = engine.halo_ids(i);
+    const std::span<const edge_t> edge_map = engine.edge_map(i);
+    const std::span<const edge_t> halo_edge_map = engine.halo_edge_map(i);
+
+    p.rec.snap_offset = cursor.place(p.snap.size());
+    p.rec.snap_bytes = p.snap.size();
+    p.rec.snap_fingerprint = checksum64(p.snap.data(), p.snap.size());
+    if (!p.halo_snap.empty()) {
+      p.rec.halo_snap_offset = cursor.place(p.halo_snap.size());
+      p.rec.halo_snap_bytes = p.halo_snap.size();
+      p.rec.halo_snap_fingerprint = checksum64(p.halo_snap.data(), p.halo_snap.size());
+    }
+    p.rec.halo_ids_offset = halo_ids.empty() ? 0 : cursor.place(halo_ids.size_bytes());
+    p.rec.halo_count = halo_ids.size();
+    p.rec.halo_ids_checksum = checksum64(halo_ids.data(), halo_ids.size_bytes());
+    p.rec.edge_map_offset = edge_map.empty() ? 0 : cursor.place(edge_map.size_bytes());
+    p.rec.edge_map_count = edge_map.size();
+    p.rec.edge_map_checksum = checksum64(edge_map.data(), edge_map.size_bytes());
+    p.rec.halo_edge_map_offset =
+        halo_edge_map.empty() ? 0 : cursor.place(halo_edge_map.size_bytes());
+    p.rec.halo_edge_map_count = halo_edge_map.size();
+    p.rec.halo_edge_map_checksum = checksum64(halo_edge_map.data(), halo_edge_map.size_bytes());
+  }
+
+  ShardManifestHeader h;
+  std::memcpy(h.magic, kShardMagic, sizeof kShardMagic);
+  h.format_version = kShardFormatVersion;
+  h.header_bytes = sizeof(ShardManifestHeader);
+  h.shard_count = static_cast<std::uint32_t>(pending.size());
+  h.partition_policy = static_cast<std::uint32_t>(engine.policy());
+  h.node_bytes = sizeof(node_t);
+  h.edge_bytes = sizeof(edge_t);
+  h.num_nodes = engine.num_nodes();
+  h.num_edges = engine.num_edges();
+  h.file_bytes = cursor.offset;
+
+  std::vector<ShardRecord> records;
+  records.reserve(pending.size());
+  for (const PendingShard& p : pending) records.push_back(p.rec);
+  h.header_checksum = 0;
+  std::uint64_t hc = checksum64(&h, sizeof h);
+  hc = checksum64(records.data(), records.size() * sizeof(ShardRecord), hc);
+  h.header_checksum = hc;
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) fail(path, "cannot open for writing");
+  std::uint64_t written = 0;
+  const auto put = [&](const void* data, std::uint64_t bytes) {
+    out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+    written += bytes;
+  };
+  const auto pad_to = [&](std::uint64_t offset) {
+    static constexpr char zeros[kSectionAlign] = {};
+    while (written < offset) {
+      const std::uint64_t chunk = std::min<std::uint64_t>(offset - written, kSectionAlign);
+      out.write(zeros, static_cast<std::streamsize>(chunk));
+      written += chunk;
+    }
+  };
+  put(&h, sizeof h);
+  put(records.data(), records.size() * sizeof(ShardRecord));
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const PendingShard& p = pending[i];
+    const ShardRecord& r = p.rec;
+    pad_to(r.snap_offset);
+    put(p.snap.data(), p.snap.size());
+    if (r.halo_snap_offset != 0) {
+      pad_to(r.halo_snap_offset);
+      put(p.halo_snap.data(), p.halo_snap.size());
+    }
+    if (r.halo_ids_offset != 0) {
+      pad_to(r.halo_ids_offset);
+      put(engine.halo_ids(i).data(), engine.halo_ids(i).size_bytes());
+    }
+    if (r.edge_map_offset != 0) {
+      pad_to(r.edge_map_offset);
+      put(engine.edge_map(i).data(), engine.edge_map(i).size_bytes());
+    }
+    if (r.halo_edge_map_offset != 0) {
+      pad_to(r.halo_edge_map_offset);
+      put(engine.halo_edge_map(i).data(), engine.halo_edge_map(i).size_bytes());
+    }
+  }
+  pad_to(h.file_bytes);
+  if (!out) fail(path, "write error");
+}
+
+ShardManifestInfo inspect_sharded(const std::filesystem::path& path) {
+  const MappedFile map = MappedFile::map_readonly(path);
+  const ManifestLayout lay = validate_manifest(map, path);
+
+  ShardManifestInfo info;
+  info.format_version = lay.header.format_version;
+  info.policy = static_cast<shard::PartitionPolicy>(lay.header.partition_policy);
+  info.num_nodes = lay.header.num_nodes;
+  info.num_edges = lay.header.num_edges;
+  info.file_bytes = lay.header.file_bytes;
+  info.shards.reserve(lay.records.size());
+  for (std::size_t i = 0; i < lay.records.size(); ++i) {
+    const ShardRecord& r = lay.records[i];
+    const SnapshotHeader ih = image_header(map, path, i, r);
+    if (i == 0) info.options = header_options(ih, shard_label(path, i, false));
+    ShardSectionInfo s;
+    s.first_owned = r.first_owned;
+    s.owned_count = r.owned_count;
+    s.halo_count = r.halo_count;
+    s.snap_offset = r.snap_offset;
+    s.snap_bytes = r.snap_bytes;
+    s.halo_snap_offset = r.halo_snap_offset;
+    s.halo_snap_bytes = r.halo_snap_bytes;
+    s.snap_fingerprint = r.snap_fingerprint;
+    s.num_nodes = ih.num_nodes;
+    s.num_edges = ih.num_edges;
+    info.shards.push_back(s);
+  }
+  return info;
+}
+
+struct ShardedSnapshot::Impl {
+  MappedFile map;
+  ShardManifestInfo info;
+  // The Snapshots (and the spans below, which point into `map`) must stay
+  // address-stable: the ShardedEngine borrows them. Impl lives behind a
+  // unique_ptr and the vectors are sized once, so moves never relocate them.
+  std::vector<Snapshot> mains;
+  std::vector<std::optional<Snapshot>> halos;
+  std::optional<shard::ShardedEngine> engine;
+};
+
+ShardedSnapshot::ShardedSnapshot() : impl_(std::make_unique<Impl>()) {}
+ShardedSnapshot::ShardedSnapshot(ShardedSnapshot&&) noexcept = default;
+ShardedSnapshot& ShardedSnapshot::operator=(ShardedSnapshot&&) noexcept = default;
+ShardedSnapshot::~ShardedSnapshot() = default;
+
+const shard::ShardedEngine& ShardedSnapshot::engine() const noexcept {
+  return *impl_->engine;
+}
+const ShardManifestInfo& ShardedSnapshot::info() const noexcept { return impl_->info; }
+
+ShardedSnapshot ShardedSnapshot::open(const std::filesystem::path& path,
+                                      const SnapshotOpenOptions& opts) {
+  return open_with(path, nullptr, opts);
+}
+
+ShardedSnapshot ShardedSnapshot::open(const std::filesystem::path& path,
+                                      const CliqueOptions& expected,
+                                      const SnapshotOpenOptions& opts) {
+  return open_with(path, &expected, opts);
+}
+
+ShardedSnapshot ShardedSnapshot::open_with(const std::filesystem::path& path,
+                                           const CliqueOptions* expected,
+                                           const SnapshotOpenOptions& opts) {
+  ShardedSnapshot snap;
+  Impl& impl = *snap.impl_;
+  impl.map = opts.force_heap_fallback ? MappedFile::read_heap(path)
+                                      : MappedFile::map_readonly(path);
+  const ManifestLayout lay = validate_manifest(impl.map, path);
+  if (opts.verify_checksums) verify_fingerprints(impl.map, path, lay);
+  if (opts.prefault) impl.map.prefault();
+  if (opts.lock_memory) (void)impl.map.lock_memory();
+
+  const std::size_t count = lay.records.size();
+  impl.mains.reserve(count);
+  impl.halos.reserve(count);
+  std::vector<shard::LoadedShard> loaded(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const ShardRecord& r = lay.records[i];
+    impl.mains.push_back(Snapshot::open_buffer(
+        {impl.map.data() + r.snap_offset, static_cast<std::size_t>(r.snap_bytes)},
+        shard_label(path, i, false), opts, expected));
+    if (r.halo_snap_offset != 0) {
+      impl.halos.emplace_back(Snapshot::open_buffer(
+          {impl.map.data() + r.halo_snap_offset, static_cast<std::size_t>(r.halo_snap_bytes)},
+          shard_label(path, i, true), opts, expected));
+    } else {
+      impl.halos.emplace_back(std::nullopt);
+    }
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const ShardRecord& r = lay.records[i];
+    shard::LoadedShard& s = loaded[i];
+    s.main = &impl.mains[i].engine();
+    s.halo = impl.halos[i].has_value() ? &impl.halos[i]->engine() : nullptr;
+    s.first_owned = static_cast<node_t>(r.first_owned);
+    s.owned_count = static_cast<node_t>(r.owned_count);
+    s.halo_ids = array_span<node_t>(impl.map, r.halo_ids_offset, r.halo_count);
+    s.edge_map = array_span<edge_t>(impl.map, r.edge_map_offset, r.edge_map_count);
+    s.halo_edge_map =
+        array_span<edge_t>(impl.map, r.halo_edge_map_offset, r.halo_edge_map_count);
+  }
+  impl.engine.emplace(std::move(loaded), static_cast<node_t>(lay.header.num_nodes),
+                      static_cast<edge_t>(lay.header.num_edges),
+                      impl.mains[0].info().options,
+                      static_cast<shard::PartitionPolicy>(lay.header.partition_policy));
+
+  impl.info.format_version = lay.header.format_version;
+  impl.info.policy = static_cast<shard::PartitionPolicy>(lay.header.partition_policy);
+  impl.info.num_nodes = lay.header.num_nodes;
+  impl.info.num_edges = lay.header.num_edges;
+  impl.info.file_bytes = lay.header.file_bytes;
+  impl.info.options = impl.mains[0].info().options;
+  impl.info.shards.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const ShardRecord& r = lay.records[i];
+    ShardSectionInfo s;
+    s.first_owned = r.first_owned;
+    s.owned_count = r.owned_count;
+    s.halo_count = r.halo_count;
+    s.snap_offset = r.snap_offset;
+    s.snap_bytes = r.snap_bytes;
+    s.halo_snap_offset = r.halo_snap_offset;
+    s.halo_snap_bytes = r.halo_snap_bytes;
+    s.snap_fingerprint = r.snap_fingerprint;
+    s.num_nodes = impl.mains[i].info().num_nodes;
+    s.num_edges = impl.mains[i].info().num_edges;
+    impl.info.shards.push_back(s);
+  }
+  return snap;
+}
+
+}  // namespace c3::snapshot

@@ -1,0 +1,174 @@
+// Sharded snapshot manifest: one file bundling a whole partitioned graph
+// (DESIGN.md Section 9).
+//
+// A sharded graph is served by one ShardedEngine over N per-shard
+// PreparedGraphs — but it should remain *one* artifact in a catalog: one
+// path, one integrity check, one open call. The manifest format does that:
+//
+//   [ ShardManifestHeader | ShardRecord x shard_count | aligned sections ]
+//
+// Each ShardRecord points at up to five sections, every one
+// kSectionAlign-aligned:
+//   * the shard's main snapshot image — a complete, self-contained .c3snap
+//     byte-for-byte identical to what snapshot::write would produce for the
+//     shard's subgraph (opened in place via Snapshot::open_buffer; internal
+//     offsets are image-relative, so images relocate freely);
+//   * the halo snapshot image (absent when the halo is empty);
+//   * the halo's global vertex ids (node_t, ascending);
+//   * the main and halo local->global edge maps (edge_t) the per-edge
+//     merge needs.
+// Images carry a whole-image fingerprint in the record; the id/map arrays
+// carry their own checksums. The header is checksummed together with the
+// record table, mirrors the .c3snap ABI guards (node/edge width, total file
+// size), and records the partition policy and global graph shape.
+//
+// Integrity mirrors snapshot::open: std::runtime_error naming the offending
+// field/offset on bad magic, a foreign format version (the message names
+// both versions), ABI mismatch, truncation, out-of-bounds or misaligned
+// sections, checksum mismatches, or shard ranges that fail to tile [0, n) —
+// ownership being a true partition is what makes every merged answer exact,
+// so the reader proves it before serving.
+//
+// Lifetime: ShardedSnapshot owns the one mapping; the per-shard Snapshots,
+// their engines, and the ShardedEngine handed out by engine() all borrow it.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "clique/common.hpp"
+#include "shard/partition.hpp"
+#include "shard/sharded_engine.hpp"
+#include "snapshot/format.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace c3::snapshot {
+
+inline constexpr char kShardMagic[12] = {'c', '3', 's', 'h', 'a', 'r', 'd', '0', '1',
+                                         '\0', '\0', '\0'};
+inline constexpr std::uint32_t kShardFormatVersion = 1;
+
+/// Fixed-size manifest header, written verbatim. `header_checksum` is
+/// checksum64 over the header (this field zeroed) followed by the record
+/// table.
+struct ShardManifestHeader {
+  char magic[12] = {};
+  std::uint32_t format_version = 0;
+  std::uint32_t header_bytes = 0;       // sizeof(ShardManifestHeader)
+  std::uint32_t shard_count = 0;
+  std::uint32_t partition_policy = 0;   // shard::PartitionPolicy
+  std::uint32_t node_bytes = 0;         // sizeof(node_t) of the writing build
+  std::uint32_t edge_bytes = 0;         // sizeof(edge_t) of the writing build
+  std::uint32_t reserved = 0;
+  std::uint64_t num_nodes = 0;          // the whole graph, not any shard
+  std::uint64_t num_edges = 0;
+  std::uint64_t file_bytes = 0;
+  std::uint64_t header_checksum = 0;
+};
+static_assert(sizeof(ShardManifestHeader) == 72);
+
+/// One shard's directory entry. Offsets are from the start of the file and
+/// kSectionAlign-aligned; an offset of 0 means the section is absent (only
+/// ever the halo image, and only when halo_count == 0).
+struct ShardRecord {
+  std::uint64_t first_owned = 0;
+  std::uint64_t owned_count = 0;
+  std::uint64_t snap_offset = 0;
+  std::uint64_t snap_bytes = 0;
+  std::uint64_t snap_fingerprint = 0;       // checksum64 over the image bytes
+  std::uint64_t halo_snap_offset = 0;
+  std::uint64_t halo_snap_bytes = 0;
+  std::uint64_t halo_snap_fingerprint = 0;
+  std::uint64_t halo_ids_offset = 0;
+  std::uint64_t halo_count = 0;             // elements, not bytes
+  std::uint64_t halo_ids_checksum = 0;
+  std::uint64_t edge_map_offset = 0;
+  std::uint64_t edge_map_count = 0;
+  std::uint64_t edge_map_checksum = 0;
+  std::uint64_t halo_edge_map_offset = 0;
+  std::uint64_t halo_edge_map_count = 0;
+  std::uint64_t halo_edge_map_checksum = 0;
+};
+static_assert(sizeof(ShardRecord) == 136);
+
+/// True when `path` starts with the shard-manifest magic. Never throws:
+/// unreadable or short files are simply "not a manifest", so callers can
+/// sniff and fall back to Snapshot::open (whose errors name the real
+/// problem).
+[[nodiscard]] bool is_shard_manifest(const std::filesystem::path& path) noexcept;
+
+/// Serializes `engine` (forcing full preparation of every shard first) into
+/// one manifest at `path`. Throws std::runtime_error on I/O failure.
+void write_sharded(const std::filesystem::path& path, const shard::ShardedEngine& engine);
+
+/// One shard as summarized by inspect_sharded — directory fields plus the
+/// embedded image's own validated header summary.
+struct ShardSectionInfo {
+  std::uint64_t first_owned = 0;
+  std::uint64_t owned_count = 0;
+  std::uint64_t halo_count = 0;
+  std::uint64_t snap_offset = 0;
+  std::uint64_t snap_bytes = 0;
+  std::uint64_t halo_snap_offset = 0;   // 0: no halo image
+  std::uint64_t halo_snap_bytes = 0;
+  std::uint64_t snap_fingerprint = 0;
+  std::uint64_t num_nodes = 0;          // of the shard subgraph (owned + halo)
+  std::uint64_t num_edges = 0;
+};
+
+/// Parsed manifest summary (header + record table + each embedded image's
+/// header; no artifact payload is touched).
+struct ShardManifestInfo {
+  std::uint32_t format_version = 0;
+  shard::PartitionPolicy policy = shard::PartitionPolicy::VertexRange;
+  std::uint64_t num_nodes = 0;
+  std::uint64_t num_edges = 0;
+  std::uint64_t file_bytes = 0;
+  CliqueOptions options;                // recorded by the embedded images
+  std::vector<ShardSectionInfo> shards;
+};
+
+/// Header + record-table summary, validating everything but section
+/// payloads (their checksums are open()'s job).
+[[nodiscard]] ShardManifestInfo inspect_sharded(const std::filesystem::path& path);
+
+/// An open sharded manifest: the one mapping, the per-shard Snapshots over
+/// it, and the ShardedEngine composed from them. Move-only; destroying it
+/// unmaps the file and invalidates the engine.
+class ShardedSnapshot {
+ public:
+  /// Maps `path`, validates (see header comment), opens every embedded
+  /// image in place, and builds the engine. `opts` as Snapshot::open —
+  /// verify_checksums also covers the manifest's own fingerprints;
+  /// prefault/lock_memory apply to the whole mapping.
+  [[nodiscard]] static ShardedSnapshot open(const std::filesystem::path& path,
+                                            const SnapshotOpenOptions& opts = {});
+
+  /// As above, refusing (via the embedded images' fingerprint checks) when
+  /// the recorded artifact options differ from `expected`.
+  [[nodiscard]] static ShardedSnapshot open(const std::filesystem::path& path,
+                                            const CliqueOptions& expected,
+                                            const SnapshotOpenOptions& opts = {});
+
+  ShardedSnapshot(ShardedSnapshot&&) noexcept;
+  ShardedSnapshot& operator=(ShardedSnapshot&&) noexcept;
+  ~ShardedSnapshot();
+
+  /// The composed engine (valid while this object lives). Every artifact of
+  /// every shard is mapped, nothing is ever rebuilt.
+  [[nodiscard]] const shard::ShardedEngine& engine() const noexcept;
+
+  [[nodiscard]] const ShardManifestInfo& info() const noexcept;
+
+ private:
+  ShardedSnapshot();
+  [[nodiscard]] static ShardedSnapshot open_with(const std::filesystem::path& path,
+                                                 const CliqueOptions* expected,
+                                                 const SnapshotOpenOptions& opts);
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace c3::snapshot

@@ -158,6 +158,134 @@ TEST(AnswerCache, EvictsLeastRecentlyUsedWithinAShard) {
   EXPECT_TRUE(cache.lookup(k6).has_value());
 }
 
+Query spectrum_query(int kmax = 0) {
+  Query q;
+  q.kind = QueryKind::Spectrum;
+  q.kmax = kmax;
+  return q;
+}
+
+/// A spectrum answer with counts[k] = per-k count (counts[0] = 0), as the
+/// engine produces: omega = the largest k with a nonzero count.
+Answer spectrum_answer(std::vector<count_t> counts) {
+  Answer a;
+  a.kind = QueryKind::Spectrum;
+  a.spectrum.counts = std::move(counts);
+  a.spectrum.omega = static_cast<node_t>(a.spectrum.counts.size() - 1);
+  a.omega = a.spectrum.omega;
+  a.count = a.spectrum.counts.back();
+  return a;
+}
+
+TEST(AnswerCacheCrossK, CountServedFromCachedSpectrum) {
+  AnswerCache cache(16);
+  const std::uint64_t fp = 5;
+  // An unclamped spectrum (kmax=0) proves every k it does not list is zero.
+  ASSERT_TRUE(cache.insert(AnswerCache::make_key(fp, spectrum_query()),
+                           spectrum_answer({0, 10, 25, 7})));  // omega = 3
+
+  // In-range k: served straight from the spectrum row, counted as a hit AND
+  // a cross-k hit, never as a miss.
+  const Query q2 = count_query(2);
+  const auto hit = cache.lookup(AnswerCache::make_key(fp, q2), q2);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->kind, QueryKind::Count);
+  EXPECT_EQ(hit->k, 2);
+  EXPECT_EQ(hit->count, 25u);
+  EXPECT_EQ(hit->stats.cliques, 25u);
+  EXPECT_FALSE(hit->truncated);
+
+  // Beyond omega: the complete spectrum proves the count is zero.
+  const Query q7 = count_query(7);
+  const auto zero = cache.lookup(AnswerCache::make_key(fp, q7), q7);
+  ASSERT_TRUE(zero.has_value());
+  EXPECT_EQ(zero->count, 0u);
+
+  const AnswerCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.cross_k_hits, 2u);
+  EXPECT_EQ(s.misses, 0u);
+
+  // A foreign fingerprint must not borrow the spectrum.
+  EXPECT_FALSE(cache.lookup(AnswerCache::make_key(fp + 1, q2), q2).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(AnswerCacheCrossK, ExactEntryWinsOverSpectrum) {
+  AnswerCache cache(16);
+  const std::uint64_t fp = 9;
+  ASSERT_TRUE(cache.insert(AnswerCache::make_key(fp, spectrum_query()),
+                           spectrum_answer({0, 4, 6})));
+  const Query q = count_query(2);
+  ASSERT_TRUE(cache.insert(AnswerCache::make_key(fp, q), count_answer(2, 6)));
+
+  const auto hit = cache.lookup(AnswerCache::make_key(fp, q), q);
+  ASSERT_TRUE(hit.has_value());
+  const AnswerCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.cross_k_hits, 0u) << "exact hit must not count as cross-k";
+}
+
+TEST(AnswerCacheCrossK, ClampedSpectrumNeverExtrapolates) {
+  AnswerCache cache(16);
+  const std::uint64_t fp = 13;
+  // kmax == omega: the spectrum hit its clamp, so k > kmax was never probed
+  // — serving 0 for it would be a wrong answer, not a cache win.
+  ASSERT_TRUE(cache.insert(AnswerCache::make_key(fp, spectrum_query(3)),
+                           spectrum_answer({0, 8, 12, 5})));  // omega = 3 = kmax
+
+  const Query in_range = count_query(2);
+  const auto hit = cache.lookup(AnswerCache::make_key(fp, in_range), in_range);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->count, 12u);
+
+  const Query beyond = count_query(5);
+  EXPECT_FALSE(cache.lookup(AnswerCache::make_key(fp, beyond), beyond).has_value());
+
+  const AnswerCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.cross_k_hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+
+  // A clamped spectrum that stopped *short* of its clamp is complete: omega
+  // < kmax proves there is nothing above omega.
+  ASSERT_TRUE(cache.insert(AnswerCache::make_key(fp, spectrum_query(9)),
+                           spectrum_answer({0, 8, 12, 5})));  // omega 3 < kmax 9
+  const auto zero = cache.lookup(AnswerCache::make_key(fp, beyond), beyond);
+  ASSERT_TRUE(zero.has_value());
+  EXPECT_EQ(zero->count, 0u);
+}
+
+TEST(AnswerCacheCrossK, EvictedSpectrumDegradesToAMiss) {
+  AnswerCache cache(1, /*shards=*/1);  // one slot: the next insert evicts
+  const std::uint64_t fp = 21;
+  ASSERT_TRUE(cache.insert(AnswerCache::make_key(fp, spectrum_query()),
+                           spectrum_answer({0, 3, 5})));
+  ASSERT_TRUE(cache.insert(AnswerCache::make_key(fp, count_query(9)), count_answer(9, 0)));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  // The note outlived its spectrum entry; the lookup must miss (not serve
+  // stale data) and the orphaned note is dropped for the next caller.
+  const Query q = count_query(2);
+  EXPECT_FALSE(cache.lookup(AnswerCache::make_key(fp, q), q).has_value());
+  EXPECT_FALSE(cache.lookup(AnswerCache::make_key(fp, q), q).has_value());
+  const AnswerCacheStats s = cache.stats();
+  EXPECT_EQ(s.cross_k_hits, 0u);
+  EXPECT_EQ(s.misses, 2u);
+}
+
+TEST(AnswerCacheCrossK, OnlyCountQueriesBorrowSpectra) {
+  AnswerCache cache(16);
+  const std::uint64_t fp = 31;
+  ASSERT_TRUE(cache.insert(AnswerCache::make_key(fp, spectrum_query()),
+                           spectrum_answer({0, 3, 5})));
+  Query list;
+  list.kind = QueryKind::List;
+  list.k = 2;
+  EXPECT_FALSE(cache.lookup(AnswerCache::make_key(fp, list), list).has_value());
+  EXPECT_EQ(cache.stats().cross_k_hits, 0u);
+}
+
 TEST(AnswerCache, ConcurrentLookupsAndInsertsStayConsistent) {
   // Many threads mixing hits, misses, inserts, and evictions on one cache;
   // every lookup that returns must return the value stored for that key.

@@ -141,6 +141,34 @@ TEST(FrontEnd, TruncatedAnswersAreNeverServedFromCache) {
   EXPECT_EQ(fe.stats().cache_hits, 1u);
 }
 
+TEST(FrontEnd, CountServedCrossKFromCachedSpectrum) {
+  CliqueService service;
+  add_two_graphs(service);
+  AnswerCache cache(64);
+  LineFrontEnd fe(service, &cache);
+
+  // One spectrum run memoizes every per-k count; the follow-up counts are
+  // answered from the cache without touching the engine, and show up in the
+  // dedicated cross-k counter (a subset of cache_hits).
+  const std::string spectrum = fe.process("social spectrum").line;
+  ASSERT_EQ(spectrum.rfind("spectrum:", 0), 0u) << spectrum;
+
+  const Answer direct = service.run("social", parse_query("count 3"));
+  EXPECT_EQ(fe.process("social count 3").line, format_answer(direct));
+  // Far past omega: the complete spectrum proves zero.
+  const std::string none = fe.process("social count 99").line;
+  EXPECT_NE(none.find("0 cliques"), std::string::npos) << none;
+
+  const FrontEndStats s = fe.stats();
+  EXPECT_EQ(s.cache_hits, 2u);
+  EXPECT_EQ(s.cache.cross_k_hits, 2u);
+  EXPECT_EQ(s.cache.misses, 1u);  // only the spectrum itself missed
+  EXPECT_EQ(s.answered, 3u);
+
+  // The stats admin line exposes the counter for operators.
+  EXPECT_NE(fe.process("stats").line.find("cache_cross_k_hits=2"), std::string::npos);
+}
+
 TEST(FrontEnd, AdmissionCapsConcurrentExecutionsPerGraph) {
   CliqueService service;
   service.add_graph("g", social_like(300, 2600, 0.5, 11));

@@ -1,0 +1,298 @@
+// Sharded manifest tests: write/open round trips serve answers bit-identical
+// to the in-memory sharded engine AND the flat engine for every algorithm;
+// inspect_sharded reports the directory faithfully; corrupt, truncated, and
+// foreign-version files are refused with errors naming the problem (the
+// version message names both versions); and CliqueService serves a manifest
+// as one catalog entry — run() routes, engine() refuses, catalog() reports
+// the shard count.
+#include "snapshot/shard_manifest.hpp"
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "clique/api.hpp"
+#include "clique/engine.hpp"
+#include "clique/query.hpp"
+#include "clique/service.hpp"
+#include "graph/gen/generators.hpp"
+#include "shard/sharded_engine.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace c3 {
+namespace {
+
+using shard::ShardedEngine;
+using shard::ShardingOptions;
+
+const Algorithm kAllAlgorithms[] = {Algorithm::C3List,   Algorithm::C3ListCD,
+                                    Algorithm::Hybrid,   Algorithm::KCList,
+                                    Algorithm::ArbCount, Algorithm::BruteForce};
+
+Query make_query(QueryKind kind, int k = 0, int kmax = 0) {
+  Query q;
+  q.kind = kind;
+  q.k = k;
+  q.kmax = kmax;
+  return q;
+}
+
+class ShardManifestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("c3list_shard_manifest_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void corrupt_byte(const std::filesystem::path& path, std::uint64_t offset) {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(static_cast<std::streamoff>(offset));
+    char b = 0;
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x5a);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&b, 1);
+  }
+
+  std::string open_error(const std::filesystem::path& path) {
+    try {
+      (void)snapshot::ShardedSnapshot::open(path);
+    } catch (const std::runtime_error& e) {
+      return e.what();
+    }
+    return "";
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ShardManifestTest, RoundTripParityAllAlgorithms) {
+  const Graph g = social_like(140, 1000, 0.45, 17);
+  for (const Algorithm alg : kAllAlgorithms) {
+    SCOPED_TRACE(algorithm_name(alg));
+    CliqueOptions opts;
+    opts.algorithm = alg;
+    const PreparedGraph flat(g, opts);
+    ShardingOptions sharding;
+    sharding.shards = 3;
+    const ShardedEngine in_memory(g, sharding, opts);
+    const auto path = dir_ / "roundtrip.c3shard";
+    snapshot::write_sharded(path, in_memory);
+    ASSERT_TRUE(snapshot::is_shard_manifest(path));
+
+    const auto snap = snapshot::ShardedSnapshot::open(path);
+    const ShardedEngine& loaded = snap.engine();
+    EXPECT_EQ(loaded.num_shards(), 3u);
+    EXPECT_EQ(loaded.num_nodes(), g.num_nodes());
+
+    // The four counting kinds, bit-identical across all three executions.
+    for (int k = 3; k <= 5; ++k) {
+      const Query q = make_query(QueryKind::Count, k);
+      const count_t expected = flat.run(q).count;
+      EXPECT_EQ(in_memory.run(q).count, expected) << "k=" << k;
+      EXPECT_EQ(loaded.run(q).count, expected) << "k=" << k;
+    }
+    const Query pv = make_query(QueryKind::PerVertexCounts, 3);
+    EXPECT_EQ(loaded.run(pv).per_counts, flat.run(pv).per_counts);
+    const Query pe = make_query(QueryKind::PerEdgeCounts, 3);
+    EXPECT_EQ(loaded.run(pe).per_counts, flat.run(pe).per_counts);
+    const Query sp = make_query(QueryKind::Spectrum);
+    const Answer sa = flat.run(sp);
+    const Answer sb = loaded.run(sp);
+    EXPECT_EQ(sb.spectrum.counts, sa.spectrum.counts);
+    EXPECT_EQ(sb.omega, sa.omega);
+
+    // Everything came off the mapping: no shard prepares anything.
+    const Answer counted = loaded.run(make_query(QueryKind::Count, 4));
+    EXPECT_EQ(counted.stats.preprocess_seconds, 0.0);
+  }
+}
+
+TEST_F(ShardManifestTest, InspectDescribesTheDirectory) {
+  const Graph g = social_like(120, 900, 0.4, 23);
+  CliqueOptions opts;
+  opts.algorithm = Algorithm::C3ListCD;
+  ShardingOptions sharding;
+  sharding.shards = 2;
+  sharding.policy = shard::PartitionPolicy::VertexRange;
+  const ShardedEngine engine(g, sharding, opts);
+  const auto path = dir_ / "inspect.c3shard";
+  snapshot::write_sharded(path, engine);
+
+  const snapshot::ShardManifestInfo info = snapshot::inspect_sharded(path);
+  EXPECT_EQ(info.format_version, snapshot::kShardFormatVersion);
+  EXPECT_EQ(info.policy, shard::PartitionPolicy::VertexRange);
+  EXPECT_EQ(info.num_nodes, g.num_nodes());
+  EXPECT_EQ(info.num_edges, g.num_edges());
+  EXPECT_EQ(info.file_bytes, std::filesystem::file_size(path));
+  EXPECT_EQ(info.options.algorithm, Algorithm::C3ListCD);
+  ASSERT_EQ(info.shards.size(), 2u);
+  std::uint64_t expect = 0;
+  for (std::size_t i = 0; i < info.shards.size(); ++i) {
+    const snapshot::ShardSectionInfo& s = info.shards[i];
+    EXPECT_EQ(s.first_owned, expect);
+    expect += s.owned_count;
+    EXPECT_EQ(s.first_owned, engine.first_owned(i));
+    EXPECT_EQ(s.owned_count, engine.owned_count(i));
+    EXPECT_EQ(s.halo_count, engine.halo_ids(i).size());
+    EXPECT_GT(s.snap_bytes, 0u);
+    EXPECT_EQ(s.num_nodes, engine.main_engine(i).graph().num_nodes());
+  }
+  EXPECT_EQ(expect, g.num_nodes());
+  // The last shard has no halo, hence no halo image.
+  EXPECT_EQ(info.shards.back().halo_count, 0u);
+  EXPECT_EQ(info.shards.back().halo_snap_offset, 0u);
+}
+
+TEST_F(ShardManifestTest, SniffRejectsFlatSnapshotsAndGarbage) {
+  const Graph g = erdos_renyi(60, 400, 9);
+  const PreparedGraph engine(g, {});
+  const auto flat = dir_ / "flat.c3snap";
+  snapshot::write(flat, engine);
+  EXPECT_FALSE(snapshot::is_shard_manifest(flat));
+
+  const auto garbage = dir_ / "garbage.c3shard";
+  std::ofstream(garbage, std::ios::binary) << std::string(4096, 'x');
+  EXPECT_FALSE(snapshot::is_shard_manifest(garbage));
+  EXPECT_NE(open_error(garbage).find("bad magic"), std::string::npos);
+
+  EXPECT_FALSE(snapshot::is_shard_manifest(dir_ / "does_not_exist"));
+
+  const auto shorty = dir_ / "short.c3shard";
+  std::ofstream(shorty, std::ios::binary) << "c3";
+  EXPECT_NE(open_error(shorty).find("truncated header"), std::string::npos);
+}
+
+TEST_F(ShardManifestTest, RefusesNewerFormatVersionNamingBothVersions) {
+  const Graph g = erdos_renyi(50, 300, 4);
+  const ShardedEngine engine(g, ShardingOptions{}, {});
+  const auto path = dir_ / "version.c3shard";
+  snapshot::write_sharded(path, engine);
+  ASSERT_EQ(open_error(path), "");  // sanity: the pristine file loads
+
+  // format_version is the u32 right after the 12-byte magic. Stamp a future
+  // version (v2 over v1): a reader must refuse it *before* any checksum talk
+  // and name both versions, so an operator knows which side is stale.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.is_open());
+    const std::uint32_t future = snapshot::kShardFormatVersion + 1;
+    f.seekp(12);
+    f.write(reinterpret_cast<const char*>(&future), sizeof(future));
+  }
+  const std::string error = open_error(path);
+  EXPECT_NE(error.find("format version mismatch"), std::string::npos) << error;
+  EXPECT_NE(error.find("v" + std::to_string(snapshot::kShardFormatVersion + 1)),
+            std::string::npos)
+      << error;
+  EXPECT_NE(error.find("v" + std::to_string(snapshot::kShardFormatVersion)), std::string::npos)
+      << error;
+  // inspect_sharded applies the same validation.
+  EXPECT_THROW((void)snapshot::inspect_sharded(path), std::runtime_error);
+}
+
+TEST_F(ShardManifestTest, RefusesTruncationAndTamper) {
+  const Graph g = social_like(100, 700, 0.4, 31);
+  ShardingOptions sharding;
+  sharding.shards = 2;
+  const ShardedEngine engine(g, sharding, {});
+  const auto path = dir_ / "valid.c3shard";
+  snapshot::write_sharded(path, engine);
+  ASSERT_EQ(open_error(path), "");
+
+  auto tampered = dir_ / "truncated.c3shard";
+  std::filesystem::copy_file(path, tampered);
+  std::filesystem::resize_file(tampered, std::filesystem::file_size(tampered) - 9);
+  EXPECT_NE(open_error(tampered).find("truncated"), std::string::npos);
+
+  // A flipped byte in the record table breaks the header checksum.
+  tampered = dir_ / "table.c3shard";
+  std::filesystem::copy_file(path, tampered);
+  corrupt_byte(tampered, sizeof(snapshot::ShardManifestHeader) + 16);
+  EXPECT_NE(open_error(tampered).find("header checksum mismatch"), std::string::npos);
+
+  // A flipped byte in a section payload breaks that shard's fingerprint —
+  // but loads fine with verification off (the trusted-store fast path).
+  tampered = dir_ / "payload.c3shard";
+  std::filesystem::copy_file(path, tampered);
+  const snapshot::ShardManifestInfo info = snapshot::inspect_sharded(path);
+  corrupt_byte(tampered, info.shards[0].snap_offset + info.shards[0].snap_bytes - 3);
+  const std::string error = open_error(tampered);
+  EXPECT_NE(error.find("checksum mismatch") != std::string::npos ||
+                error.find("fingerprint") != std::string::npos,
+            false)
+      << error;
+}
+
+TEST_F(ShardManifestTest, ServiceServesManifestAsOneEntry) {
+  const Graph g = social_like(110, 800, 0.45, 41);
+  CliqueOptions opts;
+  opts.algorithm = Algorithm::KCList;
+  const PreparedGraph flat(g, opts);
+  ShardingOptions sharding;
+  sharding.shards = 2;
+  const ShardedEngine in_memory(g, sharding, opts);
+  const auto path = dir_ / "served.c3shard";
+  snapshot::write_sharded(path, in_memory);
+
+  CliqueService service;
+  service.add_snapshot("web", path);          // sharded manifest, sniffed lazily
+  service.add_sharded_graph("mem", g, sharding, opts);
+  service.add_graph("plain", Graph(g), opts);
+
+  // run() routes both sharded kinds; answers match the flat engine exactly.
+  for (int k = 3; k <= 5; ++k) {
+    const Query q = make_query(QueryKind::Count, k);
+    const count_t expected = flat.run(q).count;
+    EXPECT_EQ(service.run("web", q).count, expected) << "k=" << k;
+    EXPECT_EQ(service.run("mem", q).count, expected) << "k=" << k;
+    EXPECT_EQ(service.run("plain", q).count, expected) << "k=" << k;
+  }
+  const Query sp = make_query(QueryKind::Spectrum);
+  EXPECT_EQ(service.run("web", sp).spectrum.counts, flat.run(sp).spectrum.counts);
+
+  // catalog() reports the partition; engine() refuses sharded ids but
+  // sharded_engine() hands the composed engine out.
+  for (const ServiceGraphInfo& info : service.catalog()) {
+    if (info.id == "web" || info.id == "mem") {
+      EXPECT_EQ(info.shards, 2) << info.id;
+    } else {
+      EXPECT_EQ(info.shards, 0) << info.id;
+    }
+  }
+  EXPECT_THROW((void)service.engine("web"), std::runtime_error);
+  EXPECT_THROW((void)service.engine("mem"), std::runtime_error);
+  EXPECT_NO_THROW((void)service.engine("plain"));
+  EXPECT_NE(service.sharded_engine("web"), nullptr);
+  EXPECT_NE(service.sharded_engine("mem"), nullptr);
+  EXPECT_EQ(service.sharded_engine("plain"), nullptr);
+
+  // Sharded and flat registrations of the same graph must never share an
+  // answer-cache identity.
+  EXPECT_NE(service.fingerprint("mem"), service.fingerprint("plain"));
+  EXPECT_NE(service.fingerprint("web"), service.fingerprint("mem"));  // ids differ
+}
+
+TEST_F(ShardManifestTest, ServiceSurfacesOpenFailuresLazily) {
+  CliqueService service;
+  service.add_snapshot("ghost", dir_ / "missing.c3shard");
+  // Registration is cheap; the failure surfaces on first use, and again on
+  // every later use.
+  EXPECT_THROW((void)service.run("ghost", make_query(QueryKind::Count, 3)),
+               std::runtime_error);
+  EXPECT_THROW((void)service.run("ghost", make_query(QueryKind::Count, 3)),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace c3

@@ -1,0 +1,179 @@
+// Partitioner tests: ranges tile [0, n) under both policies (including the
+// degenerate shard counts), EdgeBlock tracks degree mass, and build_shard
+// honors its contracts — exact halo membership, ascending owned-first
+// relabeling (to_parent strictly increasing), induced subgraph fidelity,
+// and local->parent edge maps that land on the right endpoints.
+#include "shard/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/gen/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace c3 {
+namespace {
+
+using shard::PartitionPolicy;
+using shard::ShardingOptions;
+using shard::ShardPart;
+using shard::ShardRange;
+
+const PartitionPolicy kPolicies[] = {PartitionPolicy::VertexRange, PartitionPolicy::EdgeBlock};
+
+void expect_tiles(const std::vector<ShardRange>& ranges, node_t n) {
+  ASSERT_FALSE(ranges.empty());
+  node_t expect = 0;
+  for (const ShardRange& r : ranges) {
+    EXPECT_EQ(r.lo, expect);
+    EXPECT_LE(r.lo, r.hi);
+    expect = r.hi;
+  }
+  EXPECT_EQ(expect, n);
+}
+
+TEST(PartitionTest, RangesTileForAnyShardCount) {
+  const Graph g = social_like(200, 1500, 0.4, 3);
+  for (const PartitionPolicy policy : kPolicies) {
+    for (const int shards : {1, 2, 3, 7, 50, 199, 200, 500}) {
+      SCOPED_TRACE(std::string(partition_policy_name(policy)) + " shards=" +
+                   std::to_string(shards));
+      ShardingOptions opts;
+      opts.shards = shards;
+      opts.policy = policy;
+      const auto ranges = partition_ranges(g, opts);
+      EXPECT_EQ(ranges.size(), static_cast<std::size_t>(std::max(1, shards)));
+      expect_tiles(ranges, g.num_nodes());
+    }
+  }
+}
+
+TEST(PartitionTest, DegenerateGraphsStillTile) {
+  const Graph empty = build_graph(EdgeList{}, 0);
+  const Graph isolated = build_graph(EdgeList{}, 5);  // vertices, no edges
+  for (const Graph* g : {&empty, &isolated}) {
+    for (const PartitionPolicy policy : kPolicies) {
+      for (const int shards : {1, 3}) {
+        ShardingOptions opts;
+        opts.shards = shards;
+        opts.policy = policy;
+        expect_tiles(partition_ranges(*g, opts), g->num_nodes());
+      }
+    }
+  }
+  // A non-positive shard count clamps to one range covering everything.
+  ShardingOptions zero;
+  zero.shards = 0;
+  const auto ranges = partition_ranges(isolated, zero);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].lo, 0u);
+  EXPECT_EQ(ranges[0].hi, 5u);
+}
+
+TEST(PartitionTest, EdgeBlockBalancesDegreeMass) {
+  // A hub-heavy graph: BA attachment concentrates degree in the early ids,
+  // which is exactly the shape VertexRange splits badly and EdgeBlock fixes.
+  const Graph g = barabasi_albert(400, 6, 11);
+  ShardingOptions opts;
+  opts.shards = 4;
+  opts.policy = PartitionPolicy::EdgeBlock;
+  const auto ranges = partition_ranges(g, opts);
+  expect_tiles(ranges, g.num_nodes());
+
+  const std::uint64_t total = 2 * static_cast<std::uint64_t>(g.num_edges());
+  const std::uint64_t fair = total / 4;
+  for (const ShardRange& r : ranges) {
+    std::uint64_t mass = 0;
+    for (node_t v = r.lo; v < r.hi; ++v) mass += g.degree(v);
+    // Each block may overshoot its target by at most one vertex's degree;
+    // allow that plus the rounding slack of the closing boundary.
+    EXPECT_LE(mass, fair + g.max_degree() + 4) << "range [" << r.lo << ", " << r.hi << ")";
+  }
+}
+
+TEST(PartitionTest, BuildShardHaloAndRelabeling) {
+  const Graph g = social_like(120, 900, 0.45, 9);
+  ShardingOptions opts;
+  opts.shards = 3;
+  for (const PartitionPolicy policy : kPolicies) {
+    opts.policy = policy;
+    for (const ShardRange range : partition_ranges(g, opts)) {
+      SCOPED_TRACE(std::string(partition_policy_name(policy)) + " range [" +
+                   std::to_string(range.lo) + ", " + std::to_string(range.hi) + ")");
+      const ShardPart part = shard::build_shard(g, range);
+      EXPECT_EQ(part.owned_count(), range.size());
+
+      // Halo: exactly the neighbors of owned vertices with id >= hi.
+      std::set<node_t> expected_halo;
+      for (node_t u = range.lo; u < range.hi; ++u) {
+        for (const node_t w : g.neighbors(u)) {
+          if (w >= range.hi) expected_halo.insert(w);
+        }
+      }
+      EXPECT_EQ(std::vector<node_t>(expected_halo.begin(), expected_halo.end()), part.halo);
+
+      // Relabeling: owned first, then halo, both ascending — to_parent is
+      // strictly increasing, so local order mirrors global order.
+      const std::vector<node_t>& to_parent = part.main.to_parent;
+      ASSERT_EQ(to_parent.size(), part.owned_count() + part.halo.size());
+      for (node_t u = range.lo; u < range.hi; ++u) EXPECT_EQ(to_parent[u - range.lo], u);
+      EXPECT_TRUE(std::is_sorted(to_parent.begin(), to_parent.end()) &&
+                  std::adjacent_find(to_parent.begin(), to_parent.end()) == to_parent.end());
+
+      // Induced fidelity: every local edge exists in the parent, and every
+      // parent edge between shard vertices exists locally.
+      const Graph& sub = part.main.graph;
+      std::set<std::pair<node_t, node_t>> local_edges;
+      for (const Edge& e : sub.endpoints()) {
+        const node_t pu = to_parent[e.u];
+        const node_t pv = to_parent[e.v];
+        EXPECT_TRUE(g.has_edge(pu, pv)) << pu << "-" << pv;
+        local_edges.emplace(std::min(pu, pv), std::max(pu, pv));
+      }
+      std::set<node_t> members(to_parent.begin(), to_parent.end());
+      for (const node_t u : members) {
+        for (const node_t w : g.neighbors(u)) {
+          if (u < w && members.count(w)) {
+            EXPECT_TRUE(local_edges.count({u, w})) << u << "-" << w;
+          }
+        }
+      }
+
+      // Edge maps: local edge e maps to the parent edge joining the mapped
+      // endpoints.
+      ASSERT_EQ(part.edge_map.size(), sub.endpoints().size());
+      for (std::size_t e = 0; e < part.edge_map.size(); ++e) {
+        const Edge local = sub.endpoints()[e];
+        EXPECT_EQ(part.edge_map[e], g.edge_id(to_parent[local.u], to_parent[local.v]));
+      }
+      ASSERT_EQ(part.halo_edge_map.size(), part.halo_sub.graph.endpoints().size());
+      for (std::size_t e = 0; e < part.halo_edge_map.size(); ++e) {
+        const Edge local = part.halo_sub.graph.endpoints()[e];
+        EXPECT_EQ(part.halo_edge_map[e],
+                  g.edge_id(part.halo_sub.to_parent[local.u], part.halo_sub.to_parent[local.v]));
+      }
+    }
+  }
+}
+
+TEST(PartitionTest, LastShardHasNoHalo) {
+  const Graph g = erdos_renyi(100, 600, 5);
+  ShardingOptions opts;
+  opts.shards = 4;
+  const auto ranges = partition_ranges(g, opts);
+  const ShardPart last = shard::build_shard(g, ranges.back());
+  EXPECT_TRUE(last.halo.empty());
+  EXPECT_EQ(last.halo_sub.graph.num_nodes(), 0u);
+}
+
+TEST(PartitionTest, PolicyNamesAreStable) {
+  EXPECT_STREQ(partition_policy_name(PartitionPolicy::VertexRange), "vertex_range");
+  EXPECT_STREQ(partition_policy_name(PartitionPolicy::EdgeBlock), "edge_block");
+}
+
+}  // namespace
+}  // namespace c3

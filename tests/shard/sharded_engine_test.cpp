@@ -1,0 +1,258 @@
+// ShardedEngine tests: the headline guarantee is bit-identical answers for
+// the four counting kinds (count, vertexcounts, edgecounts, spectrum)
+// between a sharded engine and one unsharded PreparedGraph over the whole
+// graph — for every algorithm, both partition policies, and several shard
+// counts. Plus the composed kinds (has/find/max/list), degenerate shapes,
+// cancellation, and the fingerprint's sensitivity to the partition.
+#include "shard/sharded_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "clique/api.hpp"
+#include "clique/engine.hpp"
+#include "clique/query.hpp"
+#include "graph/builder.hpp"
+#include "graph/gen/generators.hpp"
+
+namespace c3 {
+namespace {
+
+using shard::PartitionPolicy;
+using shard::ShardedEngine;
+using shard::ShardingOptions;
+
+const Algorithm kAllAlgorithms[] = {Algorithm::C3List,   Algorithm::C3ListCD,
+                                    Algorithm::Hybrid,   Algorithm::KCList,
+                                    Algorithm::ArbCount, Algorithm::BruteForce};
+const PartitionPolicy kPolicies[] = {PartitionPolicy::VertexRange, PartitionPolicy::EdgeBlock};
+
+Query make_query(QueryKind kind, int k = 0, int kmax = 0) {
+  Query q;
+  q.kind = kind;
+  q.k = k;
+  q.kmax = kmax;
+  return q;
+}
+
+/// The four counting kinds must be *equal*, not approximately so.
+void expect_counting_parity(const PreparedGraph& flat, const ShardedEngine& sharded) {
+  for (int k = 1; k <= 6; ++k) {
+    const Query q = make_query(QueryKind::Count, k);
+    EXPECT_EQ(sharded.run(q).count, flat.run(q).count) << "count k=" << k;
+  }
+  for (const int k : {2, 3, 4}) {
+    const Query pv = make_query(QueryKind::PerVertexCounts, k);
+    EXPECT_EQ(sharded.run(pv).per_counts, flat.run(pv).per_counts) << "vertexcounts k=" << k;
+    const Query pe = make_query(QueryKind::PerEdgeCounts, k);
+    EXPECT_EQ(sharded.run(pe).per_counts, flat.run(pe).per_counts) << "edgecounts k=" << k;
+  }
+  for (const int kmax : {0, 4}) {
+    const Query q = make_query(QueryKind::Spectrum, 0, kmax);
+    const Answer a = flat.run(q);
+    const Answer b = sharded.run(q);
+    EXPECT_EQ(b.spectrum.counts, a.spectrum.counts) << "spectrum kmax=" << kmax;
+    EXPECT_EQ(b.spectrum.omega, a.spectrum.omega) << "spectrum kmax=" << kmax;
+    EXPECT_EQ(b.omega, a.omega) << "spectrum kmax=" << kmax;
+    EXPECT_EQ(b.count, a.count) << "spectrum kmax=" << kmax;
+  }
+}
+
+TEST(ShardedEngineTest, CountingParityAllAlgorithmsPoliciesAndShardCounts) {
+  const Graph g = social_like(150, 1100, 0.45, 21);
+  for (const Algorithm alg : kAllAlgorithms) {
+    CliqueOptions opts;
+    opts.algorithm = alg;
+    const PreparedGraph flat(g, opts);
+    for (const PartitionPolicy policy : kPolicies) {
+      for (const int shards : {1, 2, 3}) {
+        SCOPED_TRACE(std::string(algorithm_name(alg)) + " " + partition_policy_name(policy) +
+                     " shards=" + std::to_string(shards));
+        ShardingOptions sharding;
+        sharding.shards = shards;
+        sharding.policy = policy;
+        const ShardedEngine sharded(g, sharding, opts);
+        EXPECT_EQ(sharded.num_shards(), static_cast<std::size_t>(shards));
+        EXPECT_EQ(sharded.num_nodes(), g.num_nodes());
+        EXPECT_EQ(sharded.num_edges(), g.num_edges());
+        expect_counting_parity(flat, sharded);
+      }
+    }
+  }
+}
+
+TEST(ShardedEngineTest, ParityOnClusteredGraphWithWorkerCap) {
+  // A second smoke shape (dense modules straddling shard boundaries), with
+  // the per-query worker cap engaged so the cap-splitting path is the one
+  // being verified.
+  const Graph g = bio_like(120, 900, 12, 14, 0.75, 5);
+  CliqueOptions opts;
+  opts.algorithm = Algorithm::Hybrid;
+  const PreparedGraph flat(g, opts);
+  ShardingOptions sharding;
+  sharding.shards = 4;
+  const ShardedEngine sharded(g, sharding, opts);
+  for (const int workers : {1, 2}) {
+    for (int k = 3; k <= 5; ++k) {
+      Query q = make_query(QueryKind::Count, k);
+      q.opts.max_workers = workers;
+      EXPECT_EQ(sharded.run(q).count, flat.run(q).count)
+          << "k=" << k << " workers=" << workers;
+    }
+  }
+}
+
+TEST(ShardedEngineTest, DegenerateGraphsAndShardCounts) {
+  const Graph empty = build_graph(EdgeList{}, 0);
+  const Graph isolated = build_graph(EdgeList{}, 4);
+  const Graph triangle = build_graph(EdgeList{{0, 1}, {1, 2}, {0, 2}}, 3);
+  for (const Graph* g : {&empty, &isolated, &triangle}) {
+    const PreparedGraph flat(*g, {});
+    // More shards than vertices: the partitioner emits empty ranges, which
+    // must merge as zero contributions, not crash.
+    for (const int shards : {1, 2, 8}) {
+      SCOPED_TRACE("n=" + std::to_string(g->num_nodes()) + " shards=" + std::to_string(shards));
+      ShardingOptions sharding;
+      sharding.shards = shards;
+      const ShardedEngine sharded(*g, sharding, {});
+      expect_counting_parity(flat, sharded);
+      const Query mq = make_query(QueryKind::MaxClique);
+      EXPECT_EQ(sharded.run(mq).omega, flat.run(mq).omega);
+    }
+  }
+}
+
+TEST(ShardedEngineTest, ComposedKindsAgreeWithFlatEngine) {
+  const Graph g = social_like(100, 800, 0.5, 33);
+  CliqueOptions opts;
+  opts.algorithm = Algorithm::C3List;
+  const PreparedGraph flat(g, opts);
+  ShardingOptions sharding;
+  sharding.shards = 3;
+  const ShardedEngine sharded(g, sharding, opts);
+
+  const node_t omega = flat.run(make_query(QueryKind::MaxClique)).omega;
+  for (int k = 2; k <= static_cast<int>(omega) + 1; ++k) {
+    SCOPED_TRACE("k=" + std::to_string(k));
+    const Answer has = sharded.run(make_query(QueryKind::HasClique, k));
+    EXPECT_EQ(has.found, flat.run(make_query(QueryKind::HasClique, k)).found);
+
+    const Answer found = sharded.run(make_query(QueryKind::FindClique, k));
+    EXPECT_EQ(found.found, has.found);
+    if (found.found) {
+      // The witness must be a real k-clique of the *parent* graph.
+      ASSERT_EQ(found.witness.size(), static_cast<std::size_t>(k));
+      std::set<node_t> distinct(found.witness.begin(), found.witness.end());
+      EXPECT_EQ(distinct.size(), found.witness.size());
+      for (const node_t u : found.witness) {
+        ASSERT_LT(u, g.num_nodes());
+        for (const node_t v : found.witness) {
+          if (u < v) {
+            EXPECT_TRUE(g.has_edge(u, v)) << u << "-" << v;
+          }
+        }
+      }
+    }
+  }
+
+  const Answer max = sharded.run(make_query(QueryKind::MaxClique));
+  EXPECT_EQ(max.omega, omega);
+  ASSERT_EQ(max.witness.size(), static_cast<std::size_t>(omega));
+  for (const node_t u : max.witness) {
+    for (const node_t v : max.witness) {
+      if (u < v) {
+        EXPECT_TRUE(g.has_edge(u, v));
+      }
+    }
+  }
+  EXPECT_EQ(sharded.clique_number_upper_bound() >= omega, true);
+}
+
+TEST(ShardedEngineTest, ListMergesOwnedCliquesExactlyOnce) {
+  const Graph g = social_like(80, 600, 0.5, 13);
+  const PreparedGraph flat(g, {});
+  ShardingOptions sharding;
+  sharding.shards = 3;
+  const ShardedEngine sharded(g, sharding, {});
+
+  const int k = 3;
+  const auto to_sorted_set = [](const Answer& a) {
+    std::set<std::vector<node_t>> out;
+    for (std::vector<node_t> c : a.cliques) {
+      std::sort(c.begin(), c.end());
+      const bool inserted = out.insert(std::move(c)).second;
+      EXPECT_TRUE(inserted) << "duplicate clique in listing";
+    }
+    return out;
+  };
+  const Answer a = flat.run(make_query(QueryKind::List, k));
+  const Answer b = sharded.run(make_query(QueryKind::List, k));
+  EXPECT_EQ(b.count, a.count);
+  EXPECT_EQ(b.cliques.size(), a.cliques.size());
+  EXPECT_EQ(to_sorted_set(b), to_sorted_set(a));
+
+  // The result limit applies at the merge: exactly `limit` owned cliques,
+  // marked truncated (the graph has more).
+  ASSERT_GT(a.count, 5u);
+  Query limited = make_query(QueryKind::List, k);
+  limited.opts.result_limit = 5;
+  const Answer cut = sharded.run(limited);
+  EXPECT_EQ(cut.cliques.size(), 5u);
+  EXPECT_TRUE(cut.truncated);
+}
+
+TEST(ShardedEngineTest, CancelTokenTruncates) {
+  const Graph g = social_like(200, 1600, 0.4, 3);
+  ShardingOptions sharding;
+  sharding.shards = 2;
+  const ShardedEngine sharded(g, sharding, {});
+  Query q = make_query(QueryKind::Count, 4);
+  q.opts.cancel = std::make_shared<std::atomic<bool>>(true);  // pre-fired
+  const Answer a = sharded.run(q);
+  EXPECT_TRUE(a.truncated);
+}
+
+TEST(ShardedEngineTest, PrepareIsIdempotentAndStatsMerge) {
+  const Graph g = social_like(100, 700, 0.4, 8);
+  ShardingOptions sharding;
+  sharding.shards = 2;
+  const ShardedEngine sharded(g, sharding, {});
+  sharded.prepare();
+  sharded.prepare();  // second call must be a no-op
+
+  const Answer a = sharded.run(make_query(QueryKind::Count, 3));
+  // Prepared up front: the query itself reports no preprocess work, and the
+  // merged stats carry the merged count.
+  EXPECT_EQ(a.stats.preprocess_seconds, 0.0);
+  EXPECT_EQ(a.stats.cliques, a.count);
+  EXPECT_GE(a.seconds, 0.0);
+}
+
+TEST(ShardedEngineTest, FingerprintSeparatesPartitions) {
+  const Graph g = social_like(90, 600, 0.4, 2);
+  ShardingOptions two;
+  two.shards = 2;
+  ShardingOptions three;
+  three.shards = 3;
+  ShardingOptions vertex2;
+  vertex2.shards = 2;
+  vertex2.policy = PartitionPolicy::VertexRange;
+
+  const ShardedEngine a(g, two, {});
+  const ShardedEngine b(g, three, {});
+  const ShardedEngine c(g, vertex2, {});
+  const std::uint64_t fa = shard::sharded_fingerprint("g", a);
+  EXPECT_EQ(fa, shard::sharded_fingerprint("g", ShardedEngine(g, two, {})));  // deterministic
+  EXPECT_NE(fa, shard::sharded_fingerprint("g", b));   // shard count folds in
+  EXPECT_NE(fa, shard::sharded_fingerprint("g", c));   // policy/ranges fold in
+  EXPECT_NE(fa, shard::sharded_fingerprint("h", a));   // graph id folds in
+}
+
+}  // namespace
+}  // namespace c3
